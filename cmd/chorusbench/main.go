@@ -1,0 +1,74 @@
+// Command chorusbench regenerates the paper's evaluation (section 5.3):
+// Table 6 (zero-filled memory allocation) and Table 7 (copy-on-write),
+// each for the Chorus PVM and the Mach shadow-object baseline, the derived
+// overheads of section 5.3.2, and this repository's ablation benchmarks.
+//
+// Times are simulated milliseconds on the paper's calibrated cost model
+// (Sun-3/60 class hardware); see internal/cost/calibration.go for the
+// derivation of every constant and EXPERIMENTS.md for paper-vs-measured.
+//
+// Usage:
+//
+//	chorusbench                 # both tables + derived overheads
+//	chorusbench -table 6        # one table
+//	chorusbench -ablations     # crossover / exec-cache / IPC / collapse / MMU
+//	chorusbench -iters 64      # more averaging
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chorusvm/internal/bench"
+	"chorusvm/internal/core"
+	"chorusvm/internal/machvm"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate only table 6 or 7 (0 = both)")
+	derive := flag.Bool("derive", true, "print the section 5.3.2 derived overheads")
+	ablations := flag.Bool("ablations", false, "run the ablation benchmarks")
+	iters := flag.Int("iters", 32, "iterations per cell")
+	frames := flag.Int("frames", 2048, "physical frames per memory manager")
+	flag.Parse()
+
+	chorus := bench.PVM(core.Options{Frames: *frames, SmallCopyPages: -1})
+	mach := bench.Mach(machvm.Options{Frames: *frames})
+
+	var t6c, t7c *bench.Matrix
+	if *table == 0 || *table == 6 {
+		fmt.Println("=== Table 6: zero-filled memory allocation ===")
+		t6c = bench.Run("Chorus (PVM, history objects)", chorus, bench.ZeroFill, *iters)
+		fmt.Println(t6c.Format(8))
+		t6m := bench.Run("Mach (shadow objects)", mach, bench.ZeroFill, *iters)
+		fmt.Println(t6m.Format(8))
+	}
+	if *table == 0 || *table == 7 {
+		fmt.Println("=== Table 7: copy-on-write ===")
+		t7c = bench.Run("Chorus (PVM, history objects)", chorus, bench.CopyOnWrite, *iters)
+		fmt.Println(t7c.Format(8))
+		t7m := bench.Run("Mach (shadow objects)", mach, bench.CopyOnWrite, *iters)
+		fmt.Println(t7m.Format(8))
+	}
+	if *derive && t6c != nil && t7c != nil {
+		fmt.Println("=== Section 5.3.2: derived overheads ===")
+		fmt.Println(bench.Derive(t6c, t7c).Format())
+	}
+
+	if *ablations {
+		fmt.Println("=== Ablations (DESIGN.md section 5) ===")
+		pts := bench.DeferredCopyCrossover([]int{1, 2, 4, 8, 16, 32, 64}, func(int) int { return 1 }, *iters)
+		fmt.Println(bench.FormatCrossover(pts))
+		fmt.Println(bench.ExecSegmentCache(32, *iters).Format())
+		fmt.Println(bench.HistoryCollapse(8, 32).Format())
+		ipcs := bench.IPCTransfer([]int{4 << 10, 16 << 10, 64 << 10}, *iters)
+		fmt.Println(bench.FormatIPC(ipcs))
+		fmt.Println(bench.FormatReadAhead(bench.ReadAhead([]int{1, 2, 4, 8, 16}, 64, *iters)))
+		fmt.Println(bench.DSM(*iters).Format())
+		fmt.Println(bench.MakeWorkload(8, 16).Format())
+		fmt.Println(bench.CopyPolicy(32, *iters).Format())
+		fmt.Println(bench.FormatMMU(bench.MMUPortability(32, 32, *iters)))
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,68 @@
+// Command vmtrace runs PVM trace scripts — the spirit of the Chorus
+// Nucleus Simulator the paper describes in section 5.2 as a development
+// tool and teaching aid. See internal/script for the language.
+//
+// Usage:
+//
+//	vmtrace file.vt        # run a script file
+//	vmtrace -              # read a script from stdin
+//	vmtrace -demo          # run a built-in fork/COW demonstration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chorusvm/internal/core"
+	"chorusvm/internal/script"
+)
+
+const demoScript = `# fork-style deferred copy, narrated
+cache src
+region rsrc src 0x10000 4
+write rsrc 0x0 0x11 0x4000
+cache child
+copy src 0 child 0 4
+tree
+write rsrc 0x0 0x99 0x10         # parent writes: original preserved
+region rchild child 0x40000 4
+expect rchild 0x0 0x11 0x10      # child still sees the original
+tree
+stats
+clock
+`
+
+func main() {
+	runDemo := flag.Bool("demo", false, "run the built-in demonstration script")
+	frames := flag.Int("frames", 1024, "physical frames")
+	flag.Parse()
+
+	in, err := script.New(os.Stdout, core.Options{Frames: *frames})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmtrace:", err)
+		os.Exit(1)
+	}
+	switch {
+	case *runDemo:
+		err = in.Run(strings.NewReader(demoScript))
+	case flag.NArg() == 1 && flag.Arg(0) == "-":
+		err = in.Run(os.Stdin)
+	case flag.NArg() == 1:
+		f, ferr := os.Open(flag.Arg(0))
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "vmtrace:", ferr)
+			os.Exit(1)
+		}
+		defer f.Close()
+		err = in.Run(f)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: vmtrace [-demo] [file.vt | -]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vmtrace:", err)
+		os.Exit(1)
+	}
+}

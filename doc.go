@@ -1,0 +1,23 @@
+// Package chorusvm is a reproduction of "Generic Virtual Memory Management
+// for Operating System Kernels" (Abrossimov, Rozier, Shapiro; SOSP 1989) —
+// the Chorus GMI/PVM paper — as a simulated-kernel Go library.
+//
+// The repository layers exactly as the paper's Figure 1:
+//
+//	internal/mix      Chorus/MIX Unix processes (fork/exec over the Nucleus)
+//	internal/nucleus  actors, capabilities, segment manager, rgn* operations
+//	internal/ipc      ports, 64 KB messages, the kernel transit segment
+//	internal/gmi      the Generic Memory-management Interface (Tables 1-4)
+//	internal/core     the PVM: history objects, per-page stubs, page faults
+//	internal/machvm   the Mach shadow-object baseline (same GMI)
+//	internal/mmu      simulated MMUs (the machine-dependent layer)
+//	internal/phys     physical page frames with real contents
+//	internal/seg      segment managers (mappers) and backing stores
+//	internal/cost     the calibrated simulated clock
+//	internal/bench    the paper's evaluation workloads and ablations
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured numbers.
+// bench_test.go in this directory regenerates every table and figure as
+// testing.B benchmarks; cmd/chorusbench prints them in the paper's layout.
+package chorusvm

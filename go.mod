@@ -1,0 +1,3 @@
+module chorusvm
+
+go 1.22

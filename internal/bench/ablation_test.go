@@ -1,0 +1,131 @@
+package bench
+
+import "testing"
+
+// TestCrossover verifies the paper's rationale for having two deferred-copy
+// techniques: per-page stubs win for small copies, history objects for
+// large ones (the PVM's default threshold sits near the crossover).
+func TestCrossover(t *testing.T) {
+	pts := DeferredCopyCrossover([]int{1, 2, 16, 64}, func(int) int { return 1 }, 8)
+	small := pts[0]
+	if small.PerPageSim >= small.HistorySim {
+		t.Errorf("1-page copy: per-page %v not cheaper than history %v",
+			small.PerPageSim, small.HistorySim)
+	}
+	big := pts[len(pts)-1]
+	if big.HistorySim >= big.PerPageSim {
+		t.Errorf("64-page copy: history %v not cheaper than per-page %v",
+			big.HistorySim, big.PerPageSim)
+	}
+}
+
+// TestExecSegmentCacheAblation verifies the section 5.1.3 claim: segment
+// caching makes repeated program loading much cheaper.
+func TestExecSegmentCacheAblation(t *testing.T) {
+	r := ExecSegmentCache(32, 8)
+	if r.Hits == 0 {
+		t.Fatal("warm run never hit the segment cache")
+	}
+	if r.WarmSim*2 >= r.ColdSim {
+		t.Errorf("segment caching speedup too small: warm %v vs cold %v", r.WarmSim, r.ColdSim)
+	}
+}
+
+// TestHistoryCollapseAblation verifies that collapse keeps the cache
+// population bounded under fork-exit chains, while disabling it leaks a
+// chain of history objects.
+func TestHistoryCollapseAblation(t *testing.T) {
+	r := HistoryCollapse(8, 24)
+	if r.OnCaches > 6 {
+		t.Errorf("collapse on: %d caches alive after 24 generations", r.OnCaches)
+	}
+	if r.OffCaches < 20 {
+		t.Errorf("collapse off: only %d caches alive; expected linear chain growth", r.OffCaches)
+	}
+}
+
+// TestIPCTransferAblation verifies the section 5.1.6 transfer choice: the
+// aligned transit path beats bcopy for large messages.
+func TestIPCTransferAblation(t *testing.T) {
+	pts := IPCTransfer([]int{64 << 10}, 8)
+	p := pts[0]
+	if p.DeferredSim >= p.BcopySim {
+		t.Errorf("64 KB message: deferred %v not cheaper than bcopy %v",
+			p.DeferredSim, p.BcopySim)
+	}
+}
+
+// TestMMUPortability verifies the same PVM runs over all three MMU
+// flavours with identical simulated cost (the machine-dependent layer
+// charges the same events).
+func TestMMUPortability(t *testing.T) {
+	rs := MMUPortability(32, 32, 4)
+	if len(rs) != 3 {
+		t.Fatalf("got %d flavours", len(rs))
+	}
+	for _, r := range rs[1:] {
+		if r.Sim != rs[0].Sim {
+			t.Errorf("%s simulated %v != %s simulated %v",
+				r.Name, r.Sim, rs[0].Name, rs[0].Sim)
+		}
+	}
+}
+
+// TestReadAheadAblation verifies that clustering pull-ins cuts the disk
+// positionings proportionally on a sequential scan. (Soft mapping faults
+// per page remain — clustering brings data in, not translations.)
+func TestReadAheadAblation(t *testing.T) {
+	pts := ReadAhead([]int{1, 8}, 32, 4)
+	one, eight := pts[0], pts[1]
+	if eight.Seeks > one.Seeks/4 {
+		t.Errorf("clustered seeks %d not well below unclustered %d", eight.Seeks, one.Seeks)
+	}
+	if eight.Sim >= one.Sim {
+		t.Errorf("clustered scan %v not faster than unclustered %v", eight.Sim, one.Sim)
+	}
+	if eight.Faults != one.Faults {
+		t.Errorf("soft fault count changed: %d vs %d", eight.Faults, one.Faults)
+	}
+}
+
+// TestDSMBench verifies the coherence extension's two canonical shapes:
+// alternating writers pay downgrade+invalidate coherence traffic per
+// round, while warm read sharing costs the home site nothing.
+func TestDSMBench(t *testing.T) {
+	r := DSM(8)
+	if r.Downgrades == 0 || r.Invalidations == 0 {
+		t.Fatalf("ping-pong produced no coherence traffic: %+v", r)
+	}
+	if r.ReadShareSim != 0 {
+		t.Fatalf("warm shared reads should not touch the home site, got %v", r.ReadShareSim)
+	}
+	if r.PingPongSim == 0 {
+		t.Fatal("ping-pong cost zero")
+	}
+}
+
+// TestMakeWorkload runs the section 5.1.3 "large make" macro-benchmark
+// through the whole stack and checks that segment caching pays off.
+func TestMakeWorkload(t *testing.T) {
+	r := MakeWorkload(6, 16)
+	if r.WarmSim >= r.ColdSim {
+		t.Fatalf("segment caching did not help the make: warm %v cold %v", r.WarmSim, r.ColdSim)
+	}
+	if r.ColdSim < 2*r.WarmSim {
+		t.Logf("note: modest make speedup: warm %v cold %v", r.WarmSim, r.ColdSim)
+	}
+}
+
+// TestCopyPolicyAblation verifies the section 4.2.2 policy trade: under a
+// read-only pass COW is much cheaper (it shares frames), while a
+// write-everything pass costs about the same either way.
+func TestCopyPolicyAblation(t *testing.T) {
+	r := CopyPolicy(32, 8)
+	if r.ReadHeavyCOW >= r.ReadHeavyCOR {
+		t.Fatalf("COW read pass %v not cheaper than COR %v", r.ReadHeavyCOW, r.ReadHeavyCOR)
+	}
+	ratio := float64(r.WriteAllCOW) / float64(r.WriteAllCOR)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("write-all passes should cost alike: COW %v COR %v", r.WriteAllCOW, r.WriteAllCOR)
+	}
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"chorusvm/internal/core"
+	"chorusvm/internal/machvm"
+)
+
+// The paper's Tables 6 and 7 (Sun-3/60, ms). Keys: [regionPages][touched].
+var (
+	paperT6Chorus = map[[2]int]float64{
+		{1, 0}: 0.350, {1, 1}: 1.50,
+		{32, 0}: 0.352, {32, 1}: 1.60, {32, 32}: 36.6,
+		{128, 0}: 0.390, {128, 1}: 1.63, {128, 32}: 37.7, {128, 128}: 145.9,
+	}
+	paperT6Mach = map[[2]int]float64{
+		{1, 0}: 1.57, {1, 1}: 3.12,
+		{32, 0}: 1.81, {32, 1}: 3.19, {32, 32}: 46.8,
+		{128, 0}: 1.89, {128, 1}: 3.26, {128, 32}: 47.0, {128, 128}: 180.8,
+	}
+	paperT7Chorus = map[[2]int]float64{
+		{1, 0}: 0.4, {1, 1}: 2.10,
+		{32, 0}: 0.7, {32, 1}: 2.47, {32, 32}: 55.7,
+		{128, 0}: 2.4, {128, 1}: 4.2, {128, 32}: 57.2, {128, 128}: 221.9,
+	}
+	paperT7Mach = map[[2]int]float64{
+		{1, 0}: 2.7, {1, 1}: 4.82,
+		{32, 0}: 2.9, {32, 1}: 5.12, {32, 32}: 66.4,
+		{128, 0}: 3.08, {128, 1}: 5.18, {128, 32}: 67.0, {128, 128}: 256.41,
+	}
+)
+
+func chorusFactory() Factory {
+	// SmallCopyPages: -1 — the measured paper system deferred every copy
+	// with history objects (its per-page path was not yet operational).
+	return PVM(core.Options{Frames: 2048, SmallCopyPages: -1})
+}
+
+func machFactory() Factory {
+	return Mach(machvm.Options{Frames: 2048})
+}
+
+// within asserts a relative error bound.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		return
+	}
+	if rel := math.Abs(got-want) / want; rel > tol {
+		t.Errorf("%s: simulated %.3f ms vs paper %.3f ms (%.0f%% off, tol %.0f%%)",
+			name, got, want, rel*100, tol*100)
+	}
+}
+
+func checkMatrix(t *testing.T, m *Matrix, paper map[[2]int]float64, tol float64) {
+	t.Helper()
+	for key, want := range paper {
+		cell, ok := m.Cells[key]
+		if !ok {
+			t.Errorf("%s: missing cell %v", m.Title, key)
+			continue
+		}
+		within(t, m.Title+cellName(key), cell.SimMS(), want, tol)
+	}
+}
+
+func cellName(k [2]int) string {
+	return " [" + itoa(k[0]) + "pg region, " + itoa(k[1]) + "pg touched]"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestTable6Shape checks the zero-fill matrix against the paper within a
+// calibration tolerance.
+func TestTable6Shape(t *testing.T) {
+	const iters = 16
+	chorus := Run("chorus", chorusFactory(), ZeroFill, iters)
+	mach := Run("mach", machFactory(), ZeroFill, iters)
+	checkMatrix(t, chorus, paperT6Chorus, 0.10)
+	checkMatrix(t, mach, paperT6Mach, 0.10)
+}
+
+// TestTable7Shape checks the copy-on-write matrix. The paper's 256 KB
+// Chorus rows deviate from its own per-page model (see calibration.go), so
+// the tolerance is looser.
+func TestTable7Shape(t *testing.T) {
+	const iters = 16
+	// 30% tolerance: the paper's 256 KB/0-copied cell (0.7 ms) is
+	// inconsistent with its own 0.02 ms/page protection model (which
+	// predicts ~1.0 ms); our strictly per-page accounting lands between.
+	chorus := Run("chorus", chorusFactory(), CopyOnWrite, iters)
+	mach := Run("mach", machFactory(), CopyOnWrite, iters)
+	checkMatrix(t, chorus, paperT7Chorus, 0.30)
+	checkMatrix(t, mach, paperT7Mach, 0.15)
+}
+
+// TestChorusWins checks the paper's headline comparison: Chorus is faster
+// than Mach in every cell of both tables.
+func TestChorusWins(t *testing.T) {
+	const iters = 8
+	for _, tc := range []struct {
+		name     string
+		workload func(Factory, int, int, int) Result
+	}{
+		{"zero-fill", ZeroFill},
+		{"copy-on-write", CopyOnWrite},
+	} {
+		chorus := Run("chorus", chorusFactory(), tc.workload, iters)
+		mach := Run("mach", machFactory(), tc.workload, iters)
+		for key, cc := range chorus.Cells {
+			mc, ok := mach.Cells[key]
+			if !ok {
+				continue
+			}
+			if cc.Sim >= mc.Sim {
+				t.Errorf("%s %v: chorus %.3f ms not faster than mach %.3f ms",
+					tc.name, key, cc.SimMS(), mc.SimMS())
+			}
+		}
+	}
+}
+
+// TestDerivedOverheads reproduces the section 5.3.2 arithmetic.
+func TestDerivedOverheads(t *testing.T) {
+	const iters = 16
+	t6 := Run("chorus t6", chorusFactory(), ZeroFill, iters)
+	t7 := Run("chorus t7", chorusFactory(), CopyOnWrite, iters)
+	d := Derive(t6, t7)
+	within(t, "tree management", d.TreeMgmtMS, 0.030, 0.35)
+	within(t, "per-page protect", d.ProtectPerPageMS, 0.020, 0.35)
+	within(t, "cow fault", d.CowFaultMS, 0.310, 0.10)
+	within(t, "zero fault", d.ZeroFaultMS, 0.270, 0.10)
+}

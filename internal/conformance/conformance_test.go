@@ -1,0 +1,402 @@
+// Package conformance runs one GMI test suite against every memory
+// manager in the repository — the executable form of the paper's claim
+// that the GMI makes the memory manager a replaceable unit. Each test is
+// written purely against internal/gmi; the table of managers at the top
+// is the only place implementations appear.
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"chorusvm/internal/core"
+	"chorusvm/internal/cost"
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/machvm"
+	"chorusvm/internal/seg"
+)
+
+const (
+	pg   = 8192
+	base = gmi.VA(0x10000)
+)
+
+// managers lists every GMI implementation under test.
+func managers() []struct {
+	name string
+	mk   func() gmi.MemoryManager
+} {
+	return []struct {
+		name string
+		mk   func() gmi.MemoryManager
+	}{
+		{"pvm", func() gmi.MemoryManager {
+			clock := cost.New()
+			return core.New(core.Options{
+				Frames: 128, PageSize: pg, Clock: clock,
+				SegAlloc: seg.NewSwapAllocator(pg, clock),
+			})
+		}},
+		{"pvm-cor", func() gmi.MemoryManager {
+			clock := cost.New()
+			return core.New(core.Options{
+				Frames: 128, PageSize: pg, Clock: clock,
+				SegAlloc: seg.NewSwapAllocator(pg, clock), CopyOnReference: true,
+			})
+		}},
+		{"pvm-nostubs", func() gmi.MemoryManager {
+			clock := cost.New()
+			return core.New(core.Options{
+				Frames: 128, PageSize: pg, Clock: clock,
+				SegAlloc: seg.NewSwapAllocator(pg, clock), SmallCopyPages: -1,
+			})
+		}},
+		{"mach", func() gmi.MemoryManager {
+			clock := cost.New()
+			return machvm.New(machvm.Options{
+				Frames: 128, PageSize: pg, Clock: clock,
+				SegAlloc: seg.NewSwapAllocator(pg, clock),
+			})
+		}},
+	}
+}
+
+func forAll(t *testing.T, f func(t *testing.T, mm gmi.MemoryManager)) {
+	for _, m := range managers() {
+		t.Run(m.name, func(t *testing.T) { f(t, m.mk()) })
+	}
+}
+
+func pattern(tag byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = tag ^ byte(i*7)
+	}
+	return b
+}
+
+func TestConformZeroFill(t *testing.T) {
+	forAll(t, func(t *testing.T, mm gmi.MemoryManager) {
+		ctx, err := mm.ContextCreate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := mm.TempCacheCreate()
+		if _, err := ctx.RegionCreate(base, 4*pg, gmi.ProtRW, c, 0); err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 128)
+		if err := ctx.Read(base+2*pg, buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, make([]byte, 128)) {
+			t.Fatal("fresh memory not zero")
+		}
+		want := pattern(0x71, pg+500)
+		if err := ctx.Write(base+pg/2, want); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(want))
+		if err := ctx.Read(base+pg/2, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("round trip failed")
+		}
+	})
+}
+
+func TestConformCOWIsolation(t *testing.T) {
+	forAll(t, func(t *testing.T, mm gmi.MemoryManager) {
+		ctx, _ := mm.ContextCreate()
+		src := mm.TempCacheCreate()
+		const pages = 4
+		orig := pattern(0x22, pages*pg)
+		if _, err := ctx.RegionCreate(base, pages*pg, gmi.ProtRW, src, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.Write(base, orig); err != nil {
+			t.Fatal(err)
+		}
+		dst := mm.TempCacheCreate()
+		if err := src.Copy(dst, 0, 0, pages*pg); err != nil {
+			t.Fatal(err)
+		}
+		dbase := base + 8*pg
+		if _, err := ctx.RegionCreate(dbase, pages*pg, gmi.ProtRW, dst, 0); err != nil {
+			t.Fatal(err)
+		}
+		// Copy sees the original.
+		got := make([]byte, pages*pg)
+		if err := ctx.Read(dbase, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, orig) {
+			t.Fatal("copy content wrong")
+		}
+		// Writes on both sides stay private.
+		if err := ctx.Write(base+pg, pattern(0x01, pg)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.Write(dbase+2*pg, pattern(0x02, pg)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.Read(dbase+pg, got[:pg]); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[:pg], orig[pg:2*pg]) {
+			t.Fatal("copy lost original after source write")
+		}
+		if err := ctx.Read(base+2*pg, got[:pg]); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[:pg], orig[2*pg:3*pg]) {
+			t.Fatal("source corrupted by copy write")
+		}
+	})
+}
+
+func TestConformSegmentRoundTrip(t *testing.T) {
+	forAll(t, func(t *testing.T, mm gmi.MemoryManager) {
+		clock := cost.New()
+		sg := seg.NewSegment("file", pg, clock)
+		want := pattern(0x42, 2*pg)
+		sg.Store().WriteAt(0, want)
+		c := mm.CacheCreate(sg)
+		ctx, _ := mm.ContextCreate()
+		if _, err := ctx.RegionCreate(base, 2*pg, gmi.ProtRW, c, 0); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 2*pg)
+		if err := ctx.Read(base, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("mapped read mismatch")
+		}
+		if err := ctx.Write(base+pg, pattern(0x05, 64)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Sync(0, 2*pg); err != nil {
+			t.Fatal(err)
+		}
+		check := make([]byte, 64)
+		sg.Store().ReadAt(pg, check)
+		if !bytes.Equal(check, pattern(0x05, 64)) {
+			t.Fatal("sync did not reach store")
+		}
+	})
+}
+
+func TestConformExplicitAndMappedShareOneCache(t *testing.T) {
+	forAll(t, func(t *testing.T, mm gmi.MemoryManager) {
+		c := mm.TempCacheCreate()
+		ctx, _ := mm.ContextCreate()
+		if _, err := ctx.RegionCreate(base, 2*pg, gmi.ProtRW, c, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.WriteAt(100, []byte("explicit")); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 8)
+		if err := ctx.Read(base+100, got); err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "explicit" {
+			t.Fatal("mapped view missed explicit write")
+		}
+		if err := ctx.Write(base+200, []byte("mapped")); err != nil {
+			t.Fatal(err)
+		}
+		got = make([]byte, 6)
+		if err := c.ReadAt(200, got); err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "mapped" {
+			t.Fatal("explicit view missed mapped write")
+		}
+	})
+}
+
+func TestConformEvictionIntegrity(t *testing.T) {
+	forAll(t, func(t *testing.T, mm gmi.MemoryManager) {
+		ctx, _ := mm.ContextCreate()
+		c := mm.TempCacheCreate()
+		const pages = 200 // > 128 frames: forced eviction
+		if _, err := ctx.RegionCreate(base, pages*pg, gmi.ProtRW, c, 0); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < pages; i++ {
+			if err := ctx.Write(base+gmi.VA(i*pg), []byte{byte(i), byte(i >> 8)}); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+		}
+		buf := make([]byte, 2)
+		for i := 0; i < pages; i++ {
+			if err := ctx.Read(base+gmi.VA(i*pg), buf); err != nil {
+				t.Fatalf("read %d: %v", i, err)
+			}
+			if buf[0] != byte(i) || buf[1] != byte(i>>8) {
+				t.Fatalf("page %d corrupted across swap", i)
+			}
+		}
+	})
+}
+
+// TestConformDifferential runs one random schedule through every manager
+// and demands byte-identical results everywhere.
+func TestConformDifferential(t *testing.T) {
+	type world struct {
+		name string
+		mm   gmi.MemoryManager
+		ctx  gmi.Context
+		c    []gmi.Cache
+	}
+	const docs, pages = 3, 6
+	var worlds []*world
+	for _, m := range managers() {
+		w := &world{name: m.name, mm: m.mk()}
+		var err error
+		w.ctx, err = w.mm.ContextCreate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := 0; d < docs; d++ {
+			c := w.mm.TempCacheCreate()
+			if _, err := w.ctx.RegionCreate(base+gmi.VA(d)*0x100_0000, pages*pg, gmi.ProtRW, c, 0); err != nil {
+				t.Fatal(err)
+			}
+			w.c = append(w.c, c)
+		}
+		worlds = append(worlds, w)
+	}
+	addr := func(d, off int64) gmi.VA { return base + gmi.VA(d)*0x100_0000 + gmi.VA(off) }
+
+	rng := rand.New(rand.NewSource(21))
+	var history []string
+	for step := 0; step < 300; step++ {
+		d := rng.Int63n(docs)
+		switch rng.Intn(4) {
+		case 0, 1: // write
+			off := rng.Int63n(pages*pg - 512)
+			data := make([]byte, rng.Intn(511)+1)
+			rng.Read(data)
+			history = append(history, fmt.Sprintf("write doc%d off=%#x len=%d", d, off, len(data)))
+			for _, w := range worlds {
+				if err := w.ctx.Write(addr(d, off), data); err != nil {
+					t.Fatalf("%s write: %v", w.name, err)
+				}
+			}
+		case 2: // whole-cache copy to another doc
+			s := rng.Int63n(docs)
+			if s == d {
+				continue
+			}
+			history = append(history, fmt.Sprintf("copy doc%d -> doc%d", s, d))
+			for _, w := range worlds {
+				if err := w.c[s].Copy(w.c[d], 0, 0, pages*pg); err != nil {
+					t.Fatalf("%s copy: %v", w.name, err)
+				}
+			}
+		case 3: // compare a random range across all managers
+			off := rng.Int63n(pages*pg - 512)
+			n := rng.Intn(511) + 1
+			var ref []byte
+			for _, w := range worlds {
+				got := make([]byte, n)
+				if err := w.ctx.Read(addr(d, off), got); err != nil {
+					t.Fatalf("%s read: %v", w.name, err)
+				}
+				if ref == nil {
+					ref = got
+					continue
+				}
+				if !bytes.Equal(got, ref) {
+					n := len(history)
+					if n > 40 {
+						history = history[n-40:]
+					}
+					t.Fatalf("step %d: %s diverges from %s at doc %d off %#x\n got=%x\n ref=%x\n history: %v",
+						step, w.name, worlds[0].name, d, off, got[:8], ref[:8], history)
+				}
+			}
+		}
+	}
+	_ = fmt.Sprint() // keep fmt for future diagnostics
+}
+
+// TestConformMoveSemantics verifies move across managers: the destination
+// receives the content (the source's contents become undefined and are
+// not inspected).
+func TestConformMoveSemantics(t *testing.T) {
+	forAll(t, func(t *testing.T, mm gmi.MemoryManager) {
+		ctx, _ := mm.ContextCreate()
+		src := mm.TempCacheCreate()
+		want := pattern(0x66, 2*pg)
+		if _, err := ctx.RegionCreate(base, 2*pg, gmi.ProtRW, src, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx.Write(base, want); err != nil {
+			t.Fatal(err)
+		}
+		dst := mm.TempCacheCreate()
+		if err := src.Move(dst, 0, 0, 2*pg); err != nil {
+			t.Fatal(err)
+		}
+		dbase := base + 8*pg
+		if _, err := ctx.RegionCreate(dbase, 2*pg, gmi.ProtRW, dst, 0); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 2*pg)
+		if err := ctx.Read(dbase, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("moved content wrong")
+		}
+	})
+}
+
+// TestConformLockInMemory verifies the pin guarantee across managers.
+func TestConformLockInMemory(t *testing.T) {
+	forAll(t, func(t *testing.T, mm gmi.MemoryManager) {
+		ctx, _ := mm.ContextCreate()
+		c := mm.TempCacheCreate()
+		r, err := ctx.RegionCreate(base, 2*pg, gmi.ProtRW, c, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := pattern(0x5F, 2*pg)
+		if err := ctx.Write(base, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.LockInMemory(); err != nil {
+			t.Fatal(err)
+		}
+		// Thrash the rest of memory.
+		other := mm.TempCacheCreate()
+		if _, err := ctx.RegionCreate(base+32*pg, 150*pg, gmi.ProtRW, other, 0); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 150; i++ {
+			if err := ctx.Write(base+32*pg+gmi.VA(i*pg), []byte{1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if n := c.Resident(); n != 2 {
+			t.Fatalf("locked pages evicted: resident=%d", n)
+		}
+		got := make([]byte, 2*pg)
+		if err := ctx.Read(base, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("locked content corrupted")
+		}
+		if err := r.Unlock(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

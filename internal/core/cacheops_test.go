@@ -1,0 +1,316 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/seg"
+)
+
+// Tests for the Table 4 cache-management operations and the error surface.
+
+func TestFlushWritesBackAndReleases(t *testing.T) {
+	p, _ := newTestPVM(t, 64)
+	sg := seg.NewSegment("f", pg, p.Clock())
+	c := p.CacheCreate(sg)
+	ctx, _ := p.ContextCreate()
+	mustRegion(t, ctx, base, 4*pg, gmi.ProtRW, c, 0)
+
+	want := pattern(0x3A, 2*pg)
+	mustWrite(t, ctx, base, want)
+	if c.Resident() != 2 {
+		t.Fatalf("resident=%d", c.Resident())
+	}
+	if err := c.Flush(0, 4*pg); err != nil {
+		t.Fatal(err)
+	}
+	if c.Resident() != 0 {
+		t.Fatalf("flush left %d pages resident", c.Resident())
+	}
+	got := make([]byte, 2*pg)
+	sg.Store().ReadAt(0, got)
+	if !bytes.Equal(got, want) {
+		t.Fatal("flush lost data")
+	}
+	// Data still readable (re-pulled from the segment).
+	if got := mustRead(t, ctx, base, 2*pg); !bytes.Equal(got, want) {
+		t.Fatal("post-flush read mismatch")
+	}
+	check(t, p)
+}
+
+func TestFlushMaterializesDeferredCopies(t *testing.T) {
+	p, _ := newTestPVM(t, 64, func(o *Options) { o.SmallCopyPages = 8 })
+	sgSrc := seg.NewSegment("src", pg, p.Clock())
+	sgDst := seg.NewSegment("dst", pg, p.Clock())
+	src := p.CacheCreate(sgSrc)
+	dst := p.CacheCreate(sgDst)
+	want := pattern(0x51, 2*pg)
+	sgSrc.Store().WriteAt(0, want)
+
+	if err := src.Copy(dst, 0, 0, 2*pg); err != nil {
+		t.Fatal(err)
+	}
+	// Flushing the copy must materialize the stubs so the destination
+	// segment receives the logical content.
+	if err := dst.Flush(0, 2*pg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2*pg)
+	sgDst.Store().ReadAt(0, got)
+	if !bytes.Equal(got, want) {
+		t.Fatal("flush did not write the copied content home")
+	}
+	check(t, p)
+}
+
+func TestInvalidateDiscardsDirtyData(t *testing.T) {
+	p, _ := newTestPVM(t, 64)
+	sg := seg.NewSegment("f", pg, p.Clock())
+	sg.Store().WriteAt(0, pattern(0x10, pg))
+	c := p.CacheCreate(sg)
+	ctx, _ := p.ContextCreate()
+	mustRegion(t, ctx, base, pg, gmi.ProtRW, c, 0)
+
+	mustWrite(t, ctx, base, pattern(0x99, 64))
+	if err := c.Invalidate(0, pg); err != nil {
+		t.Fatal(err)
+	}
+	// The modification is gone; the segment's version returns.
+	if got := mustRead(t, ctx, base, 64); !bytes.Equal(got, pattern(0x10, pg)[:64]) {
+		t.Fatal("invalidate did not discard the dirty data")
+	}
+	check(t, p)
+}
+
+func TestInvalidateRefusesPinned(t *testing.T) {
+	p, _ := newTestPVM(t, 64)
+	c := p.TempCacheCreate()
+	ctx, _ := p.ContextCreate()
+	r := mustRegion(t, ctx, base, pg, gmi.ProtRW, c, 0)
+	mustWrite(t, ctx, base, []byte{1})
+	if err := r.LockInMemory(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Invalidate(0, pg); err != gmi.ErrLocked {
+		t.Fatalf("got %v, want ErrLocked", err)
+	}
+	if err := r.Unlock(); err != nil {
+		t.Fatal(err)
+	}
+	check(t, p)
+}
+
+func TestCacheSetProtectionRevokesWrite(t *testing.T) {
+	p, _ := newTestPVM(t, 64)
+	sg := seg.NewSegment("f", pg, p.Clock())
+	c := p.CacheCreate(sg)
+	ctx, _ := p.ContextCreate()
+	mustRegion(t, ctx, base, pg, gmi.ProtRW, c, 0)
+	mustWrite(t, ctx, base, []byte{7}) // page resident, granted RWX
+
+	if err := c.SetProtection(0, pg, gmi.ProtRead|gmi.ProtExec); err != nil {
+		t.Fatal(err)
+	}
+	// The next write must re-request access via getWriteAccess.
+	before := sg.Upgrades()
+	mustWrite(t, ctx, base, []byte{8})
+	if sg.Upgrades() != before+1 {
+		t.Fatalf("upgrades = %d, want %d", sg.Upgrades(), before+1)
+	}
+	check(t, p)
+}
+
+func TestCacheLevelLockInMemory(t *testing.T) {
+	p, _ := newTestPVM(t, 8)
+	c := p.TempCacheCreate()
+	if err := c.LockInMemory(0, 2*pg); err != nil {
+		t.Fatal(err)
+	}
+	if c.Resident() != 2 {
+		t.Fatalf("lock did not populate: %d resident", c.Resident())
+	}
+	// Thrash; the locked pages must not be evicted.
+	other := p.TempCacheCreate()
+	ctx, _ := p.ContextCreate()
+	mustRegion(t, ctx, base, 20*pg, gmi.ProtRW, other, 0)
+	for i := 0; i < 20; i++ {
+		mustWrite(t, ctx, base+gmi.VA(i*pg), []byte{byte(i)})
+	}
+	if c.Resident() != 2 {
+		t.Fatalf("locked pages evicted: %d resident", c.Resident())
+	}
+	if err := c.Unlock(0, 2*pg); err != nil {
+		t.Fatal(err)
+	}
+	check(t, p)
+}
+
+func TestDestroyedObjectErrors(t *testing.T) {
+	p, _ := newTestPVM(t, 64)
+	c := p.TempCacheCreate()
+	ctx, _ := p.ContextCreate()
+	r := mustRegion(t, ctx, base, pg, gmi.ProtRW, c, 0)
+
+	if err := r.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Destroy(); err != gmi.ErrDestroyed {
+		t.Fatalf("double region destroy: %v", err)
+	}
+	if _, err := r.Split(0); err != gmi.ErrDestroyed {
+		t.Fatalf("split destroyed region: %v", err)
+	}
+	if err := c.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Destroy(); err != gmi.ErrDestroyed {
+		t.Fatalf("double cache destroy: %v", err)
+	}
+	if err := c.ReadAt(0, make([]byte, 8)); err != gmi.ErrDestroyed {
+		t.Fatalf("read destroyed cache: %v", err)
+	}
+	d := p.TempCacheCreate()
+	if err := c.Copy(d, 0, 0, pg); err != gmi.ErrDestroyed {
+		t.Fatalf("copy from destroyed: %v", err)
+	}
+	if err := ctx.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Destroy(); err != gmi.ErrDestroyed {
+		t.Fatalf("double context destroy: %v", err)
+	}
+	if err := ctx.Read(base, make([]byte, 1)); err != gmi.ErrDestroyed {
+		t.Fatalf("read destroyed context: %v", err)
+	}
+}
+
+func TestBadRangeErrors(t *testing.T) {
+	p, _ := newTestPVM(t, 64)
+	c := p.TempCacheCreate()
+	ctx, _ := p.ContextCreate()
+	if _, err := ctx.RegionCreate(base+1, pg, gmi.ProtRW, c, 0); err != gmi.ErrBadRange {
+		t.Fatalf("unaligned address: %v", err)
+	}
+	if _, err := ctx.RegionCreate(base, 0, gmi.ProtRW, c, 0); err != gmi.ErrBadRange {
+		t.Fatalf("zero size: %v", err)
+	}
+	if _, err := ctx.RegionCreate(base, pg, gmi.ProtRW, c, 17); err != gmi.ErrBadRange {
+		t.Fatalf("unaligned offset: %v", err)
+	}
+	d := p.TempCacheCreate()
+	if err := c.Copy(d, -1, 0, pg); err != gmi.ErrBadRange {
+		t.Fatalf("negative offset: %v", err)
+	}
+	r := mustRegion(t, ctx, base, 2*pg, gmi.ProtRW, c, 0)
+	if _, err := r.Split(pg + 1); err != gmi.ErrBadRange {
+		t.Fatalf("unaligned split: %v", err)
+	}
+	if _, err := r.Split(2 * pg); err != gmi.ErrBadRange {
+		t.Fatalf("split at end: %v", err)
+	}
+}
+
+// TestFlakySegmentSurfacesErrors checks failure injection: a pull-in
+// failure reaches the faulting access as an error, and a later retry
+// succeeds cleanly.
+func TestFlakySegmentSurfacesErrors(t *testing.T) {
+	p, _ := newTestPVM(t, 64)
+	inner := seg.NewSegment("f", pg, p.Clock())
+	inner.Store().WriteAt(0, pattern(0x31, pg))
+	fl := &seg.FlakySegment{Segment: inner}
+	fl.FailPullIns.Store(1)
+
+	c := p.CacheCreate(fl)
+	ctx, _ := p.ContextCreate()
+	mustRegion(t, ctx, base, pg, gmi.ProtRead, c, 0)
+
+	if err := ctx.Read(base, make([]byte, 8)); !errors.Is(err, seg.ErrInjected) {
+		t.Fatalf("first read: got %v, want injected failure", err)
+	}
+	// The failed pull must not leave the fragment wedged.
+	if got := mustRead(t, ctx, base, 8); !bytes.Equal(got, pattern(0x31, pg)[:8]) {
+		t.Fatal("retry after injected failure broken")
+	}
+	check(t, p)
+}
+
+// TestSplitRegionsKeepCOW checks that splitting a region does not disturb
+// the deferred-copy machinery underneath it.
+func TestSplitRegionsKeepCOW(t *testing.T) {
+	p, _ := newTestPVM(t, 64, func(o *Options) { o.SmallCopyPages = -1 })
+	ctx, _ := p.ContextCreate()
+	src := p.TempCacheCreate()
+	orig := pattern(0x61, 4*pg)
+	mustRegion(t, ctx, base, 4*pg, gmi.ProtRW, src, 0)
+	mustWrite(t, ctx, base, orig)
+
+	cpy := p.TempCacheCreate()
+	if err := src.Copy(cpy, 0, 0, 4*pg); err != nil {
+		t.Fatal(err)
+	}
+	dbase := base + 8*pg
+	r := mustRegion(t, ctx, dbase, 4*pg, gmi.ProtRW, cpy, 0)
+	r2, err := r.Split(2 * pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.SetProtection(gmi.ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	// Writable half: private write works, source unharmed.
+	mustWrite(t, ctx, dbase, pattern(0x01, pg))
+	if got := mustRead(t, ctx, base, pg); !bytes.Equal(got, orig[:pg]) {
+		t.Fatal("source corrupted through split region")
+	}
+	// Read-only half still reads the source's data, rejects writes.
+	if got := mustRead(t, ctx, dbase+3*pg, pg); !bytes.Equal(got, orig[3*pg:]) {
+		t.Fatal("read-only half mismatch")
+	}
+	if err := ctx.Write(dbase+2*pg, []byte{1}); err != gmi.ErrProtection {
+		t.Fatalf("write to read-only half: %v", err)
+	}
+	check(t, p)
+}
+
+// TestZombieSourceKeepsData checks section 4.2.2's "source deleted first"
+// case: the copy keeps reading the original data after the source cache
+// is destroyed.
+func TestZombieSourceKeepsData(t *testing.T) {
+	p, _ := newTestPVM(t, 64, func(o *Options) { o.SmallCopyPages = -1 })
+	ctx, _ := p.ContextCreate()
+	src := p.TempCacheCreate()
+	orig := pattern(0x44, 4*pg)
+	r := mustRegion(t, ctx, base, 4*pg, gmi.ProtRW, src, 0)
+	mustWrite(t, ctx, base, orig)
+
+	cpy := p.TempCacheCreate()
+	if err := src.Copy(cpy, 0, 0, 4*pg); err != nil {
+		t.Fatal(err)
+	}
+	// Parent exits while the child continues.
+	if err := r.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	dbase := base + 8*pg
+	mustRegion(t, ctx, dbase, 4*pg, gmi.ProtRW, cpy, 0)
+	if got := mustRead(t, ctx, dbase, 4*pg); !bytes.Equal(got, orig) {
+		t.Fatal("copy lost data after source destruction")
+	}
+	check(t, p)
+	// The child's death reaps everything.
+	if err := cpy.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if n := p.CacheCount(); n != 0 {
+		t.Fatalf("%d caches alive after both died", n)
+	}
+	if p.Memory().FreeFrames() != p.Memory().TotalFrames() {
+		t.Fatal("frames leaked")
+	}
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"chorusvm/internal/cost"
+	"chorusvm/internal/gmi"
+)
+
+// This file implements the two deferred-copy resolution paths: private
+// page materialization for history-object copies (sections 4.2.2-4.2.3)
+// and per-virtual-page stub handling (section 4.3).
+
+// materializePrivate gives cache c its own writable page at off, whose
+// content is currently inherited through the parent chain. It implements
+// the section 4.2.3 complication: if c has a history object lacking the
+// page, the history gets its own copy of the original first, since its
+// value was logically taken at copy time. Returns (nil, nil) when state
+// changed underfoot and the caller must re-resolve.
+func (p *PVM) materializePrivate(c *cache, off int64) (*page, error) {
+	p.clock.Charge(cost.EvHistoryLookup, 1)
+	for iter := 0; ; iter++ {
+		if iter > 1000 {
+			panic("core: materializePrivate livelock")
+		}
+		if own := p.ownPage(c, off); own != nil {
+			return own, nil
+		}
+		pr := c.findParent(off)
+		if pr == nil {
+			return nil, nil
+		}
+		src, err := p.ensureResident(pr.parent, pr.translate(off), gmi.ProtRead)
+		if err != nil {
+			return nil, err
+		}
+		if src == nil {
+			continue
+		}
+		if own := p.ownPage(c, off); own != nil {
+			return own, nil
+		}
+		// Section 4.2.3: the history object's logical value was taken
+		// from the same original; it must get its own copy.
+		if p.historyWants(c, off) {
+			if _, err := p.clonePageInto(c.history, c.histTranslate(off), src); err != nil {
+				return nil, err
+			}
+			p.stats.HistoryPushes++
+			continue // the clone released the lock; re-validate
+		}
+		// Per-page stubs waiting on (c, off) must keep reading the
+		// original content.
+		if restarted, err := p.materializeRemoteStubs(c, off, src); err != nil {
+			return nil, err
+		} else if restarted {
+			continue
+		}
+		pg, err := p.clonePageInto(c, off, src)
+		if err != nil {
+			return nil, err
+		}
+		p.stats.CowBreaks++
+		return pg, nil
+	}
+}
+
+// materializeRemoteStubs resolves the per-page stubs registered for the
+// not-resident source (c, off) by giving the first stub holder its own
+// page with the original content src and re-pointing the rest at it.
+// Returns restarted=true when it did work (the lock was released).
+func (p *PVM) materializeRemoteStubs(c *cache, off int64, src *page) (bool, error) {
+	if c.remoteStubs == nil {
+		return false, nil
+	}
+	head, ok := c.remoteStubs[off]
+	if !ok {
+		return false, nil
+	}
+	npg, err := p.clonePageInto(head.dstCache, head.dstOff, src)
+	if err != nil {
+		return true, err
+	}
+	// Re-validate: the clone may have raced with other resolutions.
+	cur, ok := c.remoteStubs[off]
+	if !ok {
+		return true, nil
+	}
+	delete(c.remoteStubs, off)
+	// The head stub is satisfied by npg itself if npg replaced it; any
+	// stub in the chain equal to the one npg replaced is gone from the
+	// global map already. Re-point the remainder at the new page.
+	var rest *cowStub
+	for st := cur; st != nil; {
+		next := st.nextForPage
+		if live, lok := p.gmap[pageKey{st.dstCache, st.dstOff}]; lok && live == mapEntry(st) {
+			st.src = npg
+			st.srcCache, st.srcOff = npg.cache, npg.off
+			st.nextForPage = rest
+			rest = st
+		} else {
+			st.nextForPage = nil
+		}
+		st = next
+	}
+	if rest != nil {
+		tail := rest
+		for tail.nextForPage != nil {
+			tail = tail.nextForPage
+		}
+		tail.nextForPage = npg.stubs
+		npg.stubs = rest
+		p.protectMappings(npg, gmi.ProtRead|gmi.ProtExec|gmi.ProtSystem)
+	}
+	return true, nil
+}
+
+// breakStub resolves a write reference through a per-page stub: allocate a
+// private frame for the destination, copy the source, and replace the stub
+// in the global map (section 4.3). Returns (nil, nil) to request a restart.
+func (p *PVM) breakStub(c *cache, off int64, st *cowStub) (*page, error) {
+	src, err := p.stubSource(st)
+	if err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, nil
+	}
+	// If c itself is the source of a history copy whose history lacks
+	// this page, the history's logical value is the stub content: it
+	// must be preserved first (the 4.2.3 rule transposed to stubs).
+	if p.historyWants(c, off) {
+		if _, err := p.clonePageInto(c.history, c.histTranslate(off), src); err != nil {
+			return nil, err
+		}
+		p.stats.HistoryPushes++
+		return nil, nil // lock released; re-resolve
+	}
+	pg, err := p.clonePageInto(c, off, src)
+	if err != nil {
+		return nil, err
+	}
+	p.stats.StubBreaks++
+	return pg, nil
+}
+
+// transferToStubs detaches the per-page stub readers from a source page
+// about to be written: the original frame migrates to the first stub's
+// cache (becoming an owned page there), the source keeps a private copy,
+// and the remaining stubs re-point at the migrated page. One bcopy, like
+// Sprite's copy-on-source-write. Always releases the lock; the caller
+// re-resolves.
+func (p *PVM) transferToStubs(pg *page) error {
+	pg.pin++
+	release, err := p.reserveFrames(1)
+	pg.pin--
+	if err != nil {
+		return err
+	}
+	defer release()
+	st0 := pg.stubs
+	if st0 == nil {
+		return nil // resolved while the lock was out
+	}
+	f, err := p.mem.Alloc()
+	if err != nil {
+		return err
+	}
+	p.mem.CopyFrame(f, pg.frame)
+
+	// The owner's readers (direct and via stubs) must re-fault.
+	p.invalidateMappings(pg)
+	orig := pg.frame
+	pg.frame = f
+
+	rest := st0.nextForPage
+	pg.stubs = nil
+
+	npg := &page{frame: orig, off: st0.dstOff, granted: gmi.ProtRWX, dirty: true}
+	p.detachStubEntry(st0)
+	p.addPage(st0.dstCache, npg)
+	p.afterResident(st0.dstCache, npg)
+	for st := rest; st != nil; {
+		next := st.nextForPage
+		st.src = npg
+		st.srcCache, st.srcOff = st0.dstCache, st0.dstOff
+		st.nextForPage = npg.stubs
+		npg.stubs = st
+		st = next
+	}
+	if npg.stubs != nil {
+		p.protectMappings(npg, gmi.ProtRead|gmi.ProtExec|gmi.ProtSystem)
+	}
+	p.stats.StubBreaks++
+	return nil
+}
+
+// resolvesTo reports whether the logical content of (c, off) is currently
+// designated by (target, toff) — i.e. copying it there would be the
+// identity. The walk never brings data in; it may wait on in-transit
+// fragments (p.mu held, released transiently).
+func (p *PVM) resolvesTo(c *cache, off int64, target *cache, toff int64) bool {
+	for iter := 0; ; iter++ {
+		if iter > 1000 {
+			panic("core: resolvesTo livelock")
+		}
+		if c == target && off == toff {
+			return true
+		}
+		switch e := p.gmap[pageKey{c, off}].(type) {
+		case *page:
+			return false // owned content elsewhere
+		case *syncStub:
+			p.waitStub(e)
+			continue
+		case *cowStub:
+			if e.src != nil {
+				return e.src.cache == target && e.src.off == toff
+			}
+			c, off = e.srcCache, e.srcOff
+			continue
+		case nil:
+			if pr := c.findParent(off); pr != nil {
+				c, off = pr.parent, pr.translate(off)
+				continue
+			}
+			return false // owner with segment/zero authority
+		}
+	}
+}
+
+// unthreadStub removes st from its source threading (page list or remote
+// list); p.mu held.
+func (p *PVM) unthreadStub(st *cowStub) {
+	if st.src != nil {
+		for pp := &st.src.stubs; *pp != nil; pp = &(*pp).nextForPage {
+			if *pp == st {
+				*pp = st.nextForPage
+				st.nextForPage = nil
+				return
+			}
+		}
+		return
+	}
+	if st.srcCache == nil || st.srcCache.remoteStubs == nil {
+		return
+	}
+	head, ok := st.srcCache.remoteStubs[st.srcOff]
+	if !ok {
+		return
+	}
+	var prev *cowStub
+	for cur := head; cur != nil; prev, cur = cur, cur.nextForPage {
+		if cur != st {
+			continue
+		}
+		if prev == nil {
+			if st.nextForPage == nil {
+				delete(st.srcCache.remoteStubs, st.srcOff)
+			} else {
+				st.srcCache.remoteStubs[st.srcOff] = st.nextForPage
+			}
+		} else {
+			prev.nextForPage = st.nextForPage
+		}
+		st.nextForPage = nil
+		return
+	}
+}
+
+// installStub creates the per-page deferred copy of one page: the
+// destination's global-map entry becomes a stub pointing at the source
+// (section 4.3). The caller has already cleared (dst, doff) with
+// prepareOverwrite. p.mu held; may release it while chasing the source
+// designation.
+func (p *PVM) installStub(dst *cache, doff int64, sc *cache, soff int64) error {
+	// The stub will designate the destination's content; any previous
+	// parent link at the offset is superseded now (before the source
+	// chase, whose reap cascades must not observe a half-built stub).
+	p.supersedeParent(dst, doff)
+	// Chase the source designation to a stable holder: a resident page,
+	// or the owning cache for not-resident content.
+	c, off := sc, soff
+	for iter := 0; ; iter++ {
+		if iter > 1000 {
+			panic("core: installStub livelock")
+		}
+		if c == dst && off == doff {
+			// The source's content IS the destination's: the copy is
+			// the identity at this page; installing a self-designating
+			// stub would loop forever. Leave the slot as it stands.
+			return nil
+		}
+		st := &cowStub{dstCache: dst, dstOff: doff}
+		switch e := p.gmap[pageKey{c, off}].(type) {
+		case *page:
+			if e.busy {
+				p.waitBusy(e)
+				continue
+			}
+			st.src, st.srcCache, st.srcOff = e, c, off
+			st.nextForPage = e.stubs
+			e.stubs = st
+			p.protectMappings(e, gmi.ProtRead|gmi.ProtExec|gmi.ProtSystem)
+		case *syncStub:
+			p.waitStub(e)
+			continue
+		case *cowStub:
+			// Copy of a copy: share the original source (chain
+			// compression keeps stub chains one deep).
+			if e.src != nil {
+				st.src, st.srcCache, st.srcOff = e.src, e.srcCache, e.srcOff
+				st.nextForPage = e.src.stubs
+				e.src.stubs = st
+			} else {
+				c, off = e.srcCache, e.srcOff
+				continue
+			}
+		case nil:
+			if pr := c.findParent(off); pr != nil {
+				c, off = pr.parent, pr.translate(off)
+				continue
+			}
+			// Not resident: designate the owning cache; the content
+			// is stable there (writes materialize the remote stubs
+			// first).
+			st.srcCache, st.srcOff = c, off
+			if c.remoteStubs == nil {
+				c.remoteStubs = make(map[int64]*cowStub)
+			}
+			st.nextForPage = c.remoteStubs[off]
+			c.remoteStubs[off] = st
+		}
+		p.gmap[pageKey{dst, doff}] = st
+		if dst.stubsAt == nil {
+			dst.stubsAt = make(map[int64]*cowStub)
+		}
+		dst.stubsAt[doff] = st
+		p.clock.Charge(cost.EvStubInstall, 1)
+		p.clock.Charge(cost.EvGlobalMapOp, 1)
+		return nil
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"chorusvm/internal/gmi"
+)
+
+// TestPageoutDaemon verifies the watermark behaviour: under write
+// pressure the daemon keeps replenishing free frames in the background,
+// and content survives its evictions.
+func TestPageoutDaemon(t *testing.T) {
+	p, _ := newTestPVM(t, 32)
+	stop := p.StartPageoutDaemon(8, 16, 500*time.Microsecond)
+	defer stop()
+
+	ctx, _ := p.ContextCreate()
+	c := p.TempCacheCreate()
+	const npages = 64 // 2x physical
+	mustRegion(t, ctx, base, npages*pg, gmi.ProtRW, c, 0)
+	for i := 0; i < npages; i++ {
+		mustWrite(t, ctx, base+gmi.VA(i*pg), pattern(byte(i+1), 64))
+	}
+	// Give the daemon a chance to bring free frames above the low mark.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Memory().FreeFrames() >= 8 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if free := p.Memory().FreeFrames(); free < 8 {
+		t.Fatalf("daemon left only %d free frames", free)
+	}
+	// Everything still reads back.
+	for i := 0; i < npages; i++ {
+		got := mustRead(t, ctx, base+gmi.VA(i*pg), 64)
+		want := pattern(byte(i+1), 64)
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("page %d corrupted under daemon evictions", i)
+			}
+		}
+	}
+	if p.Stats().Evictions == 0 {
+		t.Fatal("daemon never evicted")
+	}
+	check(t, p)
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sort"
+
+	"chorusvm/internal/gmi"
+)
+
+// This file exposes a read-only view of the PVM's deferred-copy structure
+// for tools (cmd/vmsim's Figure 3 renderer) and tests. It is not part of
+// the GMI.
+
+// PageInfo describes one resident page.
+type PageInfo struct {
+	Off          int64
+	Dirty        bool
+	CowProtected bool
+	Pinned       bool
+	HasStubs     bool
+}
+
+// FragmentInfo describes one parent fragment.
+type FragmentInfo struct {
+	Off, Size int64
+	Parent    gmi.Cache
+	ParentOff int64
+}
+
+// CacheInfo describes a cache's place in the history tree.
+type CacheInfo struct {
+	Resident []PageInfo
+	Parents  []FragmentInfo
+	History  gmi.Cache
+	Working  bool
+	Zombie   bool
+	Temp     bool
+}
+
+// Describe reports the structure behind a cache; ok is false for foreign
+// or freed caches.
+func (p *PVM) Describe(c gmi.Cache) (CacheInfo, bool) {
+	cc, isMine := c.(*cache)
+	if !isMine {
+		return CacheInfo{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, live := p.caches[cc]; !live {
+		return CacheInfo{}, false
+	}
+	var info CacheInfo
+	for pg := cc.pageHead; pg != nil; pg = pg.nextInCache {
+		info.Resident = append(info.Resident, PageInfo{
+			Off:          pg.off,
+			Dirty:        pg.dirty,
+			CowProtected: pg.cowProtected,
+			Pinned:       pg.pin > 0,
+			HasStubs:     pg.stubs != nil,
+		})
+	}
+	sort.Slice(info.Resident, func(i, j int) bool { return info.Resident[i].Off < info.Resident[j].Off })
+	for _, pr := range cc.parents {
+		info.Parents = append(info.Parents, FragmentInfo{
+			Off: pr.off, Size: pr.size, Parent: pr.parent, ParentOff: pr.poff,
+		})
+	}
+	if cc.history != nil {
+		info.History = cc.history
+	}
+	info.Working = cc.working
+	info.Zombie = cc.zombie
+	info.Temp = cc.temp
+	return info, true
+}
+
+// Caches lists every live cache descriptor, including internal ones
+// (working objects, zombies), so tools can walk the whole tree.
+func (p *PVM) Caches() []gmi.Cache {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]gmi.Cache, 0, len(p.caches))
+	for c := range p.caches {
+		out = append(out, c)
+	}
+	return out
+}

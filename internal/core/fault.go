@@ -1,0 +1,459 @@
+package core
+
+import (
+	"fmt"
+
+	"chorusvm/internal/cost"
+	"chorusvm/internal/gmi"
+)
+
+// This file is the PVM's page-fault engine: the section 4.1.2 lookup
+// path, the history-object write-violation rules of sections 4.2.2-4.2.3,
+// and the per-virtual-page stub resolution of section 4.3.
+//
+// Locking protocol: every function here runs with p.mu held and may
+// release and reacquire it (to wait on in-transit fragments, to issue
+// upcalls, or to reclaim frames). Functions that may do so return with the
+// lock held again; callers must re-validate anything they looked up before
+// the call. The outer fault loop simply restarts resolution from the
+// global map after any such step.
+
+// HandleFault resolves one page fault: va faulted in ctx with the given
+// access type. It is the entry point the simulated CPU (context.Read/
+// Write) invokes, standing in for the hardware trap.
+func (p *PVM) HandleFault(ctx *context, va gmi.VA, access gmi.Prot) error {
+	p.clock.Charge(cost.EvFault, 1)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Faults++
+
+	r := ctx.findRegion(va)
+	if r == nil {
+		p.stats.SegvFaults++
+		return gmi.ErrSegmentation
+	}
+	if !r.prot.Allows(access) {
+		return gmi.ErrProtection
+	}
+	pva := gmi.VA(p.pageFloor(int64(va)))
+	off := r.coff + p.pageFloor(int64(va)-int64(r.addr))
+	return p.resolveFault(ctx, r, pva, r.cache, off, access)
+}
+
+// resolveFault installs a translation for pva covering (c, off); p.mu held.
+func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off int64, access gmi.Prot) error {
+	write := access&gmi.ProtWrite != 0
+	for iter := 0; ; iter++ {
+		if iter > 1000 {
+			panic("core: fault resolution livelock")
+		}
+		if c.destroyed && !c.zombie {
+			return gmi.ErrDestroyed
+		}
+		p.clock.Charge(cost.EvGlobalMapOp, 1)
+		switch e := p.gmap[pageKey{c, off}].(type) {
+		case *page:
+			if e.busy {
+				p.waitBusy(e)
+				continue
+			}
+			if write {
+				if restarted, err := p.breakOwnForWrite(c, off, e); err != nil {
+					return err
+				} else if restarted {
+					continue
+				}
+				p.mapPage(ctx, r, pva, e, r.prot)
+				e.dirty = true
+			} else {
+				p.mapPage(ctx, r, pva, e, p.readProt(r, e))
+			}
+			p.lru.touch(e)
+			return nil
+
+		case *syncStub:
+			p.waitStub(e)
+			continue
+
+		case *cowStub:
+			if !write && !p.copyOnRef {
+				// Read through the stub: share the source page
+				// read-only.
+				src, err := p.stubSource(e)
+				if err != nil {
+					return err
+				}
+				if src == nil {
+					continue // stub state changed while blocked
+				}
+				p.mapPage(ctx, r, pva, src, r.prot&^gmi.ProtWrite)
+				p.lru.touch(src)
+				return nil
+			}
+			if _, err := p.breakStub(c, off, e); err != nil {
+				return err
+			}
+			continue
+
+		case nil:
+			if pr := c.findParent(off); pr != nil {
+				if write || p.copyOnRef {
+					if _, err := p.materializePrivate(c, off); err != nil {
+						return err
+					}
+					continue
+				}
+				// Read miss: share the ancestor's page read-only
+				// (copy-on-write policy, Figure 3.a).
+				p.clock.Charge(cost.EvHistoryLookup, 1)
+				src, err := p.ensureResident(pr.parent, pr.translate(off), gmi.ProtRead)
+				if err != nil {
+					return err
+				}
+				if src == nil {
+					continue
+				}
+				p.mapPage(ctx, r, pva, src, r.prot&^gmi.ProtWrite)
+				p.lru.touch(src)
+				return nil
+			}
+			// c owns this offset: bring the data in from its segment
+			// (or zero-fill a temporary) and loop to map it.
+			if err := p.bringIn(c, off, access); err != nil {
+				return err
+			}
+			continue
+
+		default:
+			panic(fmt.Sprintf("core: unknown global map entry %T", e))
+		}
+	}
+}
+
+// readProt computes the mapping protection for a read fault on the
+// cache's own page: the region's protection, write-masked while the page
+// is a deferred-copy source, has stub readers, lacks granted write access,
+// or is capped by the cache protection.
+func (p *PVM) readProt(r *region, pg *page) gmi.Prot {
+	prot := r.prot &^ gmi.ProtWrite
+	return prot & (pg.granted | gmi.ProtSystem) & (pg.cache.protCap | gmi.ProtSystem)
+}
+
+// mapPage installs the translation and records it in the page's rmap.
+func (p *PVM) mapPage(ctx *context, r *region, pva gmi.VA, pg *page, prot gmi.Prot) {
+	ctx.space.Map(pva, pg.frame, prot)
+	pg.addMapping(ctx, pva)
+}
+
+// waitStub blocks until an in-transit fragment settles; p.mu released and
+// reacquired.
+func (p *PVM) waitStub(s *syncStub) {
+	ch := s.done
+	p.mu.Unlock()
+	<-ch
+	p.mu.Lock()
+}
+
+// waitBusy blocks until a push-out completes; p.mu released and reacquired.
+func (p *PVM) waitBusy(pg *page) {
+	ch := pg.busyDone
+	if ch == nil {
+		return
+	}
+	p.mu.Unlock()
+	<-ch
+	p.mu.Lock()
+}
+
+// stubSource returns the resident source page of a per-page stub, pulling
+// the source chain in if necessary. Returns (nil, nil) if the stub was
+// resolved or replaced while the lock was released; the caller restarts.
+func (p *PVM) stubSource(st *cowStub) (*page, error) {
+	if st.src != nil && !st.src.busy {
+		return st.src, nil
+	}
+	src, err := p.ensureResident(st.srcCache, st.srcOff, gmi.ProtRead)
+	if err != nil || src == nil {
+		return nil, err
+	}
+	// The walk may have released the lock; verify the stub is still the
+	// live entry before using the page.
+	if cur, ok := p.gmap[pageKey{st.dstCache, st.dstOff}]; !ok || cur != mapEntry(st) {
+		return nil, nil
+	}
+	return src, nil
+}
+
+// ensureResident walks the deferred-copy structure from (c, off) until it
+// finds the page holding the current logical content, pulling data in at
+// the owning cache when nothing is resident. It returns with p.mu held;
+// the returned page is valid at return time (callers must use it before
+// releasing the lock).
+func (p *PVM) ensureResident(c *cache, off int64, access gmi.Prot) (*page, error) {
+	for iter := 0; ; iter++ {
+		if iter > 1000 {
+			panic("core: ensureResident livelock")
+		}
+		p.clock.Charge(cost.EvGlobalMapOp, 1)
+		switch e := p.gmap[pageKey{c, off}].(type) {
+		case *page:
+			if e.busy {
+				p.waitBusy(e)
+				continue
+			}
+			return e, nil
+		case *syncStub:
+			p.waitStub(e)
+			continue
+		case *cowStub:
+			if e.src != nil && !e.src.busy {
+				return e.src, nil
+			}
+			c, off = e.srcCache, e.srcOff
+			continue
+		case nil:
+			if pr := c.findParent(off); pr != nil {
+				p.clock.Charge(cost.EvHistoryLookup, 1)
+				c, off = pr.parent, pr.translate(off)
+				continue
+			}
+			if err := p.bringIn(c, off, access); err != nil {
+				return nil, err
+			}
+			continue
+		}
+	}
+}
+
+// bringIn makes (c, off) resident at its owning cache c: zero-fill for
+// temporaries, pullIn upcall otherwise. A synchronization stub blocks
+// concurrent access to each in-transit page (section 4.1.2). When
+// read-ahead is configured, the pull is clustered over the following
+// empty owner-resolved pages, amortizing the segment's positioning cost.
+// p.mu held; released around the upcall.
+func (p *PVM) bringIn(c *cache, off int64, access gmi.Prot) error {
+	if c.seg == nil {
+		// Zero-fill: the MM "unilaterally decides to cache" the
+		// fragment; no segment is involved until first push-out.
+		key := pageKey{c, off}
+		stub := &syncStub{done: make(chan struct{})}
+		p.gmap[key] = stub
+		p.clock.Charge(cost.EvGlobalMapOp, 1)
+		settle := func() {
+			if cur, ok := p.gmap[key]; ok && cur == mapEntry(stub) {
+				delete(p.gmap, key)
+			}
+			close(stub.done)
+		}
+		release, err := p.reserveFrames(1)
+		if err != nil {
+			settle()
+			return err
+		}
+		defer release()
+		f, err := p.mem.Alloc()
+		if err != nil {
+			settle()
+			return err
+		}
+		p.mem.Zero(f)
+		pg := &page{frame: f, off: off, granted: gmi.ProtRWX, dirty: true}
+		delete(p.gmap, key)
+		p.addPage(c, pg)
+		p.afterResident(c, pg)
+		p.stats.ZeroFills++
+		close(stub.done)
+		return nil
+	}
+
+	// Cluster the pull over subsequent pages that are empty and resolve
+	// at this owner (no shadowing entry, no parent fragment).
+	count := 1
+	for count < p.readAhead {
+		o := off + int64(count)*p.pageSize
+		if _, occupied := p.gmap[pageKey{c, o}]; occupied {
+			break
+		}
+		if c.findParent(o) != nil {
+			break
+		}
+		count++
+	}
+	stubs := make([]*syncStub, count)
+	for i := range stubs {
+		stubs[i] = &syncStub{done: make(chan struct{})}
+		p.gmap[pageKey{c, off + int64(i)*p.pageSize}] = stubs[i]
+	}
+	p.clock.Charge(cost.EvGlobalMapOp, count)
+
+	seg := c.seg
+	p.stats.PullIns++
+	p.clock.Charge(cost.EvPullIn, 1)
+	p.mu.Unlock()
+	err := seg.PullIn(c, off, int64(count)*p.pageSize, access|gmi.ProtRead)
+	p.mu.Lock()
+
+	// Settle whatever the fill did not replace (everything, on error).
+	firstFilled := true
+	for i, stub := range stubs {
+		key := pageKey{c, off + int64(i)*p.pageSize}
+		if cur, ok := p.gmap[key]; ok && cur == mapEntry(stub) {
+			delete(p.gmap, key)
+			close(stub.done)
+			if i == 0 {
+				firstFilled = false
+			}
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if !firstFilled {
+		return fmt.Errorf("core: segment did not fill (cache %p, off %#x)", c, off)
+	}
+	return nil
+}
+
+// afterResident applies the bookkeeping a freshly resident own page needs:
+// re-establish deferred-copy protection if the offset lies in the cache's
+// protected history fragment, and re-thread any per-page stubs that were
+// waiting for the content; p.mu held.
+func (p *PVM) afterResident(c *cache, pg *page) {
+	if p.historyWants(c, pg.off) {
+		pg.cowProtected = true
+	}
+	if c.remoteStubs != nil {
+		if head, ok := c.remoteStubs[pg.off]; ok {
+			delete(c.remoteStubs, pg.off)
+			tail := head
+			for {
+				tail.src = pg
+				if tail.nextForPage == nil {
+					break
+				}
+				tail = tail.nextForPage
+			}
+			tail.nextForPage = pg.stubs
+			pg.stubs = head
+		}
+	}
+}
+
+// breakOwnForWrite resolves a write reference to a page the cache itself
+// owns: upgrade segment-granted access if needed, preserve the original
+// into the history object (section 4.2.2), detach per-page stub readers
+// (section 4.3), then invalidate stale read mappings so the writer's new
+// mapping is authoritative. Returns restarted=true when the lock was
+// released and the caller must re-resolve.
+func (p *PVM) breakOwnForWrite(c *cache, off int64, pg *page) (restarted bool, err error) {
+	if c.protCap&gmi.ProtWrite == 0 {
+		return false, gmi.ErrProtection
+	}
+	if !pg.granted.Allows(gmi.ProtWrite) {
+		if c.seg == nil {
+			pg.granted |= gmi.ProtWrite
+		} else {
+			seg := c.seg
+			pg.pin++ // hold the page across the upcall
+			p.mu.Unlock()
+			err := seg.GetWriteAccess(c, off, p.pageSize)
+			p.mu.Lock()
+			pg.pin--
+			if err != nil {
+				return true, err
+			}
+			pg.granted |= gmi.ProtWrite
+			return true, nil
+		}
+	}
+	if pg.cowProtected {
+		if p.historyWants(c, off) {
+			// Allocate the original's new home in the history object
+			// (the "page lookup in the history tree" of section 5.3.2).
+			p.clock.Charge(cost.EvHistoryLookup, 1)
+			if _, err := p.clonePageInto(c.history, c.histTranslate(off), pg); err != nil {
+				return true, err
+			}
+			p.stats.HistoryPushes++
+			// The clone released the lock; re-resolve.
+			pg.cowProtected = false
+			return true, nil
+		}
+		// The history already holds the original (or is gone): the
+		// page just becomes writable.
+		pg.cowProtected = false
+	}
+	if pg.stubs != nil {
+		if err := p.transferToStubs(pg); err != nil {
+			return true, err
+		}
+		return true, nil
+	}
+	// Readers may hold this frame read-only through descendant caches;
+	// after the write their view must come from the history path.
+	p.invalidateMappings(pg)
+	return false, nil
+}
+
+// zeroPageInto allocates a zero-filled dirty page at (dst, off); may
+// release the lock, so callers re-validate. Used when explicitly moved
+// zeros must shadow older segment content.
+func (p *PVM) zeroPageInto(dst *cache, off int64) (*page, error) {
+	release, err := p.reserveFrames(1)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if pg := p.ownPage(dst, off); pg != nil {
+		return pg, nil
+	}
+	f, err := p.mem.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	p.mem.Zero(f)
+	pg := &page{frame: f, off: off, granted: gmi.ProtRWX, dirty: true}
+	if old, ok := p.gmap[pageKey{dst, off}]; ok {
+		if st, isStub := old.(*cowStub); isStub {
+			p.removeStub(st)
+		} else {
+			delete(p.gmap, pageKey{dst, off})
+		}
+	}
+	p.addPage(dst, pg)
+	p.afterResident(dst, pg)
+	return pg, nil
+}
+
+// clonePageInto allocates a page at (dst, off) initialized with src's
+// contents. May release the lock to reserve a frame; the caller must
+// re-validate. Returns the new page.
+func (p *PVM) clonePageInto(dst *cache, off int64, src *page) (*page, error) {
+	src.pin++
+	release, err := p.reserveFrames(1)
+	src.pin--
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if p.ownPage(dst, off) != nil {
+		// Someone else materialized it while the lock was out.
+		return p.ownPage(dst, off), nil
+	}
+	f, err := p.mem.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	p.mem.CopyFrame(f, src.frame)
+	pg := &page{frame: f, off: off, granted: gmi.ProtRWX, dirty: true}
+	if old, ok := p.gmap[pageKey{dst, off}]; ok {
+		if st, isStub := old.(*cowStub); isStub {
+			p.removeStub(st)
+		} else {
+			delete(p.gmap, pageKey{dst, off})
+		}
+	}
+	p.addPage(dst, pg)
+	p.afterResident(dst, pg)
+	return pg, nil
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/seg"
+)
+
+// The oracle test: a random sequence of GMI operations is applied both to
+// the PVM and to a flat in-memory reference model; after every operation
+// the structural invariants must hold, and reads must return exactly what
+// the model predicts. This is DESIGN.md invariant (2), and it is the test
+// that catches deferred-copy bugs: a wrong history push or stub chain
+// shows up as a literal byte mismatch.
+
+const (
+	oraclePages  = 12 // pages per document
+	oracleDocs   = 5  // live documents (caches)
+	oracleFrames = 48 // small enough to force page-out during the run
+)
+
+// oracleWorld pairs the PVM with the reference model.
+type oracleWorld struct {
+	t    *testing.T
+	p    *PVM
+	ctx  gmi.Context
+	rng  *rand.Rand
+	ps   int64
+	docs []*oracleDoc
+	// afterStep, when set, runs extra validation after each operation
+	// (used by diagnostic tests); logOps prints each operation.
+	afterStep func(step, kind int)
+	logOps    bool
+}
+
+func (w *oracleWorld) logf(format string, args ...any) {
+	if w.logOps {
+		fmt.Printf(format, args...)
+	}
+}
+
+type oracleDoc struct {
+	cache   gmi.Cache
+	region  gmi.Region
+	base    gmi.VA
+	model   []byte // the flat reference contents
+	defined []bool // per page; false after being a move source
+}
+
+func newOracleWorld(t *testing.T, seed int64) *oracleWorld {
+	o := Options{Frames: oracleFrames, PageSize: pg}
+	o.fill()
+	o.SegAlloc = seg.NewSwapAllocator(o.PageSize, o.Clock)
+	p := New(o)
+	ctx, err := p.ContextCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &oracleWorld{t: t, p: p, ctx: ctx, rng: rand.New(rand.NewSource(seed)), ps: int64(pg)}
+	for i := 0; i < oracleDocs; i++ {
+		w.docs = append(w.docs, w.newDoc(i))
+	}
+	return w
+}
+
+func (w *oracleWorld) newDoc(slot int) *oracleDoc {
+	d := &oracleDoc{
+		base:    gmi.VA(0x100_0000 * (slot + 1)),
+		model:   make([]byte, oraclePages*pg),
+		defined: make([]bool, oraclePages),
+	}
+	for i := range d.defined {
+		d.defined[i] = true
+	}
+	d.cache = w.p.TempCacheCreate()
+	r, err := w.ctx.RegionCreate(d.base, oraclePages*pg, gmi.ProtRW, d.cache, 0)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	d.region = r
+	return d
+}
+
+// step applies one random operation.
+func (w *oracleWorld) step(op int) {
+	rng := w.rng
+	d := w.docs[rng.Intn(len(w.docs))]
+	switch op % 8 {
+	case 0, 1: // write a random byte range
+		off := rng.Int63n(int64(len(d.model)) - 1)
+		n := rng.Int63n(min64(3*w.ps, int64(len(d.model))-off)) + 1
+		// A partial write cannot make an undefined page comparable (its
+		// unwritten remainder is still undefined — the page was a move
+		// source); normalize such pages with a full-page zero write
+		// first so the model matches byte-for-byte afterwards.
+		for p := off / w.ps; p <= (off+n-1)/w.ps; p++ {
+			if !d.defined[p] {
+				zero := make([]byte, w.ps)
+				if err := w.ctx.Write(d.base+gmi.VA(p*w.ps), zero); err != nil {
+					w.t.Fatalf("normalize write: %v", err)
+				}
+				copy(d.model[p*w.ps:], zero)
+				d.defined[p] = true
+			}
+		}
+		data := make([]byte, n)
+		rng.Read(data)
+		if err := w.ctx.Write(d.base+gmi.VA(off), data); err != nil {
+			w.t.Fatalf("write: %v", err)
+		}
+		copy(d.model[off:], data)
+	case 2, 3: // verify a random byte range
+		off := rng.Int63n(int64(len(d.model)) - 1)
+		n := rng.Int63n(min64(3*w.ps, int64(len(d.model))-off)) + 1
+		w.verify(d, off, n)
+	case 4: // deferred copy between documents (page-aligned)
+		s := w.docs[rng.Intn(len(w.docs))]
+		if s == d {
+			return
+		}
+		pages := rng.Intn(oraclePages) + 1
+		srcPg := rng.Intn(oraclePages - pages + 1)
+		dstPg := rng.Intn(oraclePages - pages + 1)
+		// Skip if any source page is undefined.
+		for i := 0; i < pages; i++ {
+			if !s.defined[srcPg+i] {
+				return
+			}
+		}
+		w.logf("  OP copy %p[%d..%d] -> %p[%d..]\n", s.cache, srcPg, srcPg+pages, d.cache, dstPg)
+		if err := s.cache.Copy(d.cache, int64(dstPg)*w.ps, int64(srcPg)*w.ps, int64(pages)*w.ps); err != nil {
+			w.t.Fatalf("copy: %v", err)
+		}
+		copy(d.model[int64(dstPg)*w.ps:], s.model[int64(srcPg)*w.ps:int64(srcPg+pages)*w.ps])
+		for i := 0; i < pages; i++ {
+			d.defined[dstPg+i] = true
+		}
+	case 5: // move between documents; source pages become undefined
+		s := w.docs[rng.Intn(len(w.docs))]
+		if s == d {
+			return
+		}
+		pages := rng.Intn(4) + 1
+		if pages > oraclePages {
+			pages = oraclePages
+		}
+		srcPg := rng.Intn(oraclePages - pages + 1)
+		dstPg := rng.Intn(oraclePages - pages + 1)
+		for i := 0; i < pages; i++ {
+			if !s.defined[srcPg+i] {
+				return
+			}
+		}
+		w.logf("  OP move %p[%d..%d] -> %p[%d..]\n", s.cache, srcPg, srcPg+pages, d.cache, dstPg)
+		if err := s.cache.Move(d.cache, int64(dstPg)*w.ps, int64(srcPg)*w.ps, int64(pages)*w.ps); err != nil {
+			w.t.Fatalf("move: %v", err)
+		}
+		copy(d.model[int64(dstPg)*w.ps:], s.model[int64(srcPg)*w.ps:int64(srcPg+pages)*w.ps])
+		for i := 0; i < pages; i++ {
+			d.defined[dstPg+i] = true
+			s.defined[srcPg+i] = false
+		}
+	case 6: // replace a document: destroy + recreate (exercises teardown)
+		slot := rng.Intn(len(w.docs))
+		old := w.docs[slot]
+		if err := old.region.Destroy(); err != nil {
+			w.t.Fatalf("region destroy: %v", err)
+		}
+		if err := old.cache.Destroy(); err != nil {
+			w.t.Fatalf("cache destroy: %v", err)
+		}
+		w.docs[slot] = w.newDoc(slot)
+	case 7: // memory pressure: force page-outs
+		w.p.PageOut(rng.Intn(8) + 1)
+	}
+	// Occasionally interleave content-preserving cache control on a live
+	// document, which must never change what readers see.
+	live := w.docs[rng.Intn(len(w.docs))]
+	switch rng.Intn(8) {
+	case 0:
+		if err := live.cache.Sync(0, 1<<62); err != nil {
+			w.t.Fatalf("sync: %v", err)
+		}
+	case 1:
+		if err := live.cache.Flush(0, 1<<62); err != nil {
+			w.t.Fatalf("flush: %v", err)
+		}
+	case 2:
+		off := rng.Int63n(oraclePages) * w.ps
+		if err := live.cache.LockInMemory(off, w.ps); err != nil {
+			w.t.Fatalf("lock: %v", err)
+		}
+		if err := live.cache.Unlock(off, w.ps); err != nil {
+			w.t.Fatalf("unlock: %v", err)
+		}
+	}
+	if err := w.p.CheckInvariants(); err != nil {
+		w.t.Fatalf("invariants after op %d: %v", op, err)
+	}
+	if w.afterStep != nil {
+		w.afterStep(0, op%8)
+	}
+}
+
+func (w *oracleWorld) verify(d *oracleDoc, off, n int64) {
+	// Clip to fully defined pages.
+	for p := off / w.ps; p <= (off+n-1)/w.ps; p++ {
+		if !d.defined[p] {
+			return
+		}
+	}
+	got := make([]byte, n)
+	if err := w.ctx.Read(d.base+gmi.VA(off), got); err != nil {
+		w.t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, d.model[off:off+n]) {
+		w.t.Fatalf("content mismatch at doc %#x off %#x len %d", uint64(d.base), off, n)
+	}
+}
+
+// verifyAll compares every defined page of every document.
+func (w *oracleWorld) verifyAll() {
+	for _, d := range w.docs {
+		for p := 0; p < oraclePages; p++ {
+			if d.defined[p] {
+				w.verify(d, int64(p)*w.ps, w.ps)
+			}
+		}
+	}
+}
+
+// TestOracleRandomOps runs seeded random operation sequences.
+func TestOracleRandomOps(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			w := newOracleWorld(t, seed)
+			for i := 0; i < 400; i++ {
+				w.step(w.rng.Intn(1 << 20))
+			}
+			w.verifyAll()
+		})
+	}
+}
+
+// TestOracleQuick drives the same machinery through testing/quick: each
+// generated value is an operation schedule.
+func TestOracleQuick(t *testing.T) {
+	type schedule struct {
+		Seed int64
+		Ops  []uint16
+	}
+	f := func(s schedule) bool {
+		w := newOracleWorld(t, s.Seed)
+		for _, op := range s.Ops {
+			w.step(int(op))
+		}
+		w.verifyAll()
+		return !t.Failed()
+	}
+	cfg := &quick.Config{MaxCount: 12, Rand: rand.New(rand.NewSource(99))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOracleCopyOnReference repeats a condensed oracle run under the
+// copy-on-reference policy (section 4.2.2's alternative).
+func TestOracleCopyOnReference(t *testing.T) {
+	o := Options{Frames: oracleFrames, PageSize: pg, CopyOnReference: true}
+	o.fill()
+	o.SegAlloc = seg.NewSwapAllocator(o.PageSize, o.Clock)
+	p := New(o)
+	ctx, _ := p.ContextCreate()
+
+	src := p.TempCacheCreate()
+	orig := pattern(0x5E, 4*pg)
+	mustRegion(t, ctx, base, 4*pg, gmi.ProtRW, src, 0)
+	mustWrite(t, ctx, base, orig)
+
+	dst := p.TempCacheCreate()
+	if err := src.Copy(dst, 0, 0, 4*pg); err != nil {
+		t.Fatal(err)
+	}
+	dbase := base + 8*pg
+	mustRegion(t, ctx, dbase, 4*pg, gmi.ProtRW, dst, 0)
+
+	// Under copy-on-reference, a mere read materializes a private page
+	// (through either deferred-copy technique).
+	st0 := p.Stats()
+	if got := mustRead(t, ctx, dbase, pg); !bytes.Equal(got, orig[:pg]) {
+		t.Fatal("read mismatch")
+	}
+	st1 := p.Stats()
+	if st1.CowBreaks+st1.StubBreaks == st0.CowBreaks+st0.StubBreaks {
+		t.Fatal("copy-on-reference did not materialize on read")
+	}
+	// Source write afterwards must not disturb the copy.
+	mustWrite(t, ctx, base, pattern(0x01, pg))
+	if got := mustRead(t, ctx, dbase, pg); !bytes.Equal(got, orig[:pg]) {
+		t.Fatal("copy lost original under copy-on-reference")
+	}
+	check(t, p)
+}

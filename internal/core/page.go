@@ -1,0 +1,196 @@
+package core
+
+import (
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/phys"
+)
+
+// This file defines the PVM's per-page structures (Figure 2 of the paper):
+// real-page descriptors, the global map and its stubs, and the page-out
+// LRU threading.
+
+// pageKey indexes the global map: a page is named by its local-cache and
+// its offset in the segment (section 4.1.1).
+type pageKey struct {
+	c   *cache
+	off int64
+}
+
+// mapEntry is what the global map holds for a key: a resident page, a
+// synchronization stub (fragment in transit), or a per-virtual-page
+// copy-on-write stub.
+type mapEntry interface{ isMapEntry() }
+
+// page is a real page descriptor: it owns one physical frame and records
+// which cache the frame caches, at which offset.
+type page struct {
+	frame *phys.Frame
+	cache *cache
+	off   int64
+
+	// granted is the access mode the segment granted when the data was
+	// pulled in (the accessMode of the pullIn upcall). A write beyond it
+	// triggers the getWriteAccess upcall.
+	granted gmi.Prot
+	// dirty marks content not yet pushed out.
+	dirty bool
+	// pin counts lockInMemory holds; a pinned page is never evicted and
+	// its mappings stay fixed.
+	pin int
+	// cowProtected marks a page write-protected because it is the source
+	// of a history-object deferred copy whose history object does not
+	// yet hold the original (section 4.2.2).
+	cowProtected bool
+	// busy marks a page whose frame is being pushed out; the frame must
+	// not be modified or freed until the push completes. busyDone is
+	// closed when it does.
+	busy     bool
+	busyDone chan struct{}
+
+	// stubs heads the threaded list of per-virtual-page COW stubs that
+	// reference this page as their source (section 4.3).
+	stubs *cowStub
+
+	// rmap records the translations installed for this frame, so that
+	// protection changes and evictions reach every context. Entries are
+	// validated against the live translation before use, so stale
+	// entries (from destroyed regions) are harmless.
+	rmap []mapping
+
+	// Cache page list threading (Figure 2's doubly-linked list).
+	prevInCache, nextInCache *page
+
+	// Page-out LRU threading.
+	lruPrev, lruNext *page
+	inLRU            bool
+}
+
+func (*page) isMapEntry() {}
+
+// mapping is one installed translation of a page.
+type mapping struct {
+	ctx *context
+	va  gmi.VA
+}
+
+// syncStub marks a fragment in transit (pullIn, or pushOut when out is
+// set). Accesses to the fragment block on done (section 4.1.2).
+type syncStub struct {
+	done chan struct{}
+	// out, when non-nil, is the page being pushed out: copyBack finds
+	// the data here while the key is detached from normal access.
+	out *page
+}
+
+func (*syncStub) isMapEntry() {}
+
+// cowStub is a per-virtual-page copy-on-write stub (section 4.3): the
+// destination page's global-map entry, pointing at the source. If the
+// source is resident, src points at its page descriptor and the stub is
+// threaded on that page's stub list; otherwise srcCache/srcOff designate
+// the source local-cache, from which the content can be recovered.
+type cowStub struct {
+	dstCache *cache
+	dstOff   int64
+
+	src      *page
+	srcCache *cache
+	srcOff   int64
+
+	// nextForPage threads the stub on its source page's list (or on the
+	// source cache's remote-stub list while the source is not resident).
+	nextForPage *cowStub
+}
+
+func (*cowStub) isMapEntry() {}
+
+// lruList is the global page-out queue: head is most recently used.
+type lruList struct {
+	head, tail *page
+	n          int
+}
+
+func (l *lruList) push(pg *page) {
+	if pg.inLRU {
+		l.remove(pg)
+	}
+	pg.lruPrev = nil
+	pg.lruNext = l.head
+	if l.head != nil {
+		l.head.lruPrev = pg
+	}
+	l.head = pg
+	if l.tail == nil {
+		l.tail = pg
+	}
+	pg.inLRU = true
+	l.n++
+}
+
+func (l *lruList) remove(pg *page) {
+	if !pg.inLRU {
+		return
+	}
+	if pg.lruPrev != nil {
+		pg.lruPrev.lruNext = pg.lruNext
+	} else {
+		l.head = pg.lruNext
+	}
+	if pg.lruNext != nil {
+		pg.lruNext.lruPrev = pg.lruPrev
+	} else {
+		l.tail = pg.lruPrev
+	}
+	pg.lruPrev, pg.lruNext = nil, nil
+	pg.inLRU = false
+	l.n--
+}
+
+// touch moves the page to the head (most recently used).
+func (l *lruList) touch(pg *page) { l.push(pg) }
+
+// victim returns the least recently used evictable page, or nil.
+func (l *lruList) victim() *page {
+	for pg := l.tail; pg != nil; pg = pg.lruPrev {
+		if pg.pin == 0 && !pg.busy {
+			return pg
+		}
+	}
+	return nil
+}
+
+// invalidateMappings removes every live translation of pg, after which no
+// context can reach the frame without faulting. Stale rmap entries (same
+// va remapped to a different frame since) are detected by comparing the
+// installed frame and skipped.
+func (p *PVM) invalidateMappings(pg *page) {
+	for _, m := range pg.rmap {
+		if f, _, ok := m.ctx.space.Lookup(m.va); ok && f == pg.frame {
+			m.ctx.space.Unmap(m.va)
+		}
+	}
+	pg.rmap = pg.rmap[:0]
+}
+
+// protectMappings lowers every live translation of pg to prot (used to
+// write-protect deferred-copy sources and cleaned pages).
+func (p *PVM) protectMappings(pg *page, prot gmi.Prot) {
+	live := pg.rmap[:0]
+	for _, m := range pg.rmap {
+		if f, cur, ok := m.ctx.space.Lookup(m.va); ok && f == pg.frame {
+			m.ctx.space.Protect(m.va, cur&prot)
+			live = append(live, m)
+		}
+	}
+	pg.rmap = live
+}
+
+// addMapping records a translation installed for pg.
+func (pg *page) addMapping(ctx *context, va gmi.VA) {
+	for _, m := range pg.rmap {
+		if m.ctx == ctx && m.va == va {
+			return
+		}
+	}
+	pg.rmap = append(pg.rmap, mapping{ctx: ctx, va: va})
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"chorusvm/internal/cost"
+	"chorusvm/internal/gmi"
+)
+
+// This file implements physical-memory reclaim: the data-management policy
+// the GMI deliberately places below the interface (section 3.3.3). The
+// policy is a global LRU; dirty victims are pushed out through the pushOut
+// upcall, and unilaterally created caches (temporaries, histories) are
+// declared to the upper layer with segmentCreate when they first need
+// backing store (section 5.1.2).
+
+// reserveFrames guarantees that k subsequent Alloc calls will succeed,
+// evicting pages as needed. It may release and reacquire p.mu; the caller
+// must re-validate earlier lookups. The returned release function gives
+// the reservation back.
+func (p *PVM) reserveFrames(k int) (release func(), err error) {
+	for p.mem.FreeFrames() < p.reserved+k {
+		progress, err := p.evictOne()
+		if err != nil {
+			return nil, err
+		}
+		if !progress {
+			return nil, gmi.ErrNoMemory
+		}
+	}
+	p.reserved += k
+	return func() { p.reserved -= k }, nil
+}
+
+// evictOne makes one unit of reclaim progress: freeing a clean victim,
+// pushing out a dirty one, or assigning a swap segment to a cache that
+// needs one. Returns false when nothing can be reclaimed. p.mu held; may
+// be released around upcalls.
+func (p *PVM) evictOne() (bool, error) {
+	for pg := p.lru.tail; pg != nil; pg = pg.lruPrev {
+		if pg.pin > 0 || pg.busy {
+			continue
+		}
+		c := pg.cache
+		if !pg.dirty {
+			p.moveStubsToRemote(pg)
+			p.dropPage(pg)
+			p.stats.Evictions++
+			return true, nil
+		}
+		if c.seg == nil {
+			if p.segalloc == nil {
+				continue // nowhere to push; try another victim
+			}
+			// segmentCreate upcall: declare the unilaterally created
+			// cache to the upper layer so it can be swapped out.
+			p.mu.Unlock()
+			seg, err := p.segalloc.SegmentCreate(c)
+			p.mu.Lock()
+			if err != nil {
+				return false, err
+			}
+			if c.seg == nil {
+				c.seg = seg
+			}
+			return true, nil // progress; the next pass pushes
+		}
+		if err := p.pushPage(pg); err != nil {
+			return false, err
+		}
+		if pg.frame != nil {
+			p.moveStubsToRemote(pg)
+			p.dropPage(pg)
+		}
+		p.stats.Evictions++
+		return true, nil
+	}
+	return false, nil
+}
+
+// pushPage writes one dirty page back through its segment's pushOut
+// upcall. The page is marked busy for the duration: concurrent access
+// blocks, the frame stays stable, and copyBack/moveBack find the data in
+// the global map. p.mu held; released around the upcall.
+func (p *PVM) pushPage(pg *page) error {
+	c, off, seg := pg.cache, pg.off, pg.cache.seg
+	if seg == nil {
+		return gmi.ErrNoSegment
+	}
+	pg.busy = true
+	pg.busyDone = make(chan struct{})
+	// Writers must fault (and block on busy) while the push is in
+	// flight, so the pushed snapshot is coherent.
+	p.protectMappings(pg, gmi.ProtRead|gmi.ProtExec|gmi.ProtSystem)
+	p.stats.PushOuts++
+	p.clock.Charge(cost.EvPushOut, 1)
+
+	p.mu.Unlock()
+	err := seg.PushOut(c, off, p.pageSize)
+	p.mu.Lock()
+
+	pg.busy = false
+	close(pg.busyDone)
+	pg.busyDone = nil
+	if err != nil {
+		return err
+	}
+	if pg.frame != nil {
+		// copyBack path: the frame stayed; the content is now clean.
+		pg.dirty = false
+	}
+	// The cache's own segment now holds this page: any parent link at
+	// the offset is permanently superseded, so an eviction cannot
+	// resurrect inherited content.
+	p.supersedeParent(c, off)
+	return nil
+}
+
+// moveStubsToRemote converts the per-page stubs threaded on a page about
+// to leave memory into remote designations on its cache, from which the
+// content can be recovered (section 4.3's "otherwise, it contains a
+// pointer to the source local-cache descriptor and its offset").
+func (p *PVM) moveStubsToRemote(pg *page) {
+	if pg.stubs == nil {
+		return
+	}
+	c := pg.cache
+	if c.remoteStubs == nil {
+		c.remoteStubs = make(map[int64]*cowStub)
+	}
+	head := pg.stubs
+	pg.stubs = nil
+	tail := head
+	for {
+		tail.src = nil
+		tail.srcCache, tail.srcOff = c, pg.off
+		if tail.nextForPage == nil {
+			break
+		}
+		tail = tail.nextForPage
+	}
+	tail.nextForPage = c.remoteStubs[pg.off]
+	c.remoteStubs[pg.off] = head
+}
+
+// StartPageoutDaemon runs the background page-out thread a real kernel
+// keeps: whenever free frames fall below the low watermark, pages are
+// reclaimed until the high watermark is reached. The returned function
+// stops the daemon and waits for it to exit.
+//
+// The daemon is optional: without it, reclaim happens synchronously at
+// allocation time (reserveFrames), which is deterministic and is what the
+// benchmarks use. With it, allocations mostly find free frames and the
+// reclaim cost moves off the fault path — the usual kernel trade.
+func (p *PVM) StartPageoutDaemon(low, high int, interval time.Duration) (stop func()) {
+	if high < low {
+		high = low
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			if p.mem.FreeFrames() >= low {
+				continue
+			}
+			p.mu.Lock()
+			for p.mem.FreeFrames() < high {
+				progress, err := p.evictOne()
+				if err != nil || !progress {
+					break
+				}
+			}
+			p.mu.Unlock()
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}
+
+// PageOut forces up to n pages to be reclaimed; a tool/test hook for the
+// page-out daemon a real kernel would run. Returns how many pages were
+// reclaimed.
+func (p *PVM) PageOut(n int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	done := 0
+	for done < n {
+		progress, err := p.evictOne()
+		if err != nil || !progress {
+			break
+		}
+		done++
+	}
+	return done
+}

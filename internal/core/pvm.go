@@ -1,0 +1,236 @@
+// Package core implements the PVM — the Paged Virtual memory Manager of
+// Abrossimov, Rozier and Shapiro (SOSP'89) — a demand-paged implementation
+// of the Generic Memory-management Interface (internal/gmi).
+//
+// The PVM is characterized by (section 4 of the paper):
+//
+//   - support for large, sparse segments and address spaces: the size of
+//     every management structure depends on resident memory, never on
+//     virtual sizes;
+//   - efficient deferred copy with two techniques: history objects for
+//     large copies (section 4.2) and per-virtual-page copy-on-write stubs
+//     for small ones (section 4.3);
+//   - a small machine-dependent layer (internal/mmu) under a
+//     hardware-independent interface.
+//
+// Layout of this package:
+//
+//	pvm.go       PVM object, options, gmi.MemoryManager implementation
+//	page.go      real-page descriptors, stubs, the global map, LRU
+//	cache.go     local-cache descriptors, parent fragments, page lists
+//	context.go   contexts and regions; the simulated load/store path
+//	fault.go     page-fault handling (section 4.1.2) and COW breaking
+//	history.go   history trees: attach, working objects, splice, collapse
+//	copy.go      cache.copy/move: history path, per-page-stub path, bcopy
+//	cacheops.go  fillUp/copyBack/flush/sync/invalidate/lock/destroy
+//	pageout.go   frame reservation, eviction, pushOut protocol
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"chorusvm/internal/cost"
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/mmu"
+	"chorusvm/internal/phys"
+)
+
+// Options configures a PVM instance.
+type Options struct {
+	// Frames is the number of physical page frames (default 1024, i.e.
+	// the paper's 8 MB at 8 KB pages).
+	Frames int
+	// PageSize in bytes (default 8192, the Sun-3/60's).
+	PageSize int
+	// MMU selects the machine-dependent flavour: "sun3" (two-level,
+	// default), "pmmu" (inverted) or "i386" (flat).
+	MMU string
+	// TLBEntries, when positive, wraps the MMU with a TLB model of that
+	// many entries per space (see mmu.WithTLB).
+	TLBEntries int
+	// Clock is the simulated clock; default cost.New().
+	Clock *cost.Clock
+	// SegAlloc services segmentCreate upcalls for unilaterally created
+	// caches (temporaries, histories) at first push-out. Optional; when
+	// nil such caches cannot be paged out.
+	SegAlloc gmi.SegmentAllocator
+	// SmallCopyPages is the threshold below or at which Copy uses
+	// per-virtual-page stubs instead of history objects (default 4
+	// pages, i.e. IPC-message-sized transfers). Negative disables the
+	// per-page technique entirely, as in the paper's measured system
+	// (its per-page path was "not fully operational", section 5.2).
+	SmallCopyPages int
+	// ReadAheadPages clusters each pullIn over up to this many contiguous
+	// pages (default 1: no read-ahead), amortizing the segment's
+	// positioning cost for sequential workloads.
+	ReadAheadPages int
+	// CopyOnReference makes deferred copies materialize private pages on
+	// any access, not just writes (section 4.2.2's copy-on-reference
+	// policy). Default false: copy-on-write.
+	CopyOnReference bool
+	// DisableCollapse turns off the working-object collapse garbage
+	// collection (the section 4.2.5 extension), for ablation.
+	DisableCollapse bool
+}
+
+func (o *Options) fill() {
+	if o.Frames == 0 {
+		o.Frames = 1024
+	}
+	if o.PageSize == 0 {
+		o.PageSize = 8192
+	}
+	if o.MMU == "" {
+		o.MMU = "sun3"
+	}
+	if o.Clock == nil {
+		o.Clock = cost.New()
+	}
+	if o.SmallCopyPages == 0 {
+		o.SmallCopyPages = 4
+	}
+	if o.SmallCopyPages < 0 {
+		o.SmallCopyPages = 0
+	}
+	if o.ReadAheadPages < 1 {
+		o.ReadAheadPages = 1
+	}
+}
+
+// Stats are PVM-internal counters, complementing the clock's event counts.
+type Stats struct {
+	Faults        uint64 // page faults handled
+	SegvFaults    uint64 // faults outside any region
+	ZeroFills     uint64 // demand-zero pages materialized
+	CowBreaks     uint64 // private pages materialized by deferred copies
+	HistoryPushes uint64 // original pages preserved into history objects
+	StubBreaks    uint64 // per-page stubs resolved by copying
+	PullIns       uint64 // pullIn upcalls issued
+	PushOuts      uint64 // pushOut upcalls issued
+	Evictions     uint64 // frames reclaimed by page-out
+	Collapses     uint64 // working objects collapsed
+	Zombies       uint64 // caches kept as zombies for their descendants
+}
+
+// PVM is a Paged Virtual memory Manager. It implements
+// gmi.MemoryManager; its caches, contexts and regions implement the
+// corresponding GMI interfaces.
+type PVM struct {
+	clock     *cost.Clock
+	mem       *phys.Memory
+	hw        mmu.MMU
+	segalloc  gmi.SegmentAllocator
+	pageSize  int64
+	pageMask  int64
+	smallMax  int64 // byte threshold for the per-page-stub copy path
+	readAhead int   // pullIn cluster size in pages
+	copyOnRef bool
+	collapse  bool
+
+	// mu is the paper's "simple synchronization interface provided by
+	// the host kernel": one lock over all PVM structures. Upcalls
+	// (pullIn/pushOut/segmentCreate) are always issued with mu released;
+	// in-transit fragments are represented by stubs in the global map so
+	// concurrent access blocks on the fragment, not on the lock.
+	mu       sync.Mutex
+	gmap     map[pageKey]mapEntry
+	lru      lruList
+	caches   map[*cache]struct{}
+	contexts map[*context]struct{}
+	current  *context
+	reserved int // frames promised to in-flight fault handling
+	stats    Stats
+}
+
+var _ gmi.MemoryManager = (*PVM)(nil)
+
+// New creates a PVM.
+func New(o Options) *PVM {
+	o.fill()
+	p := &PVM{
+		clock:     o.Clock,
+		segalloc:  o.SegAlloc,
+		pageSize:  int64(o.PageSize),
+		pageMask:  int64(o.PageSize) - 1,
+		smallMax:  int64(o.SmallCopyPages) * int64(o.PageSize),
+		readAhead: o.ReadAheadPages,
+		copyOnRef: o.CopyOnReference,
+		collapse:  !o.DisableCollapse,
+		gmap:      make(map[pageKey]mapEntry),
+		caches:    make(map[*cache]struct{}),
+		contexts:  make(map[*context]struct{}),
+	}
+	p.mem = phys.NewMemory(o.Frames, o.PageSize, o.Clock)
+	switch o.MMU {
+	case "sun3":
+		p.hw = mmu.NewTwoLevel(o.PageSize, o.Clock)
+	case "pmmu":
+		p.hw = mmu.NewInverted(o.PageSize, o.Frames*2, o.Clock)
+	case "i386":
+		p.hw = mmu.NewFlat(o.PageSize, o.Clock)
+	default:
+		panic(fmt.Sprintf("core: unknown MMU flavour %q", o.MMU))
+	}
+	if o.TLBEntries > 0 {
+		p.hw = mmu.WithTLB(p.hw, o.TLBEntries, o.Clock)
+	}
+	return p
+}
+
+// Name implements gmi.MemoryManager.
+func (p *PVM) Name() string { return "pvm" }
+
+// PageSize implements gmi.MemoryManager.
+func (p *PVM) PageSize() int { return int(p.pageSize) }
+
+// Clock returns the simulated clock.
+func (p *PVM) Clock() *cost.Clock { return p.clock }
+
+// Memory returns the physical memory pool (for tests and tools).
+func (p *PVM) Memory() *phys.Memory { return p.mem }
+
+// MMU returns the machine-dependent layer in use.
+func (p *PVM) MMU() mmu.MMU { return p.hw }
+
+// Stats returns a copy of the internal counters.
+func (p *PVM) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// CacheCreate implements gmi.MemoryManager: it binds seg to a new cache.
+func (p *PVM) CacheCreate(seg gmi.Segment) gmi.Cache {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.newCache(seg, false)
+}
+
+// TempCacheCreate implements gmi.MemoryManager: a zero-filled temporary
+// cache; a swap segment is assigned via the SegmentAllocator on first
+// push-out (section 5.1.2).
+func (p *PVM) TempCacheCreate() gmi.Cache {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.newCache(nil, true)
+}
+
+// ContextCreate implements gmi.MemoryManager.
+func (p *PVM) ContextCreate() (gmi.Context, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ctx := &context{pvm: p, space: p.hw.NewSpace()}
+	p.contexts[ctx] = struct{}{}
+	p.clock.Charge(cost.EvContextCreate, 1)
+	return ctx, nil
+}
+
+// pageFloor rounds off down to a page boundary.
+func (p *PVM) pageFloor(off int64) int64 { return off &^ p.pageMask }
+
+// pageCeil rounds off up to a page boundary.
+func (p *PVM) pageCeil(off int64) int64 { return (off + p.pageMask) &^ p.pageMask }
+
+// pageAligned reports whether off is page-aligned.
+func (p *PVM) pageAligned(off int64) bool { return off&p.pageMask == 0 }

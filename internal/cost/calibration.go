@@ -1,0 +1,110 @@
+package cost
+
+import "time"
+
+// DefaultTable returns unit costs calibrated against the paper's own
+// measurements on a Sun-3/60 (8 MB RAM, 8 KB pages, 20 MHz MC68020).
+//
+// Directly reported constants (section 5.3):
+//
+//	bcopy of 8 KB  = 1.40 ms   -> EvBcopyPage
+//	bzero of 8 KB  = 0.87 ms   -> EvBzeroPage
+//
+// Constants the paper derives from its tables (section 5.3.2):
+//
+//	history-tree management per deferred copy  = 0.03 ms
+//	    -> EvTreeInsert (35 µs); the paper derives 0.03 from the
+//	       0.05 ms structural delta between Table 7's and Table 6's
+//	       1-page/0-touched cells minus one page protection, and the
+//	       delta here is exactly EvTreeInsert + EvPageProtect
+//	page protection per page at copy time      = 0.02 ms
+//	    -> EvPageProtect (15 µs; the paper's 0.02 is quoted to one digit,
+//	       15 µs fits the 1024 KB row of Table 7 more closely)
+//	copy-on-write fault overhead per page      = 0.31 ms
+//	    -> EvFault (120) + EvFrameAlloc (50) + EvPageMap (100)
+//	       + EvHistoryLookup (40) = 310 µs
+//	zero-fill fault overhead per page          = 0.27 ms
+//	    -> EvFault (120) + EvFrameAlloc (50) + EvPageMap (100) = 270 µs
+//
+// Structural constants solved from Table 6's Chorus rows:
+//
+//	8 KB region, 0 pages touched  = 0.350 ms
+//	    = EvRegionCreate (160) + EvRegionDestroy (165)
+//	      + EvCacheCreate (20) + EvCacheDestroy (5)
+//	1024 KB region, 0 pages       = 0.390 ms
+//	    = 0.350 ms + 127 more pages × EvPageInvalidate (0.32 µs)
+//	8 KB region, 1 page touched   = 1.50 ms
+//	    = 0.350 + 0.27 (fault overhead) + 0.87 (bzero) + EvFrameFree (10 µs)
+//
+// Mach-baseline constants solved from Table 6/7's Mach rows (benchmarks
+// contributed by R. Rashid, per the paper's acknowledgments). The Mach
+// figures use the same shared events above plus machinery the Chorus PVM
+// does not have; each constant below is the residual after subtracting the
+// shared events:
+//
+//	vm_allocate+vm_deallocate (8 KB, 0 pages) = 1.57 ms
+//	    = shared structure (0.350) + EvMachPortSetup (895 µs)
+//	      + EvMachEntrySetup (325 µs)
+//	1024 KB, 0 pages = 1.89 ms
+//	    = 1.57 + 127 × EvMachPmapRangeOp (2.5 µs)
+//	zero-fill fault = 1.40 ms/page
+//	    = 0.27 overhead + 0.87 bzero + EvMachObjectLock (260 µs)
+//	deferred copy setup (8 KB, 0 copied) = 2.70 ms
+//	    = 0.350 + 895 + 325 + 2 × EvMachShadowCreate (180 µs)
+//	      + EvMachCopySetup (770 µs)
+//	COW fault = 1.98 ms/page
+//	    = 0.31 overhead + 1.40 bcopy + 260 lock + EvMachChainWalk (40 µs)/hop
+//
+// Events with zero cost are still counted; they are free on the paper's
+// hardware at the reported precision but their counts are useful for
+// invariant checks and ablations.
+func DefaultTable() Table {
+	var t Table
+	us := func(n float64) time.Duration { return time.Duration(n * float64(time.Microsecond)) }
+
+	t[EvRegionCreate] = us(160)
+	t[EvRegionDestroy] = us(165)
+	t[EvCacheCreate] = us(20)
+	t[EvCacheDestroy] = us(5)
+	t[EvContextCreate] = us(400)
+	t[EvContextDestroy] = us(300)
+	t[EvContextSwitch] = us(71) // Chorus-reported context switch, not in the tables
+	t[EvTreeInsert] = us(35)
+	t[EvHistoryLookup] = us(40)
+	t[EvStubInstall] = us(8)
+	t[EvGlobalMapOp] = 0
+
+	t[EvPageMap] = us(100)
+	t[EvPageUnmap] = us(2)
+	t[EvPageProtect] = us(15)
+	t[EvPageInvalidate] = us(0.32)
+	t[EvTLBFlush] = us(5)
+
+	t[EvFrameAlloc] = us(50)
+	t[EvFrameFree] = us(10)
+	t[EvBzeroPage] = us(870)
+	t[EvBcopyPage] = us(1400)
+	t[EvBzeroByte] = us(870.0 / 8192)  // the page costs, per byte
+	t[EvBcopyByte] = us(1400.0 / 8192) // (sub-page explicit transfers)
+
+	t[EvFault] = us(120)
+	t[EvPullIn] = us(150)
+	t[EvPushOut] = us(150)
+
+	t[EvDiskSeek] = us(20000) // seek + rotation on a 1989 SCSI disk
+	t[EvDiskRead] = us(5000)  // per-page transfer once positioned
+	t[EvDiskWrite] = us(5000)
+	t[EvIPCSend] = us(340) // Chorus-reported null-RPC half cost
+	t[EvIPCRecv] = us(340)
+
+	t[EvMachObjectCreate] = us(20)
+	t[EvMachObjectDestroy] = us(5)
+	t[EvMachPortSetup] = us(895)
+	t[EvMachEntrySetup] = us(325)
+	t[EvMachObjectLock] = us(260)
+	t[EvMachShadowCreate] = us(180)
+	t[EvMachCopySetup] = us(770)
+	t[EvMachChainWalk] = us(40)
+	t[EvMachPmapRangeOp] = us(2.5)
+	return t
+}

@@ -1,0 +1,130 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Clock accumulates simulated time. It is safe for concurrent use: Charge
+// uses atomic counters so the fault path never serializes on the clock.
+//
+// A Clock is constructed with a unit-cost table (usually DefaultTable). The
+// zero Clock is not usable; call NewClock.
+type Clock struct {
+	table  Table
+	counts [NumEvents]atomic.Uint64
+	nanos  atomic.Int64
+}
+
+// Table maps each event to its unit cost.
+type Table [NumEvents]time.Duration
+
+// NewClock returns a clock charging the given unit costs.
+func NewClock(table Table) *Clock {
+	return &Clock{table: table}
+}
+
+// New returns a clock with the paper-calibrated default cost table.
+func New() *Clock { return NewClock(DefaultTable()) }
+
+// Charge records n occurrences of event e.
+func (c *Clock) Charge(e Event, n int) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.counts[e].Add(uint64(n))
+	if d := c.table[e]; d != 0 {
+		c.nanos.Add(int64(d) * int64(n))
+	}
+}
+
+// Elapsed returns the simulated time accumulated so far.
+func (c *Clock) Elapsed() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return time.Duration(c.nanos.Load())
+}
+
+// Count returns how many times event e was charged.
+func (c *Clock) Count(e Event) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.counts[e].Load()
+}
+
+// Reset zeroes all counters and the elapsed time.
+func (c *Clock) Reset() {
+	if c == nil {
+		return
+	}
+	for i := range c.counts {
+		c.counts[i].Store(0)
+	}
+	c.nanos.Store(0)
+}
+
+// Snapshot captures the current counters, for before/after deltas.
+type Snapshot struct {
+	Counts [NumEvents]uint64
+	Nanos  int64
+}
+
+// Snapshot returns a copy of the current counters.
+func (c *Clock) Snapshot() Snapshot {
+	var s Snapshot
+	if c == nil {
+		return s
+	}
+	for i := range c.counts {
+		s.Counts[i] = c.counts[i].Load()
+	}
+	s.Nanos = c.nanos.Load()
+	return s
+}
+
+// Since returns the simulated time elapsed since the snapshot was taken.
+func (c *Clock) Since(s Snapshot) time.Duration {
+	if c == nil {
+		return 0
+	}
+	return time.Duration(c.nanos.Load() - s.Nanos)
+}
+
+// CountSince returns how many times e fired since the snapshot.
+func (c *Clock) CountSince(s Snapshot, e Event) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.counts[e].Load() - s.Counts[e]
+}
+
+// String renders the non-zero counters sorted by total charged time, one
+// per line, ending with the total elapsed simulated time.
+func (c *Clock) String() string {
+	if c == nil {
+		return "<nil clock>"
+	}
+	type row struct {
+		e     Event
+		n     uint64
+		total time.Duration
+	}
+	var rows []row
+	for e := Event(0); e < NumEvents; e++ {
+		if n := c.counts[e].Load(); n > 0 {
+			rows = append(rows, row{e, n, time.Duration(n) * c.table[e]})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].total > rows[j].total })
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %8d × %-10v = %v\n", r.e, r.n, c.table[r.e], r.total)
+	}
+	fmt.Fprintf(&b, "simulated elapsed: %v\n", c.Elapsed())
+	return b.String()
+}

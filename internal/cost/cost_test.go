@@ -1,0 +1,103 @@
+package cost
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestChargeAccumulates(t *testing.T) {
+	var tab Table
+	tab[EvFault] = 100 * time.Microsecond
+	tab[EvPageMap] = 10 * time.Microsecond
+	c := NewClock(tab)
+	c.Charge(EvFault, 3)
+	c.Charge(EvPageMap, 5)
+	c.Charge(EvGlobalMapOp, 7) // zero-cost, counted
+	if got := c.Elapsed(); got != 350*time.Microsecond {
+		t.Fatalf("elapsed %v", got)
+	}
+	if c.Count(EvFault) != 3 || c.Count(EvGlobalMapOp) != 7 {
+		t.Fatal("counts wrong")
+	}
+	c.Reset()
+	if c.Elapsed() != 0 || c.Count(EvFault) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	c := New()
+	c.Charge(EvBzeroPage, 2)
+	s := c.Snapshot()
+	c.Charge(EvBzeroPage, 3)
+	c.Charge(EvFault, 1)
+	if n := c.CountSince(s, EvBzeroPage); n != 3 {
+		t.Fatalf("delta count %d", n)
+	}
+	want := 3*DefaultTable()[EvBzeroPage] + DefaultTable()[EvFault]
+	if got := c.Since(s); got != want {
+		t.Fatalf("delta %v want %v", got, want)
+	}
+}
+
+func TestNilClockSafe(t *testing.T) {
+	var c *Clock
+	c.Charge(EvFault, 1) // must not panic
+	if c.Elapsed() != 0 || c.Count(EvFault) != 0 {
+		t.Fatal("nil clock misbehaved")
+	}
+	c.Reset()
+	_ = c.Snapshot()
+	_ = c.String()
+}
+
+func TestConcurrentCharge(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Charge(EvPageMap, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Count(EvPageMap) != 8000 {
+		t.Fatalf("lost charges: %d", c.Count(EvPageMap))
+	}
+}
+
+// TestCalibrationIdentities verifies the paper-derived arithmetic the
+// table encodes (see calibration.go's derivations).
+func TestCalibrationIdentities(t *testing.T) {
+	tab := DefaultTable()
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+	// Zero-fill fault overhead = 0.27 ms (section 5.3.2).
+	if got := us(tab[EvFault] + tab[EvFrameAlloc] + tab[EvPageMap]); got != 270 {
+		t.Fatalf("zero-fill overhead %v µs, want 270", got)
+	}
+	// COW fault overhead = 0.31 ms.
+	if got := us(tab[EvFault] + tab[EvFrameAlloc] + tab[EvPageMap] + tab[EvHistoryLookup]); got != 310 {
+		t.Fatalf("cow overhead %v µs, want 310", got)
+	}
+	// Structural base of Table 6's first cell = 0.350 ms.
+	base := us(tab[EvRegionCreate] + tab[EvRegionDestroy] + tab[EvCacheCreate] + tab[EvCacheDestroy])
+	if base < 349 || base > 351 {
+		t.Fatalf("structural base %v µs, want ~350", base)
+	}
+	// Mach vm_allocate structural = 1.57 ms.
+	mach := base + us(tab[EvMachPortSetup]+tab[EvMachEntrySetup]+tab[EvMachObjectCreate]+tab[EvMachObjectDestroy]-tab[EvCacheCreate]-tab[EvCacheDestroy]) + us(tab[EvMachPmapRangeOp])
+	if mach < 1560 || mach > 1580 {
+		t.Fatalf("mach structural %v µs, want ~1570", mach)
+	}
+	// Every event has a name.
+	for e := Event(0); e < NumEvents; e++ {
+		if e.String() == "" || e.String() == "event(?)" {
+			t.Fatalf("event %d unnamed", e)
+		}
+	}
+}

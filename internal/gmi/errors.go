@@ -1,0 +1,38 @@
+package gmi
+
+import "errors"
+
+// Errors returned across the GMI. The paper's interface does not check
+// logical errors (those are the upper layers' job) but does surface
+// resource exhaustion and access violations; we additionally surface
+// logical errors because a simulation's callers are tests.
+var (
+	// ErrSegmentation is the "segmentation fault" exception: an access
+	// to an address covered by no region.
+	ErrSegmentation = errors.New("gmi: segmentation fault")
+
+	// ErrProtection is an access violation that cannot be resolved by
+	// the deferred-copy machinery (e.g. a store to a read-only region).
+	ErrProtection = errors.New("gmi: protection violation")
+
+	// ErrNoMemory is resource exhaustion: no frame could be allocated or
+	// reclaimed.
+	ErrNoMemory = errors.New("gmi: out of physical memory")
+
+	// ErrBadRange flags an out-of-bounds or misaligned offset/size pair.
+	ErrBadRange = errors.New("gmi: bad offset/size")
+
+	// ErrOverlap flags a region creation overlapping an existing region.
+	ErrOverlap = errors.New("gmi: regions overlap")
+
+	// ErrDestroyed flags use of a destroyed object.
+	ErrDestroyed = errors.New("gmi: object destroyed")
+
+	// ErrNoSegment flags a push-out on a cache with no segment when no
+	// segment allocator was configured.
+	ErrNoSegment = errors.New("gmi: cache has no segment")
+
+	// ErrLocked flags an operation that cannot proceed because data is
+	// locked in memory (e.g. invalidating a pinned page).
+	ErrLocked = errors.New("gmi: data locked in memory")
+)

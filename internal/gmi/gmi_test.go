@@ -1,0 +1,58 @@
+package gmi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestProtAllows(t *testing.T) {
+	cases := []struct {
+		p, access Prot
+		want      bool
+	}{
+		{ProtRW, ProtRead, true},
+		{ProtRW, ProtWrite, true},
+		{ProtRead, ProtWrite, false},
+		{ProtRead, ProtRead, true},
+		{ProtRX, ProtExec, true},
+		{ProtRX, ProtWrite, false},
+		{ProtNone, ProtRead, false},
+		{ProtRWX, ProtRead | ProtWrite | ProtExec, true},
+		// The system bit is a mode qualifier, not an access type.
+		{ProtRead | ProtSystem, ProtRead, true},
+		{ProtRead, ProtRead | ProtSystem, true},
+	}
+	for _, c := range cases {
+		if got := c.p.Allows(c.access); got != c.want {
+			t.Errorf("%v.Allows(%v) = %v, want %v", c.p, c.access, got, c.want)
+		}
+	}
+}
+
+// Property: a protection always allows any subset of its own bits, and
+// never allows a bit outside them (testing/quick).
+func TestProtAllowsProperties(t *testing.T) {
+	f := func(pRaw, aRaw uint8) bool {
+		p := Prot(pRaw) & ProtRWX
+		a := Prot(aRaw) & ProtRWX
+		want := a&^p == 0
+		return p.Allows(a) == want
+	}
+	cfg := &quick.Config{MaxCount: 256, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtString(t *testing.T) {
+	if got := (ProtRW).String(); got != "rw--" {
+		t.Fatalf("ProtRW = %q", got)
+	}
+	if got := (ProtRX | ProtSystem).String(); got != "r-xs" {
+		t.Fatalf("ProtRX|System = %q", got)
+	}
+	if got := ProtNone.String(); got != "----" {
+		t.Fatalf("ProtNone = %q", got)
+	}
+}

@@ -1,0 +1,51 @@
+package gmi
+
+import "strings"
+
+// Prot is a protection / access-mode bit set. It doubles as the access
+// type of a memory reference (a read access is ProtRead, etc.), which is
+// how the paper's accessMode argument to pullIn is typed.
+type Prot uint8
+
+const (
+	// ProtRead permits load accesses.
+	ProtRead Prot = 1 << iota
+	// ProtWrite permits store accesses.
+	ProtWrite
+	// ProtExec permits instruction fetch.
+	ProtExec
+	// ProtSystem restricts access to system (supervisor) mode.
+	ProtSystem
+
+	// ProtNone permits nothing.
+	ProtNone Prot = 0
+	// ProtRW is the common read/write user protection.
+	ProtRW = ProtRead | ProtWrite
+	// ProtRX is the common text-segment protection.
+	ProtRX = ProtRead | ProtExec
+	// ProtRWX permits everything in user mode.
+	ProtRWX = ProtRead | ProtWrite | ProtExec
+)
+
+// Allows reports whether a reference of type access is permitted under p.
+// The ProtSystem bit is a mode qualifier, not an access type, and is
+// ignored here; mode checking is the MMU's job.
+func (p Prot) Allows(access Prot) bool {
+	return access&^ProtSystem&^p == 0
+}
+
+// String renders the protection as "rwxs" with dashes for missing bits.
+func (p Prot) String() string {
+	var b strings.Builder
+	for _, f := range [...]struct {
+		bit Prot
+		ch  byte
+	}{{ProtRead, 'r'}, {ProtWrite, 'w'}, {ProtExec, 'x'}, {ProtSystem, 's'}} {
+		if p&f.bit != 0 {
+			b.WriteByte(f.ch)
+		} else {
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,344 @@
+package machvm
+
+import (
+	"fmt"
+
+	"chorusvm/internal/cost"
+	"chorusvm/internal/gmi"
+)
+
+// mcache is the GMI cache facade over a Mach memory object. The object
+// pointer moves as the cache is copied (the source is re-pointed at a
+// fresh shadow) — the "actual reference changes dynamically" property the
+// paper lists as Mach problem 2.
+type mcache struct {
+	vm        *MachVM
+	obj       *vmObject
+	regions   []*mregion
+	destroyed bool
+}
+
+var _ gmi.Cache = (*mcache)(nil)
+
+// Segment implements gmi.Cache.
+func (c *mcache) Segment() gmi.Segment {
+	c.vm.mu.Lock()
+	defer c.vm.mu.Unlock()
+	for o := c.obj; o != nil; o = o.shadow {
+		if o.pager != nil {
+			return o.pager
+		}
+	}
+	return nil
+}
+
+// Resident implements gmi.Cache: pages visible through this cache's chain.
+func (c *mcache) Resident() int {
+	c.vm.mu.Lock()
+	defer c.vm.mu.Unlock()
+	n := 0
+	for o := c.obj; o != nil; o = o.shadow {
+		n += len(o.pages)
+	}
+	return n
+}
+
+// Copy implements gmi.Cache with the eager two-shadow technique the paper
+// describes for Mach: the source's resident pages are write-protected (a
+// pmap range op), a shadow is created for the source's future
+// modifications and another for the copy's, and the original pages stay in
+// the (now shared) source object.
+func (c *mcache) Copy(dst gmi.Cache, dstOff, srcOff, size int64) error {
+	d, ok := dst.(*mcache)
+	if !ok {
+		return fmt.Errorf("machvm: foreign destination cache %T", dst)
+	}
+	if size <= 0 || srcOff < 0 || dstOff < 0 {
+		return gmi.ErrBadRange
+	}
+	m := c.vm
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c.destroyed || d.destroyed {
+		return gmi.ErrDestroyed
+	}
+	if c == d || !m.pageAligned(srcOff) || !m.pageAligned(dstOff) || !m.pageAligned(size) {
+		return m.copyPhysical(c, srcOff, d, dstOff, size)
+	}
+
+	m.clock.Charge(cost.EvMachCopySetup, 1)
+
+	orig := c.obj
+	// Shadow for the source's future modifications.
+	shadowS := m.newObject(nil)
+	shadowS.shadow = orig
+	shadowS.shadowOff = 0
+	m.clock.Charge(cost.EvMachShadowCreate, 1)
+	// Shadow for the copy's modifications; its chain translates the
+	// destination offsets onto the source's.
+	shadowC := m.newObject(nil)
+	shadowC.shadow = orig
+	shadowC.shadowOff = srcOff - dstOff
+	m.clock.Charge(cost.EvMachShadowCreate, 1)
+	m.stats.Shadows += 2
+
+	// orig loses the source cache's reference and gains the two shadows'.
+	orig.refs++
+	c.obj = shadowS
+	old := d.obj
+	d.obj = shadowC
+	if old != nil {
+		m.unref(old)
+	}
+
+	m.protectRange(orig, srcOff, srcOff+size)
+
+	// The destination's windows may still hold read-through translations
+	// into its previous backing chain; they must fault again to see the
+	// copied content.
+	for _, r := range d.regions {
+		r.ctx.space.InvalidateRange(r.addr, int(r.size/m.pageSize))
+	}
+	return nil
+}
+
+// Move implements gmi.Cache. Mach has no retag fast path at this level;
+// the move is a deferred copy with the source contents becoming undefined.
+func (c *mcache) Move(dst gmi.Cache, dstOff, srcOff, size int64) error {
+	return c.Copy(dst, dstOff, srcOff, size)
+}
+
+// copyPhysical copies bytes immediately; m.mu held.
+func (m *MachVM) copyPhysical(src *mcache, soff int64, dst *mcache, doff, size int64) error {
+	m.clock.Charge(cost.EvBcopyByte, int(size))
+	buf := make([]byte, size)
+	if err := m.readAtLocked(src, soff, buf); err != nil {
+		return err
+	}
+	return m.writeAtLocked(dst, doff, buf)
+}
+
+// ReadAt implements gmi.Cache.
+func (c *mcache) ReadAt(off int64, buf []byte) error {
+	m := c.vm
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c.destroyed {
+		return gmi.ErrDestroyed
+	}
+	m.clock.Charge(cost.EvBcopyByte, len(buf))
+	return m.readAtLocked(c, off, buf)
+}
+
+// WriteAt implements gmi.Cache.
+func (c *mcache) WriteAt(off int64, data []byte) error {
+	m := c.vm
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c.destroyed {
+		return gmi.ErrDestroyed
+	}
+	m.clock.Charge(cost.EvBcopyByte, len(data))
+	return m.writeAtLocked(c, off, data)
+}
+
+func (m *MachVM) readAtLocked(c *mcache, off int64, buf []byte) error {
+	for done := 0; done < len(buf); {
+		cur := off + int64(done)
+		po := m.pageFloor(cur)
+		pg, err := m.residentPage(c, po, gmi.ProtRead)
+		if err != nil {
+			return err
+		}
+		b := cur - po
+		n := m.pageSize - b
+		if rem := int64(len(buf) - done); n > rem {
+			n = rem
+		}
+		copy(buf[done:done+int(n)], pg.frame.Data[b:b+n])
+		m.lru.push(pg)
+		done += int(n)
+	}
+	return nil
+}
+
+func (m *MachVM) writeAtLocked(c *mcache, off int64, data []byte) error {
+	for done := 0; done < len(data); {
+		cur := off + int64(done)
+		po := m.pageFloor(cur)
+		pg, err := m.writablePage(c, po)
+		if err != nil {
+			return err
+		}
+		b := cur - po
+		n := m.pageSize - b
+		if rem := int64(len(data) - done); n > rem {
+			n = rem
+		}
+		copy(pg.frame.Data[b:b+n], data[done:done+int(n)])
+		pg.dirty = true
+		m.lru.push(pg)
+		done += int(n)
+	}
+	return nil
+}
+
+// FillUp implements gmi.Cache (delegating to the top object).
+func (c *mcache) FillUp(off int64, data []byte, mode gmi.Prot) error {
+	c.vm.mu.Lock()
+	obj := c.obj
+	c.vm.mu.Unlock()
+	return (&objIO{vm: c.vm, obj: obj}).FillUp(off, data, mode)
+}
+
+// CopyBack implements gmi.Cache.
+func (c *mcache) CopyBack(off int64, buf []byte) error {
+	c.vm.mu.Lock()
+	obj := c.obj
+	c.vm.mu.Unlock()
+	return (&objIO{vm: c.vm, obj: obj}).CopyBack(off, buf)
+}
+
+// MoveBack implements gmi.Cache.
+func (c *mcache) MoveBack(off int64, buf []byte) error {
+	c.vm.mu.Lock()
+	obj := c.obj
+	c.vm.mu.Unlock()
+	return (&objIO{vm: c.vm, obj: obj}).MoveBack(off, buf)
+}
+
+// Flush implements gmi.Cache: push dirty pages of the chain's top object
+// back and free them.
+func (c *mcache) Flush(off, size int64) error { return c.vm.writeBack(c, off, size, true) }
+
+// Sync implements gmi.Cache.
+func (c *mcache) Sync(off, size int64) error { return c.vm.writeBack(c, off, size, false) }
+
+func (m *MachVM) writeBack(c *mcache, off, size int64, release bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lo, hi := m.pageFloor(off), m.pageCeilClamped(off, size)
+	for _, o := range m.offsetsInRange(c.obj, lo, hi) {
+		for {
+			pg, owner, _ := m.lookup(c.obj, o)
+			if pg == nil || owner != c.obj {
+				break
+			}
+			if pg.busy {
+				m.waitBusy(pg)
+				continue
+			}
+			if pg.dirty {
+				if owner.pager == nil {
+					if m.segalloc == nil {
+						return gmi.ErrNoSegment
+					}
+					m.mu.Unlock()
+					pager, err := m.segalloc.SegmentCreate(&objIO{vm: m, obj: owner})
+					m.mu.Lock()
+					if err != nil {
+						return err
+					}
+					if owner.pager == nil {
+						owner.pager = pager
+					}
+					continue
+				}
+				if err := m.pushPage(pg); err != nil {
+					return err
+				}
+				continue
+			}
+			if release && pg.pin == 0 {
+				m.freePage(pg)
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// Invalidate implements gmi.Cache.
+func (c *mcache) Invalidate(off, size int64) error {
+	m := c.vm
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lo, hi := m.pageFloor(off), m.pageCeilClamped(off, size)
+	for _, o := range m.offsetsInRange(c.obj, lo, hi) {
+		if pg, ok := c.obj.pages[o]; ok {
+			if pg.pin > 0 {
+				return gmi.ErrLocked
+			}
+			m.freePage(pg)
+		}
+	}
+	return nil
+}
+
+// SetProtection implements gmi.Cache.
+func (c *mcache) SetProtection(off, size int64, prot gmi.Prot) error {
+	m := c.vm
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lo, hi := m.pageFloor(off), m.pageCeilClamped(off, size)
+	for _, o := range m.offsetsInRange(c.obj, lo, hi) {
+		if pg, ok := c.obj.pages[o]; ok {
+			pg.granted &= prot
+			if prot&gmi.ProtRead == 0 {
+				m.invalidateMappings(pg)
+			}
+		}
+	}
+	return nil
+}
+
+// LockInMemory implements gmi.Cache.
+func (c *mcache) LockInMemory(off, size int64) error {
+	m := c.vm
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lo, hi := m.pageFloor(off), m.pageCeil(off+size)
+	for o := lo; o < hi; o += m.pageSize {
+		pg, err := m.writablePage(c, o)
+		if err != nil {
+			return err
+		}
+		pg.pin++
+		m.lru.remove(pg)
+	}
+	return nil
+}
+
+// Unlock implements gmi.Cache.
+func (c *mcache) Unlock(off, size int64) error {
+	m := c.vm
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lo, hi := m.pageFloor(off), m.pageCeil(off+size)
+	for o := lo; o < hi; o += m.pageSize {
+		if pg, ok := c.obj.pages[o]; ok && pg.pin > 0 {
+			pg.pin--
+			if pg.pin == 0 {
+				m.lru.push(pg)
+			}
+		}
+	}
+	return nil
+}
+
+// Destroy implements gmi.Cache.
+func (c *mcache) Destroy() error {
+	m := c.vm
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c.destroyed {
+		return gmi.ErrDestroyed
+	}
+	c.destroyed = true
+	for len(c.regions) > 0 {
+		c.regions[len(c.regions)-1].destroyLocked()
+	}
+	m.unref(c.obj)
+	c.obj = nil
+	return nil
+}

@@ -1,0 +1,65 @@
+package machvm
+
+import "fmt"
+
+// CheckInvariants verifies the structural invariants of the shadow-object
+// world: object/page back-pointers, reference counts versus actual shadow
+// chains, and exact frame accounting.
+func (m *MachVM) CheckInvariants() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	shadowRefs := make(map[*vmObject]int)
+	for obj := range m.objects {
+		if obj.shadow != nil {
+			shadowRefs[obj.shadow]++
+		}
+	}
+
+	totalPages := 0
+	for obj := range m.objects {
+		for off, pg := range obj.pages {
+			if pg.obj != obj {
+				return fmt.Errorf("page %#x of object %p has back-pointer %p", off, obj, pg.obj)
+			}
+			if pg.off != off {
+				return fmt.Errorf("page keyed %#x carries offset %#x", off, pg.off)
+			}
+			if pg.frame == nil {
+				return fmt.Errorf("page %#x of object %p has no frame", off, obj)
+			}
+			if !pg.inLRU && pg.pin == 0 && !pg.busy {
+				return fmt.Errorf("page %#x of object %p neither in LRU nor pinned", off, obj)
+			}
+			totalPages++
+		}
+		// refs counts cache facades plus shadowing children; the child
+		// part is recomputable and must never exceed refs.
+		if n := shadowRefs[obj]; obj.refs < n {
+			return fmt.Errorf("object %p refs=%d but %d children shadow it", obj, obj.refs, n)
+		}
+		if obj.refs <= 0 {
+			return fmt.Errorf("live object %p has refs=%d", obj, obj.refs)
+		}
+		if obj.shadow != nil {
+			if _, live := m.objects[obj.shadow]; !live {
+				return fmt.Errorf("object %p shadows freed object %p", obj, obj.shadow)
+			}
+		}
+	}
+
+	for pg := m.lru.head; pg != nil; pg = pg.lruNext {
+		if _, live := m.objects[pg.obj]; !live {
+			return fmt.Errorf("LRU holds page of freed object %p", pg.obj)
+		}
+		if pg.obj.pages[pg.off] != pg {
+			return fmt.Errorf("LRU page (%p,%#x) not the live entry", pg.obj, pg.off)
+		}
+	}
+
+	if free := m.mem.FreeFrames(); free+totalPages != m.mem.TotalFrames() {
+		return fmt.Errorf("frame accounting: %d free + %d resident != %d total",
+			free, totalPages, m.mem.TotalFrames())
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+package machvm
+
+import (
+	"bytes"
+	"testing"
+
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/seg"
+)
+
+const (
+	pg   = 8192
+	base = gmi.VA(0x10000)
+)
+
+func newTestVM(t *testing.T, frames int) *MachVM {
+	t.Helper()
+	o := Options{Frames: frames, PageSize: pg}
+	m := New(o)
+	m.segalloc = seg.NewSwapAllocator(pg, m.clock)
+	t.Cleanup(func() {
+		if err := m.CheckInvariants(); err != nil {
+			t.Errorf("machvm invariants at teardown: %v", err)
+		}
+	})
+	return m
+}
+
+func pattern(tag byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = tag ^ byte(i*7)
+	}
+	return b
+}
+
+func mustRegion(t *testing.T, ctx gmi.Context, addr gmi.VA, size int64, prot gmi.Prot, c gmi.Cache, off int64) gmi.Region {
+	t.Helper()
+	r, err := ctx.RegionCreate(addr, size, prot, c, off)
+	if err != nil {
+		t.Fatalf("RegionCreate: %v", err)
+	}
+	return r
+}
+
+func TestZeroFill(t *testing.T) {
+	m := newTestVM(t, 64)
+	ctx, _ := m.ContextCreate()
+	c := m.TempCacheCreate()
+	mustRegion(t, ctx, base, 4*pg, gmi.ProtRW, c, 0)
+
+	buf := make([]byte, 64)
+	if err := ctx.Read(base+pg, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, make([]byte, 64)) {
+		t.Fatal("fresh page not zero")
+	}
+	data := pattern(0x5A, pg+99)
+	if err := ctx.Write(base, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := ctx.Read(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("readback mismatch")
+	}
+}
+
+func TestShadowCopyOnWrite(t *testing.T) {
+	m := newTestVM(t, 256)
+	ctx, _ := m.ContextCreate()
+	src := m.TempCacheCreate()
+	const npages = 4
+	orig := pattern(0x11, npages*pg)
+	mustRegion(t, ctx, base, npages*pg, gmi.ProtRW, src, 0)
+	if err := ctx.Write(base, orig); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := m.TempCacheCreate()
+	if err := src.Copy(dst, 0, 0, npages*pg); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Shadows != 2 {
+		t.Fatalf("shadows = %d, want 2 (eager pair)", m.Stats().Shadows)
+	}
+	dbase := base + gmi.VA(npages*pg)
+	mustRegion(t, ctx, dbase, npages*pg, gmi.ProtRW, dst, 0)
+
+	got := make([]byte, npages*pg)
+	if err := ctx.Read(dbase, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, orig) {
+		t.Fatal("copy does not see original")
+	}
+	// Source write goes to its shadow; copy keeps the original.
+	if err := ctx.Write(base+pg, pattern(0x22, pg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Read(dbase+pg, got[:pg]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:pg], orig[pg:2*pg]) {
+		t.Fatal("copy lost original after source write")
+	}
+	// Copy write goes to its shadow; source keeps its value.
+	if err := ctx.Write(dbase+2*pg, pattern(0x33, pg)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Read(base+2*pg, got[:pg]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:pg], orig[2*pg:3*pg]) {
+		t.Fatal("source corrupted by copy write")
+	}
+}
+
+// TestShadowChainGrowthAndCollapse exercises the paper's problem 1: chains
+// build up under repeated copies and must be garbage-collected.
+func TestShadowChainGrowthAndCollapse(t *testing.T) {
+	m := newTestVM(t, 512)
+	ctx, _ := m.ContextCreate()
+	src := m.TempCacheCreate()
+	mustRegion(t, ctx, base, 2*pg, gmi.ProtRW, src, 0)
+	if err := ctx.Write(base, pattern(0x01, 2*pg)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fork-then-child-exits, repeatedly (the Unix shell pattern the
+	// paper discusses): each round adds a shadow pair; the collapse GC
+	// must keep the chain bounded.
+	for i := 0; i < 10; i++ {
+		child := m.TempCacheCreate()
+		if err := src.Copy(child, 0, 0, 2*pg); err != nil {
+			t.Fatal(err)
+		}
+		// Parent writes (modifications land in its shadow).
+		if err := ctx.Write(base, pattern(byte(i), 64)); err != nil {
+			t.Fatal(err)
+		}
+		if err := child.Destroy(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := m.ChainDepth(src); d > 3 {
+		t.Fatalf("chain depth %d after collapse GC; grew unboundedly", d)
+	}
+	if m.Stats().Collapses == 0 {
+		t.Fatal("no collapses happened")
+	}
+
+	// Ablation: without collapse the chain grows linearly.
+	m2 := New(Options{Frames: 512, PageSize: pg, DisableCollapse: true})
+	ctx2, _ := m2.ContextCreate()
+	src2 := m2.TempCacheCreate()
+	mustRegion(t, ctx2, base, 2*pg, gmi.ProtRW, src2, 0)
+	if err := ctx2.Write(base, pattern(0x01, 2*pg)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		child := m2.TempCacheCreate()
+		if err := src2.Copy(child, 0, 0, 2*pg); err != nil {
+			t.Fatal(err)
+		}
+		if err := ctx2.Write(base, pattern(byte(i), 64)); err != nil {
+			t.Fatal(err)
+		}
+		if err := child.Destroy(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := m2.ChainDepth(src2); d < 10 {
+		t.Fatalf("chain depth %d without GC; expected linear growth", d)
+	}
+}
+
+func TestSegmentBacked(t *testing.T) {
+	m := newTestVM(t, 64)
+	sg := seg.NewSegment("file", pg, m.Clock())
+	want := pattern(0x3C, 2*pg)
+	sg.Store().WriteAt(0, want)
+
+	c := m.CacheCreate(sg)
+	ctx, _ := m.ContextCreate()
+	mustRegion(t, ctx, base, 2*pg, gmi.ProtRW, c, 0)
+	got := make([]byte, 2*pg)
+	if err := ctx.Read(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("mapped read mismatch")
+	}
+	if err := ctx.Write(base+pg, pattern(0x44, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(0, 2*pg); err != nil {
+		t.Fatal(err)
+	}
+	check := make([]byte, 16)
+	sg.Store().ReadAt(pg, check)
+	if !bytes.Equal(check, pattern(0x44, 16)) {
+		t.Fatal("sync did not reach store")
+	}
+}
+
+func TestPageOutIntegrity(t *testing.T) {
+	m := newTestVM(t, 8)
+	ctx, _ := m.ContextCreate()
+	c := m.TempCacheCreate()
+	const npages = 24
+	mustRegion(t, ctx, base, npages*pg, gmi.ProtRW, c, 0)
+	want := make([][]byte, npages)
+	for i := range want {
+		want[i] = pattern(byte(i+1), pg)
+		if err := ctx.Write(base+gmi.VA(i*pg), want[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Stats().Evictions == 0 {
+		t.Fatal("no evictions under pressure")
+	}
+	got := make([]byte, pg)
+	for i := range want {
+		if err := ctx.Read(base+gmi.VA(i*pg), got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("page %d corrupted across swap", i)
+		}
+	}
+}
+
+func TestCopyOfCopy(t *testing.T) {
+	m := newTestVM(t, 256)
+	ctx, _ := m.ContextCreate()
+	src := m.TempCacheCreate()
+	orig := pattern(0x10, 3*pg)
+	mustRegion(t, ctx, base, 3*pg, gmi.ProtRW, src, 0)
+	if err := ctx.Write(base, orig); err != nil {
+		t.Fatal(err)
+	}
+
+	c1 := m.TempCacheCreate()
+	if err := src.Copy(c1, 0, 0, 3*pg); err != nil {
+		t.Fatal(err)
+	}
+	c2 := m.TempCacheCreate()
+	if err := c1.Copy(c2, 0, 0, 3*pg); err != nil {
+		t.Fatal(err)
+	}
+	a1 := base + 4*gmi.VA(pg)
+	a2 := base + 8*gmi.VA(pg)
+	mustRegion(t, ctx, a1, 3*pg, gmi.ProtRW, c1, 0)
+	mustRegion(t, ctx, a2, 3*pg, gmi.ProtRW, c2, 0)
+
+	if err := ctx.Write(a1+pg, pattern(0x77, pg)); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, pg)
+	if err := ctx.Read(a2+pg, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, orig[pg:2*pg]) {
+		t.Fatal("grand-copy lost original after middle write")
+	}
+	if err := ctx.Read(base+pg, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, orig[pg:2*pg]) {
+		t.Fatal("source corrupted")
+	}
+}

@@ -1,0 +1,193 @@
+package mix
+
+import (
+	"errors"
+	"sync"
+
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/nucleus"
+)
+
+// Unix file I/O over segments. A file is a segment held by the file-system
+// mapper; read(2)/write(2) are explicit accesses to its local cache and
+// mmap(2) maps the same cache — so the two access paths can never diverge,
+// which is the paper's answer to the dual-caching problem (section 3.2)
+// carried up to the Unix interface. In a buffer-cache Unix, read() and
+// mmap() use different caches and need explicit reconciliation; here they
+// are one cache by construction.
+
+// Errors returned by the file layer.
+var (
+	ErrBadFD        = errors.New("mix: bad file descriptor")
+	ErrFileExists   = errors.New("mix: file exists")
+	ErrFileNotFound = errors.New("mix: no such file")
+)
+
+// fileTable is the system-wide "inode" table: name → segment capability.
+type fileTable struct {
+	mu    sync.Mutex
+	files map[string]*fileInfo
+}
+
+type fileInfo struct {
+	cap  nucleus.Capability
+	szMu sync.Mutex
+	size int64
+}
+
+// Create makes an empty file; it fails if the name exists.
+func (s *System) Create(name string) error {
+	s.filesOnce.Do(s.initFiles)
+	s.files.mu.Lock()
+	defer s.files.mu.Unlock()
+	if _, ok := s.files.files[name]; ok {
+		return ErrFileExists
+	}
+	s.files.files[name] = &fileInfo{cap: s.FS.CreateSegment()}
+	return nil
+}
+
+// FileSize reports a file's current size.
+func (s *System) FileSize(name string) (int64, error) {
+	s.filesOnce.Do(s.initFiles)
+	s.files.mu.Lock()
+	defer s.files.mu.Unlock()
+	fi, ok := s.files.files[name]
+	if !ok {
+		return 0, ErrFileNotFound
+	}
+	return fi.size, nil
+}
+
+func (s *System) initFiles() {
+	s.files = &fileTable{files: make(map[string]*fileInfo)}
+}
+
+func (s *System) lookupFile(name string) (*fileInfo, error) {
+	s.filesOnce.Do(s.initFiles)
+	s.files.mu.Lock()
+	defer s.files.mu.Unlock()
+	fi, ok := s.files.files[name]
+	if !ok {
+		return nil, ErrFileNotFound
+	}
+	return fi, nil
+}
+
+// File is an open file description: a reference to the file's local cache
+// plus a seek position.
+type File struct {
+	proc *Process
+	fi   *fileInfo
+	cap  nucleus.Capability
+	c    gmi.Cache
+	pos  int64
+}
+
+// Open opens a file for read/write access through its local cache.
+func (p *Process) Open(name string) (*File, error) {
+	if p.exited() {
+		return nil, ErrDeadProcess
+	}
+	fi, err := p.sys.lookupFile(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := p.sys.Site.SegMgr.Acquire(fi.cap)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{proc: p, fi: fi, cap: fi.cap, c: c}
+	p.mu.Lock()
+	p.openFiles = append(p.openFiles, f)
+	p.mu.Unlock()
+	return f, nil
+}
+
+// Close releases the file's cache reference (the segment manager keeps the
+// cache warm; a reopen hits it).
+func (f *File) Close() error {
+	if f.c == nil {
+		return ErrBadFD
+	}
+	f.proc.sys.Site.SegMgr.Release(f.cap)
+	f.c = nil
+	p := f.proc
+	p.mu.Lock()
+	for i, x := range p.openFiles {
+		if x == f {
+			p.openFiles = append(p.openFiles[:i], p.openFiles[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// Read implements read(2): explicit access through the cache, advancing
+// the file position. Returns 0 at end of file.
+func (f *File) Read(buf []byte) (int, error) {
+	if f.c == nil {
+		return 0, ErrBadFD
+	}
+	f.fi.sizeMu().Lock()
+	size := f.fi.size
+	f.fi.sizeMu().Unlock()
+	if f.pos >= size {
+		return 0, nil
+	}
+	n := int64(len(buf))
+	if f.pos+n > size {
+		n = size - f.pos
+	}
+	if err := f.c.ReadAt(f.pos, buf[:n]); err != nil {
+		return 0, err
+	}
+	f.pos += n
+	return int(n), nil
+}
+
+// Write implements write(2): explicit access through the cache, growing
+// the file as needed.
+func (f *File) Write(data []byte) (int, error) {
+	if f.c == nil {
+		return 0, ErrBadFD
+	}
+	if err := f.c.WriteAt(f.pos, data); err != nil {
+		return 0, err
+	}
+	f.pos += int64(len(data))
+	f.fi.sizeMu().Lock()
+	if f.pos > f.fi.size {
+		f.fi.size = f.pos
+	}
+	f.fi.sizeMu().Unlock()
+	return len(data), nil
+}
+
+// SeekTo sets the absolute file position (lseek(2) with SEEK_SET).
+func (f *File) SeekTo(pos int64) {
+	f.pos = pos
+}
+
+// Sync implements fsync(2): modified cached data reaches the mapper.
+func (f *File) Sync() error {
+	if f.c == nil {
+		return ErrBadFD
+	}
+	return f.c.Sync(0, 1<<62)
+}
+
+// Mmap maps the file into the process at addr — through the very same
+// local cache read(2) and write(2) use.
+func (f *File) Mmap(addr gmi.VA, size int64, prot gmi.Prot) (gmi.Region, error) {
+	if f.c == nil {
+		return nil, ErrBadFD
+	}
+	return f.proc.Actor.RgnMap(addr, size, prot, f.cap, 0)
+}
+
+// sizeMu guards the file size; the fileInfo shares its table's mutex
+// domain but sizes change on the file's own little lock to keep writers
+// on different files independent.
+func (fi *fileInfo) sizeMu() *sync.Mutex { return &fi.szMu }

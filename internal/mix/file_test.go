@@ -1,0 +1,205 @@
+package mix
+
+import (
+	"bytes"
+	"testing"
+
+	"chorusvm/internal/gmi"
+)
+
+const mapBase = gmi.VA(0x3000_0000)
+
+func TestFileReadWriteRoundTrip(t *testing.T) {
+	s := newSystem(t, 256)
+	bin := testBinary(t, s)
+	if err := s.Create("data.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("data.bin"); err != ErrFileExists {
+		t.Fatalf("double create: %v", err)
+	}
+
+	p, err := s.Spawn(bin, func(p *Process) int {
+		f, err := p.Open("data.bin")
+		if err != nil {
+			return 1
+		}
+		defer f.Close()
+		want := pattern(0x5D, 3*pg+123)
+		if n, err := f.Write(want); err != nil || n != len(want) {
+			return 2
+		}
+		f.SeekTo(0)
+		got := make([]byte, len(want))
+		if n, err := f.Read(got); err != nil || n != len(want) {
+			return 3
+		}
+		if !bytes.Equal(got, want) {
+			return 4
+		}
+		// EOF behaviour.
+		if n, err := f.Read(got); err != nil || n != 0 {
+			return 5
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Wait(); st != 0 {
+		t.Fatalf("status %d", st)
+	}
+	if sz, err := s.FileSize("data.bin"); err != nil || sz != int64(3*pg+123) {
+		t.Fatalf("size %d, %v", sz, err)
+	}
+	if _, err := s.FileSize("nope"); err != ErrFileNotFound {
+		t.Fatalf("missing file: %v", err)
+	}
+}
+
+// TestReadMmapCoherence is the section 3.2 dual-caching claim at the Unix
+// level: write(2) and a live mmap of the same file see each other
+// immediately, because both go through one local cache.
+func TestReadMmapCoherence(t *testing.T) {
+	s := newSystem(t, 256)
+	bin := testBinary(t, s)
+	if err := s.Create("shared.dat"); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := s.Spawn(bin, func(p *Process) int {
+		f, err := p.Open("shared.dat")
+		if err != nil {
+			return 1
+		}
+		defer f.Close()
+		// Grow the file, then map it.
+		if _, err := f.Write(pattern(0x10, 2*pg)); err != nil {
+			return 2
+		}
+		if _, err := f.Mmap(mapBase, 2*pg, gmi.ProtRW); err != nil {
+			return 3
+		}
+		// write(2) → visible through the mapping.
+		f.SeekTo(100)
+		if _, err := f.Write([]byte("via write(2)")); err != nil {
+			return 4
+		}
+		buf := make([]byte, 12)
+		if err := p.Read(mapBase+100, buf); err != nil {
+			return 5
+		}
+		if string(buf) != "via write(2)" {
+			return 6
+		}
+		// store through the mapping → visible to read(2).
+		if err := p.Write(mapBase+pg, []byte("via mmap")); err != nil {
+			return 7
+		}
+		f.SeekTo(pg)
+		got := make([]byte, 8)
+		if _, err := f.Read(got); err != nil {
+			return 8
+		}
+		if string(got) != "via mmap" {
+			return 9
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Wait(); st != 0 {
+		t.Fatalf("status %d", st)
+	}
+}
+
+// TestFileSharedBetweenProcesses checks that two processes opening one
+// file share a single cache, and that fsync makes data durable in the
+// mapper store.
+func TestFileSharedBetweenProcesses(t *testing.T) {
+	s := newSystem(t, 256)
+	bin := testBinary(t, s)
+	if err := s.Create("log.txt"); err != nil {
+		t.Fatal(err)
+	}
+
+	writer, err := s.Spawn(bin, func(p *Process) int {
+		f, err := p.Open("log.txt")
+		if err != nil {
+			return 1
+		}
+		defer f.Close()
+		if _, err := f.Write([]byte("hello from writer")); err != nil {
+			return 2
+		}
+		if err := f.Sync(); err != nil {
+			return 3
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := writer.Wait(); st != 0 {
+		t.Fatalf("writer status %d", st)
+	}
+
+	reader, err := s.Spawn(bin, func(p *Process) int {
+		f, err := p.Open("log.txt")
+		if err != nil {
+			return 1
+		}
+		defer f.Close()
+		got := make([]byte, 17)
+		if n, err := f.Read(got); err != nil || n != 17 {
+			return 2
+		}
+		if string(got) != "hello from writer" {
+			return 3
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := reader.Wait(); st != 0 {
+		t.Fatalf("reader status %d", st)
+	}
+}
+
+func TestClosedFileErrors(t *testing.T) {
+	s := newSystem(t, 256)
+	bin := testBinary(t, s)
+	if err := s.Create("x"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Spawn(bin, func(p *Process) int {
+		f, err := p.Open("x")
+		if err != nil {
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			return 2
+		}
+		if err := f.Close(); err != ErrBadFD {
+			return 3
+		}
+		if _, err := f.Read(make([]byte, 1)); err != ErrBadFD {
+			return 4
+		}
+		if _, err := f.Write([]byte{1}); err != ErrBadFD {
+			return 5
+		}
+		if _, err := p.Open("missing"); err != ErrFileNotFound {
+			return 6
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Wait(); st != 0 {
+		t.Fatalf("status %d", st)
+	}
+}

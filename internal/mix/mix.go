@@ -1,0 +1,292 @@
+// Package mix implements a miniature Chorus/MIX: the System-V-compatible
+// Unix layer the paper's section 5.1.5 describes, mapped onto Nucleus
+// objects. A Unix process is an actor hosting a single thread (a
+// goroutine here); exec maps the text segment with rgnMap, initializes the
+// data segment with rgnInit and allocates the stack with rgnAllocate;
+// fork shares text with rgnMapFromActor and deferred-copies data and stack
+// with rgnInitFromActor. Process bodies are Go closures that access their
+// address space through the simulated load/store path, standing in for
+// machine code.
+package mix
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/nucleus"
+)
+
+// Address-space layout (paper-era Unix-ish).
+const (
+	TextBase  = gmi.VA(0x0040_0000)
+	DataBase  = gmi.VA(0x1000_0000)
+	HeapBase  = gmi.VA(0x2000_0000)
+	StackTop  = gmi.VA(0x7000_0000)
+	StackSize = int64(128 << 10)
+)
+
+// Errors returned by the process layer.
+var (
+	ErrDeadProcess = errors.New("mix: process has exited")
+	ErrNoBinary    = errors.New("mix: unknown binary")
+)
+
+// System is the process manager: the actor that maps Unix process
+// semantics onto the Chorus Nucleus.
+type System struct {
+	Site *nucleus.Site
+	// FS is the mapper acting as the file system: it holds binaries and
+	// files as segments.
+	FS *nucleus.Mapper
+
+	mu      sync.Mutex
+	nextPID int
+	procs   map[int]*Process
+
+	filesOnce sync.Once
+	files     *fileTable
+}
+
+// NewSystem creates a process manager on a site.
+func NewSystem(site *nucleus.Site) *System {
+	return &System{
+		Site:  site,
+		FS:    nucleus.NewMapper(site, "fs-mapper"),
+		procs: make(map[int]*Process),
+	}
+}
+
+// Binary is an executable image: a text segment and an initialized-data
+// segment, both held by the file-system mapper.
+type Binary struct {
+	Name     string
+	Text     nucleus.Capability
+	TextSize int64
+	Data     nucleus.Capability
+	DataSize int64
+}
+
+// InstallBinary stores an executable into the file system.
+func (s *System) InstallBinary(name string, text, data []byte) (*Binary, error) {
+	b := &Binary{Name: name, TextSize: int64(len(text)), DataSize: int64(len(data))}
+	b.Text = s.FS.CreateSegment()
+	if err := s.FS.Preload(b.Text, 0, text); err != nil {
+		return nil, err
+	}
+	b.Data = s.FS.CreateSegment()
+	if err := s.FS.Preload(b.Data, 0, data); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Process is one Unix process: a Chorus actor with a single thread.
+type Process struct {
+	sys   *System
+	PID   int
+	Actor *nucleus.Actor
+
+	mu        sync.Mutex
+	brk       gmi.VA
+	dead      bool
+	status    int
+	done      chan struct{}
+	openFiles []*File
+}
+
+// Main is a process body: it runs with the process's address space set up
+// and its return value becomes the exit status.
+type Main func(p *Process) int
+
+// Spawn creates a process from a binary and runs main as its thread.
+func (s *System) Spawn(bin *Binary, main Main) (*Process, error) {
+	p, err := s.newProcess()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.execImage(bin); err != nil {
+		_ = p.Actor.Destroy()
+		return nil, err
+	}
+	p.start(main)
+	return p, nil
+}
+
+func (s *System) newProcess() (*Process, error) {
+	actor, err := s.Site.NewActor()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.nextPID++
+	pid := s.nextPID
+	s.mu.Unlock()
+	p := &Process{sys: s, PID: pid, Actor: actor, done: make(chan struct{})}
+	s.mu.Lock()
+	s.procs[pid] = p
+	s.mu.Unlock()
+	return p, nil
+}
+
+// execImage builds the address space of section 5.1.5: rgnMap for text,
+// rgnInit for data, rgnAllocate for the stack.
+func (p *Process) execImage(bin *Binary) error {
+	if bin == nil {
+		return ErrNoBinary
+	}
+	if bin.TextSize > 0 {
+		if _, err := p.Actor.RgnMap(TextBase, bin.TextSize, gmi.ProtRX, bin.Text, 0); err != nil {
+			return err
+		}
+	}
+	if bin.DataSize > 0 {
+		if _, err := p.Actor.RgnInit(DataBase, bin.DataSize, gmi.ProtRW, bin.Data, 0); err != nil {
+			return err
+		}
+	}
+	if _, err := p.Actor.RgnAllocate(StackTop-gmi.VA(StackSize), StackSize, gmi.ProtRW); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.brk = HeapBase
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *Process) start(main Main) {
+	go func() {
+		status := main(p)
+		p.Exit(status)
+	}()
+}
+
+// Fork creates a child process whose address space is built with
+// rgnMapFromActor (text, shared) and rgnInitFromActor (everything else,
+// deferred-copied) — the section 5.1.5 fork. The child runs childMain.
+func (p *Process) Fork(childMain Main) (*Process, error) {
+	if p.exited() {
+		return nil, ErrDeadProcess
+	}
+	child, err := p.sys.newProcess()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range p.Actor.Ctx.Regions() {
+		st := r.Status()
+		var cerr error
+		if st.Addr == TextBase && st.Prot&gmi.ProtWrite == 0 {
+			_, cerr = child.Actor.RgnMapFromActor(st.Addr, st.Size, st.Prot, p.Actor, st.Addr)
+		} else {
+			_, cerr = child.Actor.RgnInitFromActor(st.Addr, st.Size, st.Prot, p.Actor, st.Addr)
+		}
+		if cerr != nil {
+			_ = child.Actor.Destroy()
+			return nil, cerr
+		}
+	}
+	child.mu.Lock()
+	child.brk = p.currentBrk()
+	child.mu.Unlock()
+	child.start(childMain)
+	return child, nil
+}
+
+// Exec replaces the process's address space with a fresh image of the
+// binary (the memory-management half of Unix exec; the calling closure
+// keeps running as the "new program").
+func (p *Process) Exec(bin *Binary) error {
+	if p.exited() {
+		return ErrDeadProcess
+	}
+	// Tear down all current regions, then rebuild.
+	for _, r := range p.Actor.Ctx.Regions() {
+		if err := p.Actor.RgnDestroy(r); err != nil {
+			return err
+		}
+	}
+	return p.execImage(bin)
+}
+
+// Sbrk grows the heap by n bytes (rounded to pages), returning the base of
+// the new allocation; each growth is one rgnAllocate.
+func (p *Process) Sbrk(n int64) (gmi.VA, error) {
+	if p.exited() {
+		return 0, ErrDeadProcess
+	}
+	ps := int64(p.sys.Site.MM.PageSize())
+	n = (n + ps - 1) &^ (ps - 1)
+	p.mu.Lock()
+	base := p.brk
+	p.brk += gmi.VA(n)
+	p.mu.Unlock()
+	if _, err := p.Actor.RgnAllocate(base, n, gmi.ProtRW); err != nil {
+		return 0, err
+	}
+	return base, nil
+}
+
+// Read and Write access the process's memory (its thread's loads/stores).
+func (p *Process) Read(va gmi.VA, buf []byte) error {
+	if p.exited() {
+		return ErrDeadProcess
+	}
+	return p.Actor.Ctx.Read(va, buf)
+}
+
+// Write stores into the process's memory.
+func (p *Process) Write(va gmi.VA, data []byte) error {
+	if p.exited() {
+		return ErrDeadProcess
+	}
+	return p.Actor.Ctx.Write(va, data)
+}
+
+// Exit terminates the process and releases its address space.
+func (p *Process) Exit(status int) {
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return
+	}
+	p.dead = true
+	p.status = status
+	p.mu.Unlock()
+
+	p.mu.Lock()
+	open := append([]*File(nil), p.openFiles...)
+	p.openFiles = nil
+	p.mu.Unlock()
+	for _, f := range open {
+		_ = f.Close()
+	}
+	_ = p.Actor.Destroy()
+	p.sys.mu.Lock()
+	delete(p.sys.procs, p.PID)
+	p.sys.mu.Unlock()
+	close(p.done)
+}
+
+// Wait blocks until the process exits and returns its status.
+func (p *Process) Wait() int {
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.status
+}
+
+func (p *Process) exited() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dead
+}
+
+func (p *Process) currentBrk() gmi.VA {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.brk
+}
+
+// String renders a process for diagnostics.
+func (p *Process) String() string { return fmt.Sprintf("pid %d", p.PID) }

@@ -1,0 +1,174 @@
+package mix
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"chorusvm/internal/gmi"
+)
+
+// TestForkInheritsHeap checks that fork deep-copies heap regions created
+// by Sbrk, not just data and stack.
+func TestForkInheritsHeap(t *testing.T) {
+	s := newSystem(t, 512)
+	bin := testBinary(t, s)
+	p, err := s.Spawn(bin, func(p *Process) int {
+		a, err := p.Sbrk(2 * pg)
+		if err != nil {
+			return 1
+		}
+		if err := p.Write(a, pattern(0x31, 2*pg)); err != nil {
+			return 2
+		}
+		child, err := p.Fork(func(c *Process) int {
+			buf := make([]byte, 2*pg)
+			if err := c.Read(a, buf); err != nil {
+				return 1
+			}
+			if !bytes.Equal(buf, pattern(0x31, 2*pg)) {
+				return 2
+			}
+			// The child grows its own heap; the parent's brk is
+			// unaffected by construction (each process tracks its own).
+			b, err := c.Sbrk(pg)
+			if err != nil {
+				return 3
+			}
+			if err := c.Write(b, []byte("child heap")); err != nil {
+				return 4
+			}
+			return 0
+		})
+		if err != nil {
+			return 3
+		}
+		if st := child.Wait(); st != 0 {
+			return 10 + st
+		}
+		// Parent's heap is untouched by the child's writes.
+		buf := make([]byte, 2*pg)
+		if err := p.Read(a, buf); err != nil {
+			return 4
+		}
+		if !bytes.Equal(buf, pattern(0x31, 2*pg)) {
+			return 5
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Wait(); st != 0 {
+		t.Fatalf("status %d", st)
+	}
+}
+
+// TestManyProcesses runs a small process storm: concurrent fork trees all
+// sharing one text segment through the segment cache.
+func TestManyProcesses(t *testing.T) {
+	s := newSystem(t, 1024)
+	bin := testBinary(t, s)
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			p, err := s.Spawn(bin, func(p *Process) int {
+				if err := p.Write(DataBase, []byte{byte(i)}); err != nil {
+					return 1
+				}
+				child, err := p.Fork(func(c *Process) int {
+					buf := make([]byte, 1)
+					if err := c.Read(DataBase, buf); err != nil || buf[0] != byte(i) {
+						return 1
+					}
+					return 0
+				})
+				if err != nil {
+					return 2
+				}
+				return child.Wait()
+			})
+			if err != nil {
+				t.Errorf("spawn %d: %v", i, err)
+				return
+			}
+			if st := p.Wait(); st != 0 {
+				t.Errorf("tree %d exited %d", i, st)
+			}
+		}()
+	}
+	wg.Wait()
+	// All processes exited; their address spaces are gone.
+	s.mu.Lock()
+	live := len(s.procs)
+	s.mu.Unlock()
+	if live != 0 {
+		t.Fatalf("%d processes leaked", live)
+	}
+}
+
+// TestTextIsShared verifies that every process maps the same text cache
+// (one set of resident pages regardless of process count).
+func TestTextIsShared(t *testing.T) {
+	s := newSystem(t, 256)
+	bin := testBinary(t, s)
+	var caches []gmi.Cache
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		p, err := s.Spawn(bin, func(p *Process) int {
+			defer wg.Done()
+			if err := p.Read(TextBase, make([]byte, 16)); err != nil {
+				return 1
+			}
+			r, ok := p.Actor.Ctx.FindRegion(TextBase)
+			if !ok {
+				return 2
+			}
+			mu.Lock()
+			caches = append(caches, r.Status().Cache)
+			mu.Unlock()
+			return 0
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Wait()
+	}
+	wg.Wait()
+	if len(caches) != 3 {
+		t.Fatalf("got %d caches", len(caches))
+	}
+	if caches[0] != caches[1] || caches[1] != caches[2] {
+		t.Fatal("text not shared through one local-cache")
+	}
+}
+
+func TestExitIdempotentAndDeadProcessErrors(t *testing.T) {
+	s := newSystem(t, 256)
+	bin := testBinary(t, s)
+	p, err := s.Spawn(bin, func(p *Process) int { return 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Wait(); st != 3 {
+		t.Fatalf("status %d", st)
+	}
+	p.Exit(99) // second exit must be a no-op
+	if st := p.Wait(); st != 3 {
+		t.Fatal("exit status overwritten")
+	}
+	if err := p.Read(DataBase, make([]byte, 1)); err != ErrDeadProcess {
+		t.Fatalf("read dead process: %v", err)
+	}
+	if _, err := p.Fork(func(*Process) int { return 0 }); err != ErrDeadProcess {
+		t.Fatalf("fork dead process: %v", err)
+	}
+	if _, err := p.Sbrk(pg); err != ErrDeadProcess {
+		t.Fatalf("sbrk dead process: %v", err)
+	}
+}

@@ -1,0 +1,337 @@
+package mix
+
+import (
+	"bytes"
+	"testing"
+
+	"chorusvm/internal/core"
+	"chorusvm/internal/cost"
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/nucleus"
+)
+
+const pg = 8192
+
+func newSystem(t *testing.T, frames int) *System {
+	t.Helper()
+	clock := cost.New()
+	site := nucleus.NewSite(clock, func(sa gmi.SegmentAllocator) gmi.MemoryManager {
+		return core.New(core.Options{Frames: frames, PageSize: pg, Clock: clock, SegAlloc: sa})
+	})
+	return NewSystem(site)
+}
+
+func pattern(tag byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = tag ^ byte(i*7)
+	}
+	return b
+}
+
+func testBinary(t *testing.T, s *System) *Binary {
+	t.Helper()
+	bin, err := s.InstallBinary("a.out", pattern(0x7F, 2*pg), pattern(0xDA, 3*pg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+func TestSpawnExecImage(t *testing.T) {
+	s := newSystem(t, 256)
+	bin := testBinary(t, s)
+
+	p, err := s.Spawn(bin, func(p *Process) int {
+		// Text is mapped and readable.
+		text := make([]byte, 2*pg)
+		if err := p.Read(TextBase, text); err != nil {
+			t.Errorf("read text: %v", err)
+			return 1
+		}
+		if !bytes.Equal(text, pattern(0x7F, 2*pg)) {
+			t.Error("text image mismatch")
+			return 1
+		}
+		// Text is not writable.
+		if err := p.Write(TextBase, []byte{1}); err != gmi.ErrProtection {
+			t.Errorf("text write: got %v, want ErrProtection", err)
+			return 1
+		}
+		// Data is initialized and private.
+		data := make([]byte, 3*pg)
+		if err := p.Read(DataBase, data); err != nil {
+			t.Errorf("read data: %v", err)
+			return 1
+		}
+		if !bytes.Equal(data, pattern(0xDA, 3*pg)) {
+			t.Error("data image mismatch")
+			return 1
+		}
+		// Stack is zero-filled and writable.
+		if err := p.Write(StackTop-64, pattern(0x01, 64)); err != nil {
+			t.Errorf("stack write: %v", err)
+			return 1
+		}
+		return 42
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status := p.Wait(); status != 42 {
+		t.Fatalf("exit status %d, want 42", status)
+	}
+}
+
+func TestForkCopyOnWrite(t *testing.T) {
+	s := newSystem(t, 512)
+	bin := testBinary(t, s)
+
+	result := make(chan error, 1)
+	p, err := s.Spawn(bin, func(p *Process) int {
+		// Scribble a recognizable value into data.
+		if err := p.Write(DataBase, pattern(0xAA, pg)); err != nil {
+			result <- err
+			return 1
+		}
+		childSeen := make(chan []byte, 1)
+		child, err := p.Fork(func(c *Process) int {
+			buf := make([]byte, pg)
+			if err := c.Read(DataBase, buf); err != nil {
+				childSeen <- nil
+				return 1
+			}
+			childSeen <- buf
+			// Child writes; parent must not see it.
+			if err := c.Write(DataBase+pg, pattern(0xBB, pg)); err != nil {
+				return 1
+			}
+			return 7
+		})
+		if err != nil {
+			result <- err
+			return 1
+		}
+		got := <-childSeen
+		if got == nil || !bytes.Equal(got, pattern(0xAA, pg)) {
+			result <- errMismatch("child did not inherit parent data")
+			return 1
+		}
+		if st := child.Wait(); st != 7 {
+			result <- errMismatch("child exit status wrong")
+			return 1
+		}
+		// Parent's page at DataBase+pg must be the original image.
+		buf := make([]byte, pg)
+		if err := p.Read(DataBase+pg, buf); err != nil {
+			result <- err
+			return 1
+		}
+		if !bytes.Equal(buf, pattern(0xDA, 3*pg)[pg:2*pg]) {
+			result <- errMismatch("child write leaked into parent")
+			return 1
+		}
+		result <- nil
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-result; err != nil {
+		t.Fatal(err)
+	}
+	p.Wait()
+}
+
+type errMismatch string
+
+func (e errMismatch) Error() string { return string(e) }
+
+func TestForkChain(t *testing.T) {
+	s := newSystem(t, 512)
+	bin := testBinary(t, s)
+
+	// A chain of forks, each child modifying one page then forking again:
+	// the Figure 3 scenarios driven through the full MIX stack.
+	const depth = 5
+	final := make(chan []byte, 1)
+	var spawn func(p *Process, level int) int
+	spawn = func(p *Process, level int) int {
+		if err := p.Write(DataBase+gmi.VA(level*pg/2), pattern(byte(level), 16)); err != nil {
+			final <- nil
+			return 1
+		}
+		if level == depth {
+			buf := make([]byte, pg)
+			if err := p.Read(DataBase, buf); err != nil {
+				final <- nil
+				return 1
+			}
+			final <- buf
+			return 0
+		}
+		child, err := p.Fork(func(c *Process) int { return spawn(c, level+1) })
+		if err != nil {
+			final <- nil
+			return 1
+		}
+		child.Wait()
+		return 0
+	}
+	p, err := s.Spawn(bin, func(p *Process) int { return spawn(p, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := <-final
+	if buf == nil {
+		t.Fatal("fork chain failed")
+	}
+	// The deepest child sees the level-0..depth writes that landed in the
+	// first page, over the original image.
+	want := pattern(0xDA, pg)
+	for lvl := 0; lvl <= depth; lvl++ {
+		off := lvl * pg / 2
+		if off+16 <= pg {
+			copy(want[off:off+16], pattern(byte(lvl), 16))
+		}
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatal("deep child's view wrong")
+	}
+	p.Wait()
+}
+
+func TestSbrk(t *testing.T) {
+	s := newSystem(t, 256)
+	bin := testBinary(t, s)
+	p, err := s.Spawn(bin, func(p *Process) int {
+		a, err := p.Sbrk(3 * pg)
+		if err != nil {
+			return 1
+		}
+		if err := p.Write(a, pattern(0x21, 3*pg)); err != nil {
+			return 2
+		}
+		b, err := p.Sbrk(pg)
+		if err != nil {
+			return 3
+		}
+		if b != a+gmi.VA(3*pg) {
+			return 4
+		}
+		buf := make([]byte, 3*pg)
+		if err := p.Read(a, buf); err != nil {
+			return 5
+		}
+		if !bytes.Equal(buf, pattern(0x21, 3*pg)) {
+			return 6
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Wait(); st != 0 {
+		t.Fatalf("sbrk program failed with %d", st)
+	}
+}
+
+func TestExecReplacesImage(t *testing.T) {
+	s := newSystem(t, 256)
+	bin1 := testBinary(t, s)
+	bin2, err := s.InstallBinary("b.out", pattern(0x2F, pg), pattern(0x3F, pg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Spawn(bin1, func(p *Process) int {
+		if err := p.Write(DataBase, pattern(0x99, pg)); err != nil {
+			return 1
+		}
+		if err := p.Exec(bin2); err != nil {
+			return 2
+		}
+		buf := make([]byte, pg)
+		if err := p.Read(DataBase, buf); err != nil {
+			return 3
+		}
+		if !bytes.Equal(buf, pattern(0x3F, pg)) {
+			return 4 // old data survived exec
+		}
+		if err := p.Read(TextBase, buf); err != nil {
+			return 5
+		}
+		if !bytes.Equal(buf, pattern(0x2F, pg)) {
+			return 6
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Wait(); st != 0 {
+		t.Fatalf("exec program failed with %d", st)
+	}
+	// Exec again from a fresh process must hit the segment cache.
+	hits, _ := s.Site.SegMgr.Stats()
+	p2, err := s.Spawn(bin2, func(p *Process) int { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Wait()
+	hits2, _ := s.Site.SegMgr.Stats()
+	if hits2 <= hits {
+		t.Fatalf("re-exec did not hit the segment cache (%d -> %d)", hits, hits2)
+	}
+}
+
+func TestPipe(t *testing.T) {
+	s := newSystem(t, 512)
+	bin := testBinary(t, s)
+	pipe := s.NewPipe()
+
+	want := pattern(0x5C, 16<<10)
+	reader, err := s.Spawn(bin, func(p *Process) int {
+		// Receive directly into the heap.
+		a, err := p.Sbrk(32 << 10)
+		if err != nil {
+			return 1
+		}
+		n, err := pipe.ReadInto(p, a, 32<<10)
+		if err != nil || n != int64(len(want)) {
+			return 2
+		}
+		buf := make([]byte, len(want))
+		if err := p.Read(a, buf); err != nil {
+			return 3
+		}
+		if !bytes.Equal(buf, want) {
+			return 4
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer, err := s.Spawn(bin, func(p *Process) int {
+		a, err := p.Sbrk(32 << 10)
+		if err != nil {
+			return 1
+		}
+		if err := p.Write(a, want); err != nil {
+			return 2
+		}
+		if err := pipe.WriteFrom(p, a, int64(len(want))); err != nil {
+			return 3
+		}
+		return 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := writer.Wait(); st != 0 {
+		t.Fatalf("writer failed with %d", st)
+	}
+	if st := reader.Wait(); st != 0 {
+		t.Fatalf("reader failed with %d", st)
+	}
+}

@@ -1,0 +1,70 @@
+package mix
+
+import (
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/ipc"
+	"chorusvm/internal/nucleus"
+)
+
+// Pipe is a unidirectional byte channel between processes, built directly
+// on a Chorus IPC port. Message bodies taken from process memory travel
+// the paper's section 5.1.6 path: a cache.copy into a transit-segment slot
+// on send, a cache.move out of it on receive.
+type Pipe struct {
+	port *ipc.Port
+}
+
+// NewPipe creates a pipe on the site's IPC kernel.
+func (s *System) NewPipe() *Pipe {
+	return &Pipe{port: s.Site.IPC.AllocPort("pipe")}
+}
+
+// Close destroys the pipe; blocked readers fail.
+func (pp *Pipe) Close() { pp.port.Destroy() }
+
+// Write sends a byte slice down the pipe.
+func (pp *Pipe) Write(data []byte) error { return pp.port.SendBytes(data, nil) }
+
+// Read receives the next message from the pipe.
+func (pp *Pipe) Read() ([]byte, error) {
+	b, _, err := pp.port.ReceiveBytes()
+	return b, err
+}
+
+// WriteFrom sends n bytes out of the process's memory at va — the
+// zero-touch path: the body is deferred-copied from the process's own
+// cache into the transit segment.
+func (pp *Pipe) WriteFrom(p *Process, va gmi.VA, n int64) error {
+	if p.exited() {
+		return ErrDeadProcess
+	}
+	c, off, err := resolve(p, va)
+	if err != nil {
+		return err
+	}
+	return pp.port.Send(c, off, n, nil)
+}
+
+// ReadInto receives the next message into the process's memory at va,
+// moving transit frames into the process's cache when alignment allows.
+func (pp *Pipe) ReadInto(p *Process, va gmi.VA, max int64) (int64, error) {
+	if p.exited() {
+		return 0, ErrDeadProcess
+	}
+	c, off, err := resolve(p, va)
+	if err != nil {
+		return 0, err
+	}
+	n, _, err := pp.port.Receive(c, off, max)
+	return n, err
+}
+
+// resolve maps a process virtual address to (cache, offset).
+func resolve(p *Process, va gmi.VA) (gmi.Cache, int64, error) {
+	r, ok := p.Actor.Ctx.FindRegion(va)
+	if !ok {
+		return nil, 0, nucleus.ErrNoRegion
+	}
+	st := r.Status()
+	return st.Cache, st.Offset + int64(va-st.Addr), nil
+}

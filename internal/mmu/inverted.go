@@ -1,0 +1,145 @@
+package mmu
+
+import (
+	"chorusvm/internal/cost"
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/phys"
+)
+
+// Inverted-table MMU in the style of the Motorola PMMU port of the paper
+// (and of machines like the IBM RT): one hash table shared by all address
+// spaces, keyed by (space id, virtual page number), with chained buckets.
+// The table is sized relative to physical memory, which is exactly the
+// paper's section 4.1 sizing rule.
+
+// Inverted is the PMMU-style MMU flavour.
+type Inverted struct {
+	geometry
+	buckets []*invEntry
+	mask    uint64
+	nextSID uint32
+}
+
+type invEntry struct {
+	sid  uint32
+	vpn  uint64
+	pte  pte
+	next *invEntry
+}
+
+// NewInverted creates the flavour; buckets is the hash-table size (rounded
+// up to a power of two, minimum 64).
+func NewInverted(pageSize, buckets int, clock *cost.Clock) *Inverted {
+	n := 64
+	for n < buckets {
+		n <<= 1
+	}
+	return &Inverted{
+		geometry: newGeometry("pmmu", pageSize, clock),
+		buckets:  make([]*invEntry, n),
+		mask:     uint64(n - 1),
+	}
+}
+
+// NewSpace implements MMU.
+func (m *Inverted) NewSpace() Space {
+	m.nextSID++
+	return &invSpace{mmu: m, sid: m.nextSID}
+}
+
+func (m *Inverted) hash(sid uint32, vpn uint64) uint64 {
+	h := vpn*0x9e3779b97f4a7c15 ^ uint64(sid)*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	return h & m.mask
+}
+
+type invSpace struct {
+	mmu    *Inverted
+	sid    uint32
+	mapped int
+}
+
+func (s *invSpace) find(vpn uint64) **invEntry {
+	pp := &s.mmu.buckets[s.mmu.hash(s.sid, vpn)]
+	for *pp != nil {
+		if e := *pp; e.sid == s.sid && e.vpn == vpn {
+			return pp
+		}
+		pp = &(*pp).next
+	}
+	return nil
+}
+
+func (s *invSpace) Map(va gmi.VA, f *phys.Frame, p gmi.Prot) {
+	vpn := s.mmu.vpn(va)
+	if pp := s.find(vpn); pp != nil {
+		(*pp).pte = pte{frame: f, prot: p}
+	} else {
+		b := &s.mmu.buckets[s.mmu.hash(s.sid, vpn)]
+		*b = &invEntry{sid: s.sid, vpn: vpn, pte: pte{frame: f, prot: p}, next: *b}
+		s.mapped++
+	}
+	s.mmu.clock.Charge(cost.EvPageMap, 1)
+}
+
+func (s *invSpace) Unmap(va gmi.VA) {
+	if pp := s.find(s.mmu.vpn(va)); pp != nil {
+		*pp = (*pp).next
+		s.mapped--
+		s.mmu.clock.Charge(cost.EvPageUnmap, 1)
+	}
+}
+
+func (s *invSpace) Protect(va gmi.VA, p gmi.Prot) {
+	if pp := s.find(s.mmu.vpn(va)); pp != nil {
+		(*pp).pte.prot = p
+		s.mmu.clock.Charge(cost.EvPageProtect, 1)
+	}
+}
+
+func (s *invSpace) Translate(va gmi.VA, access gmi.Prot, system bool) (*phys.Frame, error) {
+	pp := s.find(s.mmu.vpn(va))
+	if pp == nil {
+		return nil, &Fault{VA: va, Access: access, Kind: FaultInvalid}
+	}
+	e := &(*pp).pte
+	if err := e.check(va, access, system); err != nil {
+		return nil, err
+	}
+	return e.frame, nil
+}
+
+func (s *invSpace) Lookup(va gmi.VA) (*phys.Frame, gmi.Prot, bool) {
+	if pp := s.find(s.mmu.vpn(va)); pp != nil {
+		e := (*pp).pte
+		return e.frame, e.prot, true
+	}
+	return nil, 0, false
+}
+
+func (s *invSpace) InvalidateRange(va gmi.VA, npages int) {
+	for i := 0; i < npages; i++ {
+		if pp := s.find(s.mmu.vpn(va + gmi.VA(i<<s.mmu.shift))); pp != nil {
+			*pp = (*pp).next
+			s.mapped--
+		}
+	}
+	s.mmu.clock.Charge(cost.EvPageInvalidate, npages)
+}
+
+func (s *invSpace) Mapped() int { return s.mapped }
+
+func (s *invSpace) Destroy() {
+	// Walk every bucket and unchain this space's entries.
+	for i := range s.mmu.buckets {
+		pp := &s.mmu.buckets[i]
+		for *pp != nil {
+			if (*pp).sid == s.sid {
+				*pp = (*pp).next
+				continue
+			}
+			pp = &(*pp).next
+		}
+	}
+	s.mapped = 0
+}

@@ -1,0 +1,139 @@
+// Package mmu simulates hardware memory-management units. It is the
+// machine-dependent layer under the PVM: the PVM (and the Mach baseline)
+// talk to a Space through the small interface below, and three MMU
+// flavours implement it — mirroring the paper's claim that porting the PVM
+// to a new MMU touches only this layer (their Sun-3, Motorola PMMU and
+// iAPX-386 ports, Table 5).
+//
+// A Space is a per-context translation structure. Translation never walks
+// anything expensive in a real machine (the TLB hits); accordingly
+// Translate charges nothing, while the map/unmap/protect operations charge
+// the machine-dependent costs the paper measures.
+package mmu
+
+import (
+	"fmt"
+
+	"chorusvm/internal/cost"
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/phys"
+)
+
+// FaultKind distinguishes the two hardware fault causes.
+type FaultKind int
+
+const (
+	// FaultInvalid is a reference through a missing translation.
+	FaultInvalid FaultKind = iota
+	// FaultProtection is a reference violating the page protection.
+	FaultProtection
+)
+
+// Fault is the hardware page-fault descriptor: the fault address and the
+// access that caused it. It is returned by Translate as an error; the
+// memory manager's handler consumes it.
+type Fault struct {
+	VA     gmi.VA
+	Access gmi.Prot
+	Kind   FaultKind
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	kind := "invalid"
+	if f.Kind == FaultProtection {
+		kind = "protection"
+	}
+	return fmt.Sprintf("mmu: %s fault at %#x (access %v)", kind, uint64(f.VA), f.Access)
+}
+
+// Space is one context's translation map. Implementations are not
+// concurrency-safe; the memory manager serializes access (the paper's
+// "host kernel provides a simple synchronization interface").
+type Space interface {
+	// Map installs a translation for the page containing va.
+	Map(va gmi.VA, f *phys.Frame, p gmi.Prot)
+
+	// Unmap removes the translation for the page containing va, if any.
+	Unmap(va gmi.VA)
+
+	// Protect changes the protection of the page containing va; it is a
+	// no-op if the page is not mapped.
+	Protect(va gmi.VA, p gmi.Prot)
+
+	// Translate performs one hardware reference of the given access type
+	// (system indicates supervisor mode). On success it returns the
+	// frame; on failure it returns a *Fault.
+	Translate(va gmi.VA, access gmi.Prot, system bool) (*phys.Frame, error)
+
+	// Lookup inspects the translation without charging costs or
+	// faulting; for tests and invariant checks.
+	Lookup(va gmi.VA) (f *phys.Frame, p gmi.Prot, ok bool)
+
+	// InvalidateRange removes all translations in [va, va+n*pageSize);
+	// the bulk form used at region destruction, cheaper per page than
+	// individual Unmaps.
+	InvalidateRange(va gmi.VA, npages int)
+
+	// Mapped returns the number of live translations, for tests.
+	Mapped() int
+
+	// Destroy releases the space's translation structures.
+	Destroy()
+}
+
+// MMU manufactures Spaces for one simulated memory-management unit.
+type MMU interface {
+	// Name identifies the flavour ("sun3", "pmmu", "i386").
+	Name() string
+	// PageSize returns the page size in bytes (a power of two).
+	PageSize() int
+	// NewSpace creates an empty translation map.
+	NewSpace() Space
+}
+
+// geometry holds what every flavour needs: page arithmetic and the clock.
+type geometry struct {
+	name     string
+	pageSize int
+	shift    uint
+	clock    *cost.Clock
+}
+
+func newGeometry(name string, pageSize int, clock *cost.Clock) geometry {
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		panic(fmt.Sprintf("mmu: page size %d not a power of two", pageSize))
+	}
+	shift := uint(0)
+	for 1<<shift != pageSize {
+		shift++
+	}
+	return geometry{name: name, pageSize: pageSize, shift: shift, clock: clock}
+}
+
+func (g geometry) Name() string  { return g.name }
+func (g geometry) PageSize() int { return g.pageSize }
+
+// vpn returns the virtual page number of va.
+func (g geometry) vpn(va gmi.VA) uint64 { return uint64(va) >> g.shift }
+
+// pte is one translation entry.
+type pte struct {
+	frame *phys.Frame
+	prot  gmi.Prot
+}
+
+// check validates a reference of type access against the entry, returning
+// a *Fault or nil.
+func (e *pte) check(va gmi.VA, access gmi.Prot, system bool) error {
+	if e == nil || e.frame == nil {
+		return &Fault{VA: va, Access: access, Kind: FaultInvalid}
+	}
+	if e.prot&gmi.ProtSystem != 0 && !system {
+		return &Fault{VA: va, Access: access, Kind: FaultProtection}
+	}
+	if !e.prot.Allows(access) {
+		return &Fault{VA: va, Access: access, Kind: FaultProtection}
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package mmu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chorusvm/internal/cost"
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/phys"
+)
+
+const pg = 8192
+
+func flavours(clock *cost.Clock) []MMU {
+	return []MMU{
+		NewTwoLevel(pg, clock),
+		NewInverted(pg, 256, clock),
+		NewFlat(pg, clock),
+	}
+}
+
+func TestMapTranslateUnmap(t *testing.T) {
+	clock := cost.New()
+	mem := phys.NewMemory(16, pg, clock)
+	for _, m := range flavours(clock) {
+		t.Run(m.Name(), func(t *testing.T) {
+			s := m.NewSpace()
+			f, err := mem.Alloc()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer mem.Free(f)
+			va := gmi.VA(0x40000)
+
+			if _, err := s.Translate(va, gmi.ProtRead, false); err == nil {
+				t.Fatal("translate on empty space succeeded")
+			}
+			s.Map(va, f, gmi.ProtRW)
+			got, err := s.Translate(va, gmi.ProtWrite, false)
+			if err != nil || got != f {
+				t.Fatalf("translate after map: %v %v", got, err)
+			}
+			// Protection honored.
+			s.Protect(va, gmi.ProtRead)
+			_, werr := s.Translate(va, gmi.ProtWrite, false)
+			if werr == nil {
+				t.Fatal("write through read-only translation succeeded")
+			}
+			if ft, ok := werr.(*Fault); !ok || ft.Kind != FaultProtection {
+				t.Fatalf("want protection fault, got %v", werr)
+			}
+			// System-mode pages reject user access.
+			s.Protect(va, gmi.ProtRW|gmi.ProtSystem)
+			if _, err := s.Translate(va, gmi.ProtRead, false); err == nil {
+				t.Fatal("user access to system page succeeded")
+			}
+			if _, err := s.Translate(va, gmi.ProtRead, true); err != nil {
+				t.Fatalf("system access failed: %v", err)
+			}
+			s.Unmap(va)
+			if _, err := s.Translate(va, gmi.ProtRead, false); err == nil {
+				t.Fatal("translate after unmap succeeded")
+			}
+			if s.Mapped() != 0 {
+				t.Fatalf("mapped = %d after unmap", s.Mapped())
+			}
+			s.Destroy()
+		})
+	}
+}
+
+func TestSpaceIsolation(t *testing.T) {
+	clock := cost.New()
+	mem := phys.NewMemory(16, pg, clock)
+	for _, m := range flavours(clock) {
+		t.Run(m.Name(), func(t *testing.T) {
+			s1, s2 := m.NewSpace(), m.NewSpace()
+			f1, _ := mem.Alloc()
+			f2, _ := mem.Alloc()
+			defer mem.Free(f1)
+			defer mem.Free(f2)
+			va := gmi.VA(0x10000)
+			s1.Map(va, f1, gmi.ProtRW)
+			s2.Map(va, f2, gmi.ProtRead)
+			if got, _ := s1.Translate(va, gmi.ProtRead, false); got != f1 {
+				t.Fatal("space 1 sees wrong frame")
+			}
+			if got, _ := s2.Translate(va, gmi.ProtRead, false); got != f2 {
+				t.Fatal("space 2 sees wrong frame")
+			}
+			s1.Destroy()
+			// s2 must survive s1's destruction (the inverted flavour
+			// shares one hash table).
+			if got, _ := s2.Translate(va, gmi.ProtRead, false); got != f2 {
+				t.Fatal("space 2 lost translation after space 1 destroyed")
+			}
+			s2.Destroy()
+		})
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	clock := cost.New()
+	mem := phys.NewMemory(64, pg, clock)
+	for _, m := range flavours(clock) {
+		t.Run(m.Name(), func(t *testing.T) {
+			s := m.NewSpace()
+			var frames []*phys.Frame
+			for i := 0; i < 10; i++ {
+				f, _ := mem.Alloc()
+				frames = append(frames, f)
+				s.Map(gmi.VA(i*pg), f, gmi.ProtRW)
+			}
+			s.InvalidateRange(gmi.VA(2*pg), 5) // pages 2..6
+			for i := 0; i < 10; i++ {
+				_, _, ok := s.Lookup(gmi.VA(i * pg))
+				want := i < 2 || i >= 7
+				if ok != want {
+					t.Fatalf("page %d mapped=%v want %v", i, ok, want)
+				}
+			}
+			if s.Mapped() != 5 {
+				t.Fatalf("mapped = %d, want 5", s.Mapped())
+			}
+			s.Destroy()
+			for _, f := range frames {
+				mem.Free(f)
+			}
+		})
+	}
+}
+
+// TestDifferentialFlavours drives random operation sequences against all
+// three MMUs and a model map; they must agree exactly (testing/quick).
+func TestDifferentialFlavours(t *testing.T) {
+	clock := cost.New()
+	mem := phys.NewMemory(64, pg, clock)
+	var frames []*phys.Frame
+	for i := 0; i < 32; i++ {
+		f, _ := mem.Alloc()
+		frames = append(frames, f)
+	}
+
+	type op struct {
+		Kind uint8 // map, unmap, protect, invalidate
+		Page uint8 // 0..63
+		N    uint8 // range length for invalidate
+		Fr   uint8 // frame selector
+		Prot uint8
+	}
+	f := func(ops []op) bool {
+		ms := flavours(clock)
+		spaces := make([]Space, len(ms))
+		for i, m := range ms {
+			spaces[i] = m.NewSpace()
+		}
+		defer func() {
+			for _, s := range spaces {
+				s.Destroy()
+			}
+		}()
+		model := map[gmi.VA]*phys.Frame{}
+		for _, o := range ops {
+			va := gmi.VA(int(o.Page%64) * pg)
+			switch o.Kind % 4 {
+			case 0:
+				fr := frames[int(o.Fr)%len(frames)]
+				prot := gmi.Prot(o.Prot) & gmi.ProtRWX
+				for _, s := range spaces {
+					s.Map(va, fr, prot)
+				}
+				model[va] = fr
+			case 1:
+				for _, s := range spaces {
+					s.Unmap(va)
+				}
+				delete(model, va)
+			case 2:
+				for _, s := range spaces {
+					s.Protect(va, gmi.ProtRead)
+				}
+			case 3:
+				n := int(o.N%8) + 1
+				for _, s := range spaces {
+					s.InvalidateRange(va, n)
+				}
+				for i := 0; i < n; i++ {
+					delete(model, va+gmi.VA(i*pg))
+				}
+			}
+		}
+		// All flavours must agree with the model on every page.
+		for page := 0; page < 64; page++ {
+			va := gmi.VA(page * pg)
+			want, wantOK := model[va]
+			for _, s := range spaces {
+				got, _, ok := s.Lookup(va)
+				if ok != wantOK || (ok && got != want) {
+					return false
+				}
+			}
+		}
+		for _, s := range spaces[1:] {
+			if s.Mapped() != spaces[0].Mapped() {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseAddressing(t *testing.T) {
+	clock := cost.New()
+	mem := phys.NewMemory(16, pg, clock)
+	f, _ := mem.Alloc()
+	defer mem.Free(f)
+	// Widely scattered addresses exercise the two-level root and hash
+	// distribution.
+	addrs := []gmi.VA{0, 0x7000_0000, 0x1_0000_0000, 0x7_FFFF_E000}
+	for _, m := range flavours(clock) {
+		t.Run(m.Name(), func(t *testing.T) {
+			s := m.NewSpace()
+			for _, va := range addrs {
+				s.Map(va, f, gmi.ProtRead)
+			}
+			for _, va := range addrs {
+				if got, _, ok := s.Lookup(va); !ok || got != f {
+					t.Fatalf("lost sparse mapping at %#x", uint64(va))
+				}
+			}
+			if s.Mapped() != len(addrs) {
+				t.Fatalf("mapped=%d want %d", s.Mapped(), len(addrs))
+			}
+			s.Destroy()
+		})
+	}
+}

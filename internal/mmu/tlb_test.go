@@ -1,0 +1,100 @@
+package mmu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chorusvm/internal/cost"
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/phys"
+)
+
+func TestTLBHitAndShootdown(t *testing.T) {
+	clock := cost.New()
+	mem := phys.NewMemory(8, pg, clock)
+	m := WithTLB(NewFlat(pg, clock), 16, clock)
+	s := m.NewSpace()
+	f1, _ := mem.Alloc()
+	f2, _ := mem.Alloc()
+	va := gmi.VA(0x10000)
+
+	s.Map(va, f1, gmi.ProtRW)
+	if got, err := s.Translate(va, gmi.ProtRead, false); err != nil || got != f1 {
+		t.Fatal("first translate failed")
+	}
+	if got, _ := s.Translate(va, gmi.ProtRead, false); got != f1 {
+		t.Fatal("second translate failed")
+	}
+	st := m.Stats()
+	if st.Hits == 0 {
+		t.Fatal("no TLB hits")
+	}
+	// Remap must shoot the entry down: the new frame must be visible.
+	s.Map(va, f2, gmi.ProtRW)
+	if got, _ := s.Translate(va, gmi.ProtRead, false); got != f2 {
+		t.Fatal("stale TLB entry survived a remap")
+	}
+	// Protection downgrade must be honoured immediately.
+	s.Protect(va, gmi.ProtRead)
+	if _, err := s.Translate(va, gmi.ProtWrite, false); err == nil {
+		t.Fatal("stale TLB entry honoured revoked write access")
+	}
+	// Unmap must fault.
+	s.Unmap(va)
+	if _, err := s.Translate(va, gmi.ProtRead, false); err == nil {
+		t.Fatal("stale TLB entry survived an unmap")
+	}
+	if m.Stats().Flushes == 0 {
+		t.Fatal("no shootdowns recorded")
+	}
+}
+
+// TestTLBDifferential proves the decorator is semantically invisible:
+// random op schedules give identical translations with and without it.
+func TestTLBDifferential(t *testing.T) {
+	clock := cost.New()
+	mem := phys.NewMemory(32, pg, clock)
+	var frames []*phys.Frame
+	for i := 0; i < 16; i++ {
+		f, _ := mem.Alloc()
+		frames = append(frames, f)
+	}
+	type op struct{ Kind, Page, Fr, Prot uint8 }
+	f := func(ops []op) bool {
+		plain := NewFlat(pg, clock).NewSpace()
+		tlbed := WithTLB(NewTwoLevel(pg, clock), 16, clock).NewSpace()
+		for _, o := range ops {
+			va := gmi.VA(int(o.Page%32) * pg)
+			switch o.Kind % 5 {
+			case 0, 1:
+				fr := frames[int(o.Fr)%len(frames)]
+				prot := gmi.Prot(o.Prot) & gmi.ProtRWX
+				plain.Map(va, fr, prot)
+				tlbed.Map(va, fr, prot)
+			case 2:
+				plain.Unmap(va)
+				tlbed.Unmap(va)
+			case 3:
+				plain.Protect(va, gmi.ProtRead)
+				tlbed.Protect(va, gmi.ProtRead)
+			case 4:
+				// Translate twice (second goes through the TLB).
+				for i := 0; i < 2; i++ {
+					for _, acc := range []gmi.Prot{gmi.ProtRead, gmi.ProtWrite} {
+						f1, e1 := plain.Translate(va, acc, false)
+						f2, e2 := tlbed.Translate(va, acc, false)
+						if (e1 == nil) != (e2 == nil) || f1 != f2 {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+package nucleus
+
+import (
+	"sync"
+
+	"chorusvm/internal/gmi"
+)
+
+// Actor is a Chorus actor: an address space hosting threads (goroutines in
+// this simulation). Its memory is managed through the high-level region
+// operations of section 5.1.4, which combine segment-manager and GMI
+// operations.
+type Actor struct {
+	site *Site
+	Ctx  gmi.Context
+
+	mu       sync.Mutex
+	mappings []*mapping
+	dead     bool
+}
+
+// mapping records what backs a region, so teardown releases the right
+// resource: temporary caches are destroyed, capability-bound caches are
+// released to the segment cache.
+type mapping struct {
+	region gmi.Region
+	temp   gmi.Cache  // owned temporary cache, or nil
+	cap    Capability // acquired capability, or zero
+}
+
+// NewActor creates an actor with an empty context.
+func (s *Site) NewActor() (*Actor, error) {
+	ctx, err := s.MM.ContextCreate()
+	if err != nil {
+		return nil, err
+	}
+	return &Actor{site: s, Ctx: ctx}, nil
+}
+
+// Destroy tears the actor down, releasing every mapping.
+func (a *Actor) Destroy() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.dead {
+		return gmi.ErrDestroyed
+	}
+	a.dead = true
+	if err := a.Ctx.Destroy(); err != nil {
+		return err
+	}
+	for _, m := range a.mappings {
+		a.releaseMapping(m)
+	}
+	a.mappings = nil
+	return nil
+}
+
+func (a *Actor) releaseMapping(m *mapping) {
+	if m.temp != nil {
+		_ = m.temp.Destroy()
+	}
+	if m.cap.Valid() {
+		a.site.SegMgr.Release(m.cap)
+	}
+}
+
+func (a *Actor) addMapping(m *mapping) {
+	a.mu.Lock()
+	a.mappings = append(a.mappings, m)
+	a.mu.Unlock()
+}
+
+// RgnAllocate allocates a fresh zero-filled region (Chorus rgnAllocate):
+// a temporary local-cache mapped into the actor.
+func (a *Actor) RgnAllocate(addr gmi.VA, size int64, prot gmi.Prot) (gmi.Region, error) {
+	c := a.site.MM.TempCacheCreate()
+	r, err := a.Ctx.RegionCreate(addr, size, prot, c, 0)
+	if err != nil {
+		_ = c.Destroy()
+		return nil, err
+	}
+	a.addMapping(&mapping{region: r, temp: c})
+	return r, nil
+}
+
+// RgnMap maps an existing segment into the actor (Chorus rgnMap): the
+// segment manager finds or creates the local-cache, then regionCreate maps
+// it. Repeated maps of the same segment share one cache — and one set of
+// resident pages.
+func (a *Actor) RgnMap(addr gmi.VA, size int64, prot gmi.Prot, cap Capability, off int64) (gmi.Region, error) {
+	c, err := a.site.SegMgr.Acquire(cap)
+	if err != nil {
+		return nil, err
+	}
+	r, err := a.Ctx.RegionCreate(addr, size, prot, c, off)
+	if err != nil {
+		a.site.SegMgr.Release(cap)
+		return nil, err
+	}
+	a.addMapping(&mapping{region: r, cap: cap})
+	return r, nil
+}
+
+// RgnInit creates a region initialized as a (deferred) copy of a segment
+// (Chorus rgnInit): temporary cache, cache.copy from the source segment's
+// cache, then map.
+func (a *Actor) RgnInit(addr gmi.VA, size int64, prot gmi.Prot, cap Capability, off int64) (gmi.Region, error) {
+	src, err := a.site.SegMgr.Acquire(cap)
+	if err != nil {
+		return nil, err
+	}
+	defer a.site.SegMgr.Release(cap)
+	tmp := a.site.MM.TempCacheCreate()
+	if err := src.Copy(tmp, 0, off, a.pageCeil(size)); err != nil {
+		_ = tmp.Destroy()
+		return nil, err
+	}
+	r, err := a.Ctx.RegionCreate(addr, size, prot, tmp, 0)
+	if err != nil {
+		_ = tmp.Destroy()
+		return nil, err
+	}
+	a.addMapping(&mapping{region: r, temp: tmp})
+	return r, nil
+}
+
+// RgnMapFromActor maps the segment backing a source actor's region into
+// this actor (Chorus rgnMapFromActor) — how fork shares the text segment.
+func (a *Actor) RgnMapFromActor(addr gmi.VA, size int64, prot gmi.Prot, src *Actor, srcAddr gmi.VA) (gmi.Region, error) {
+	sr, ok := src.Ctx.FindRegion(srcAddr)
+	if !ok {
+		return nil, ErrNoRegion
+	}
+	st := sr.Status()
+	off := st.Offset + int64(srcAddr-st.Addr)
+	r, err := a.Ctx.RegionCreate(addr, size, prot, st.Cache, off)
+	if err != nil {
+		return nil, err
+	}
+	// The source mapping holds the cache reference; sharing an actor's
+	// region keeps the source actor alive by convention (as in Chorus,
+	// where the text segment capability stays acquired). Record the
+	// capability if the source mapping has one so the reference count
+	// stays correct even after the source actor dies.
+	if m := src.findMapping(sr); m != nil && m.cap.Valid() {
+		if _, err := a.site.SegMgr.Acquire(m.cap); err == nil {
+			a.addMapping(&mapping{region: r, cap: m.cap})
+			return r, nil
+		}
+	}
+	a.addMapping(&mapping{region: r})
+	return r, nil
+}
+
+// RgnInitFromActor creates a region as a deferred copy of a source actor's
+// region (Chorus rgnInitFromActor) — how fork copies data and stack.
+func (a *Actor) RgnInitFromActor(addr gmi.VA, size int64, prot gmi.Prot, src *Actor, srcAddr gmi.VA) (gmi.Region, error) {
+	sr, ok := src.Ctx.FindRegion(srcAddr)
+	if !ok {
+		return nil, ErrNoRegion
+	}
+	st := sr.Status()
+	off := st.Offset + int64(srcAddr-st.Addr)
+	tmp := a.site.MM.TempCacheCreate()
+	if err := st.Cache.Copy(tmp, 0, off, a.pageCeil(size)); err != nil {
+		_ = tmp.Destroy()
+		return nil, err
+	}
+	r, err := a.Ctx.RegionCreate(addr, size, prot, tmp, 0)
+	if err != nil {
+		_ = tmp.Destroy()
+		return nil, err
+	}
+	a.addMapping(&mapping{region: r, temp: tmp})
+	return r, nil
+}
+
+// RgnDestroy unmaps a region created by the operations above and releases
+// its backing.
+func (a *Actor) RgnDestroy(r gmi.Region) error {
+	a.mu.Lock()
+	var m *mapping
+	for i, mm := range a.mappings {
+		if mm.region == r {
+			m = mm
+			a.mappings = append(a.mappings[:i], a.mappings[i+1:]...)
+			break
+		}
+	}
+	a.mu.Unlock()
+	if err := r.Destroy(); err != nil {
+		return err
+	}
+	if m != nil {
+		a.releaseMapping(m)
+	}
+	return nil
+}
+
+func (a *Actor) findMapping(r gmi.Region) *mapping {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, m := range a.mappings {
+		if m.region == r {
+			return m
+		}
+	}
+	return nil
+}
+
+func (a *Actor) pageCeil(size int64) int64 {
+	ps := int64(a.site.MM.PageSize())
+	return (size + ps - 1) &^ (ps - 1)
+}

@@ -1,0 +1,134 @@
+package nucleus
+
+import (
+	"bytes"
+	"testing"
+
+	"chorusvm/internal/gmi"
+)
+
+func TestRgnAllocateAndDestroy(t *testing.T) {
+	s := newSite(t)
+	a, err := s.NewActor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.RgnAllocate(base, 4*pg, gmi.ProtRW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pattern(0x42, 2*pg)
+	if err := a.Ctx.Write(base, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 2*pg)
+	if err := a.Ctx.Read(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("round trip failed")
+	}
+	if err := a.RgnDestroy(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Ctx.Read(base, got[:1]); err != gmi.ErrSegmentation {
+		t.Fatalf("read after destroy: %v", err)
+	}
+	if err := a.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Destroy(); err != gmi.ErrDestroyed {
+		t.Fatalf("double actor destroy: %v", err)
+	}
+}
+
+func TestRgnInitIsSnapshot(t *testing.T) {
+	s := newSite(t)
+	m := NewMapper(s, "files")
+	cap := m.CreateSegment()
+	orig := pattern(0x13, 2*pg)
+	if err := m.Preload(cap, 0, orig); err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := s.NewActor()
+	if _, err := a.RgnInit(base, 2*pg, gmi.ProtRW, cap, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Writing the initialized region must not reach the source segment.
+	if err := a.Ctx.Write(base, pattern(0x99, pg)); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.NewActor()
+	if _, err := b.RgnMap(base, 2*pg, gmi.ProtRead, cap, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, pg)
+	if err := b.Ctx.Read(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, orig[:pg]) {
+		t.Fatal("rgnInit write leaked into the source segment")
+	}
+}
+
+// TestSegmentCacheTrimFlushes verifies that evicting a warm cache from the
+// segment cache pushes its modifications home first.
+func TestSegmentCacheTrimFlushes(t *testing.T) {
+	s := newSite(t)
+	s.SegMgr.SetCacheLimit(1)
+	m := NewMapper(s, "files")
+	cap1 := m.CreateSegment()
+	cap2 := m.CreateSegment()
+	if err := m.Preload(cap1, 0, pattern(0x11, pg)); err != nil {
+		t.Fatal(err)
+	}
+
+	a, _ := s.NewActor()
+	r1, err := a.RgnMap(base, pg, gmi.ProtRW, cap1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Ctx.Write(base, []byte("modified")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RgnDestroy(r1); err != nil {
+		t.Fatal(err)
+	}
+	// cap1's cache is now warm; binding two more capabilities trims it.
+	for _, cp := range []Capability{cap2, m.CreateSegment()} {
+		r, err := a.RgnMap(base, pg, gmi.ProtRead, cp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Ctx.Read(base, make([]byte, 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.RgnDestroy(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The trim must have flushed the modification to the mapper store.
+	a2, _ := s.NewActor()
+	if _, err := a2.RgnMap(base, pg, gmi.ProtRead, cap1, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 8)
+	if err := a2.Ctx.Read(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "modified" {
+		t.Fatalf("trim lost modification: %q", got)
+	}
+}
+
+func TestBadCapability(t *testing.T) {
+	s := newSite(t)
+	a, _ := s.NewActor()
+	if _, err := a.RgnMap(base, pg, gmi.ProtRead, Capability{}, 0); err != ErrBadCapability {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := a.RgnMapFromActor(base, pg, gmi.ProtRead, a, base); err != ErrNoRegion {
+		t.Fatalf("got %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package phys simulates the physical memory of the host: a fixed pool of
+// page frames with real byte contents. Frame contents are real so that the
+// copy-on-write and zero-fill machinery above is verified byte-for-byte,
+// not merely exercised.
+//
+// The pool is deliberately dumb: allocation, liberation, zeroing and
+// copying. Page descriptors (which page belongs to which cache at which
+// offset) are the memory manager's business and live in internal/core.
+package phys
+
+import (
+	"fmt"
+	"sync"
+
+	"chorusvm/internal/cost"
+	"chorusvm/internal/gmi"
+)
+
+// Frame is one physical page frame. The Data slice is the frame's real
+// contents; its length is the memory's page size. A Frame belongs to
+// exactly one Memory and, between Alloc and Free, to exactly one owner.
+type Frame struct {
+	// Index is the physical frame number, stable for the frame's life.
+	Index int
+	// Data is the frame's contents.
+	Data []byte
+
+	next *Frame // free-list link; nil while allocated
+	free bool
+}
+
+// Memory is a pool of page frames.
+type Memory struct {
+	pageSize int
+	clock    *cost.Clock
+
+	mu       sync.Mutex
+	frames   []Frame
+	freeHead *Frame
+	freeN    int
+	// reclaim, when set, is called (without the pool lock) when an
+	// allocation finds the pool empty; it should evict pages and return
+	// true if it freed at least one frame. The PVM installs its pageout
+	// path here.
+	reclaim func() bool
+}
+
+// NewMemory creates a pool of nframes frames of pageSize bytes each.
+// pageSize must be a power of two.
+func NewMemory(nframes, pageSize int, clock *cost.Clock) *Memory {
+	if nframes <= 0 || pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		panic(fmt.Sprintf("phys: bad geometry %d frames × %d bytes", nframes, pageSize))
+	}
+	m := &Memory{pageSize: pageSize, clock: clock}
+	m.frames = make([]Frame, nframes)
+	backing := make([]byte, nframes*pageSize)
+	for i := range m.frames {
+		f := &m.frames[i]
+		f.Index = i
+		f.Data = backing[i*pageSize : (i+1)*pageSize : (i+1)*pageSize]
+		f.free = true
+		f.next = m.freeHead
+		m.freeHead = f
+	}
+	m.freeN = nframes
+	return m
+}
+
+// PageSize returns the frame size in bytes.
+func (m *Memory) PageSize() int { return m.pageSize }
+
+// TotalFrames returns the pool size.
+func (m *Memory) TotalFrames() int { return len(m.frames) }
+
+// FreeFrames returns the current number of free frames.
+func (m *Memory) FreeFrames() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.freeN
+}
+
+// SetReclaimer installs the eviction callback used when the pool runs dry.
+func (m *Memory) SetReclaimer(f func() bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reclaim = f
+}
+
+// Alloc returns a free frame, invoking the reclaimer as needed. The frame's
+// contents are whatever the previous owner left (real hardware does not
+// zero frames); callers wanting zeroes use Zero.
+func (m *Memory) Alloc() (*Frame, error) {
+	for attempt := 0; ; attempt++ {
+		m.mu.Lock()
+		if f := m.freeHead; f != nil {
+			m.freeHead = f.next
+			f.next = nil
+			f.free = false
+			m.freeN--
+			m.mu.Unlock()
+			m.clock.Charge(cost.EvFrameAlloc, 1)
+			return f, nil
+		}
+		reclaim := m.reclaim
+		m.mu.Unlock()
+		if reclaim == nil || attempt >= 8 || !reclaim() {
+			return nil, gmi.ErrNoMemory
+		}
+	}
+}
+
+// Free returns the frame to the pool. Freeing a free frame panics: it
+// always indicates an ownership bug in the layer above.
+func (m *Memory) Free(f *Frame) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f.free {
+		panic(fmt.Sprintf("phys: double free of frame %d", f.Index))
+	}
+	f.free = true
+	f.next = m.freeHead
+	m.freeHead = f
+	m.freeN++
+	m.clock.Charge(cost.EvFrameFree, 1)
+}
+
+// Zero fills the frame with zeroes, charging one bzero.
+func (m *Memory) Zero(f *Frame) {
+	clear(f.Data)
+	m.clock.Charge(cost.EvBzeroPage, 1)
+}
+
+// CopyFrame copies src's contents into dst, charging one bcopy.
+func (m *Memory) CopyFrame(dst, src *Frame) {
+	copy(dst.Data, src.Data)
+	m.clock.Charge(cost.EvBcopyPage, 1)
+}

@@ -1,0 +1,139 @@
+package script
+
+import (
+	"strings"
+	"testing"
+
+	"chorusvm/internal/core"
+)
+
+func run(t *testing.T, src string) (*Interp, string) {
+	t.Helper()
+	var out strings.Builder
+	in, err := New(&out, core.Options{Frames: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Run(strings.NewReader(src)); err != nil {
+		t.Fatalf("script failed: %v\noutput so far:\n%s", err, out.String())
+	}
+	if err := in.PVM().CheckInvariants(); err != nil {
+		t.Fatalf("invariants after script: %v", err)
+	}
+	return in, out.String()
+}
+
+func TestScriptForkScenario(t *testing.T) {
+	_, out := run(t, `
+# figure-3.a style scenario
+cache src
+region rsrc src 0x10000 4
+write rsrc 0x0 0x11 0x8000
+cache child
+copy src 0 child 0 4
+region rchild child 0x40000 4
+write rsrc 0x0 0x99 0x10
+expect rchild 0x0 0x11 0x10
+expect rsrc 0x0 0x99 0x10
+expect rchild 0x2000 0x11 0x10
+tree
+stats
+`)
+	if !strings.Contains(out, "history: child") {
+		t.Fatalf("tree output missing history edge:\n%s", out)
+	}
+	if !strings.Contains(out, "historypushes=1") {
+		t.Fatalf("stats missing the expected push:\n%s", out)
+	}
+}
+
+func TestScriptSegmentPreload(t *testing.T) {
+	_, out := run(t, `
+cache file pages=2 preload=0x3c
+region r file 0x10000 2
+expect r 0x0 0x3c 0x100
+read r 0x0 0x10
+sync file
+invalidate file
+expect r 0x0 0x3c 0x20
+`)
+	if !strings.Contains(out, "read r+0x0") {
+		t.Fatalf("missing read output:\n%s", out)
+	}
+}
+
+func TestScriptMoveAndPageout(t *testing.T) {
+	in, out := run(t, `
+cache a
+region ra a 0x10000 4
+write ra 0x0 0x21 0x8000
+cache b
+move a 0 b 0 4
+region rb b 0x40000 4
+expect rb 0x0 0x21 0x10
+pageout 4
+expect rb 0x0 0x21 0x10
+destroy ra
+destroy a
+expect rb 0x2000 0x21 0x10
+`)
+	if !strings.Contains(out, "pageout reclaimed") {
+		t.Fatalf("missing pageout output:\n%s", out)
+	}
+	if st := in.PVM().Stats(); st.Evictions == 0 {
+		t.Fatal("pageout did not evict")
+	}
+}
+
+func TestScriptLocking(t *testing.T) {
+	run(t, `
+cache a
+region ra a 0x10000 2
+write ra 0x0 0x31 0x4000
+lock ra
+pageout 16
+expect ra 0x0 0x31 0x4000
+unlock ra
+`)
+}
+
+func TestScriptErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"bogus", "unknown command"},
+		{"region r nope 0x1000 2", "no cache"},
+		{"cache a\ncache a", "already exists"},
+		{"write r 0 0 1", "no region"},
+		{"cache a\nregion r a 0x10000 2\nexpect r 0 0x55 4", "byte 0"},
+		{"destroy ghost", "no region or cache"},
+	}
+	for _, c := range cases {
+		var out strings.Builder
+		in, err := New(&out, core.Options{Frames: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = in.Run(strings.NewReader(c.src))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("script %q: got %v, want error containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestScriptWorkingObjectTree(t *testing.T) {
+	_, out := run(t, `
+cache src
+region rsrc src 0x10000 4
+write rsrc 0x0 0x41 0x8000
+cache c1
+copy src 0 c1 0 4
+cache c2
+copy src 0 c2 0 4
+tree
+`)
+	if !strings.Contains(out, "(w") {
+		t.Fatalf("second copy did not show a working object:\n%s", out)
+	}
+}

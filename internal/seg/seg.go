@@ -1,0 +1,221 @@
+// Package seg provides segment managers: the external servers that
+// implement secondary-storage objects and answer the memory manager's
+// upcalls (Table 3 of the paper). The paper's mappers live in separate
+// actors reached by IPC; here they are in-process objects invoked through
+// the same upcall interface, with simulated device latency charged to the
+// clock (see DESIGN.md's substitution table).
+package seg
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"chorusvm/internal/cost"
+	"chorusvm/internal/gmi"
+)
+
+// Store is an in-memory backing store: a sparse array of pages standing in
+// for a disk. One Store can back many segments (it is the "disk"); each
+// Segment is a window into it.
+type Store struct {
+	pageSize int
+	clock    *cost.Clock
+
+	mu    sync.Mutex
+	pages map[int64][]byte // keyed by page-aligned offset
+}
+
+// NewStore creates a backing store with the given page size.
+func NewStore(pageSize int, clock *cost.Clock) *Store {
+	return &Store{pageSize: pageSize, clock: clock, pages: make(map[int64][]byte)}
+}
+
+// ReadAt fills buf from the store, zero for never-written pages.
+func (s *Store) ReadAt(off int64, buf []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := int64(s.pageSize)
+	for done := int64(0); done < int64(len(buf)); {
+		po := (off + done) &^ (ps - 1)
+		b := off + done - po
+		n := ps - b
+		if rem := int64(len(buf)) - done; n > rem {
+			n = rem
+		}
+		if pg, ok := s.pages[po]; ok {
+			copy(buf[done:done+n], pg[b:b+n])
+		} else {
+			clear(buf[done : done+n])
+		}
+		done += n
+	}
+	s.clock.Charge(cost.EvDiskSeek, 1)
+	s.clock.Charge(cost.EvDiskRead, int((int64(len(buf))+ps-1)/ps))
+}
+
+// DebugWriteHook, when set, observes every store write (test diagnostics).
+var DebugWriteHook func(s *Store, off int64, data []byte)
+
+// WriteAt stores buf at off.
+func (s *Store) WriteAt(off int64, data []byte) {
+	if DebugWriteHook != nil {
+		DebugWriteHook(s, off, data)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ps := int64(s.pageSize)
+	for done := int64(0); done < int64(len(data)); {
+		po := (off + done) &^ (ps - 1)
+		b := off + done - po
+		n := ps - b
+		if rem := int64(len(data)) - done; n > rem {
+			n = rem
+		}
+		pg, ok := s.pages[po]
+		if !ok {
+			pg = make([]byte, ps)
+			s.pages[po] = pg
+		}
+		copy(pg[b:b+n], data[done:done+n])
+		done += n
+	}
+	s.clock.Charge(cost.EvDiskSeek, 1)
+	s.clock.Charge(cost.EvDiskWrite, int((int64(len(data))+ps-1)/ps))
+}
+
+// Pages returns how many distinct pages have been written.
+func (s *Store) Pages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pages)
+}
+
+// Segment is a mapper for one secondary-storage object held in a Store.
+// It answers pullIn by reading the store and calling fillUp, and pushOut
+// by calling copyBack and writing the store — the protocol of section
+// 5.1.2, minus the IPC transport.
+type Segment struct {
+	store *Store
+	name  string
+	// Grant is the access mode granted on pullIn; defaults to ProtRWX.
+	// A distributed-coherence mapper would grant read-only and upgrade
+	// in GetWriteAccess.
+	Grant gmi.Prot
+
+	pullIns  atomic.Uint64
+	pushOuts atomic.Uint64
+	upgrades atomic.Uint64
+}
+
+var _ gmi.Segment = (*Segment)(nil)
+
+// NewSegment creates a mapper over its own fresh store.
+func NewSegment(name string, pageSize int, clock *cost.Clock) *Segment {
+	return &Segment{store: NewStore(pageSize, clock), name: name, Grant: gmi.ProtRWX}
+}
+
+// Store exposes the backing store (tests preload content through it).
+func (s *Segment) Store() *Store { return s.store }
+
+// Name returns the segment's name.
+func (s *Segment) Name() string { return s.name }
+
+// PullIn implements gmi.Segment.
+func (s *Segment) PullIn(c gmi.Cache, off, size int64, mode gmi.Prot) error {
+	s.pullIns.Add(1)
+	buf := make([]byte, size)
+	s.store.ReadAt(off, buf)
+	grant := s.Grant
+	if grant == 0 {
+		grant = gmi.ProtRWX
+	}
+	return c.FillUp(off, buf, grant)
+}
+
+// GetWriteAccess implements gmi.Segment.
+func (s *Segment) GetWriteAccess(c gmi.Cache, off, size int64) error {
+	s.upgrades.Add(1)
+	return nil
+}
+
+// PushOut implements gmi.Segment.
+func (s *Segment) PushOut(c gmi.Cache, off, size int64) error {
+	s.pushOuts.Add(1)
+	buf := make([]byte, size)
+	if err := c.CopyBack(off, buf); err != nil {
+		return err
+	}
+	s.store.WriteAt(off, buf)
+	return nil
+}
+
+// PullIns returns how many pullIn upcalls the segment served.
+func (s *Segment) PullIns() uint64 { return s.pullIns.Load() }
+
+// PushOuts returns how many pushOut upcalls the segment served.
+func (s *Segment) PushOuts() uint64 { return s.pushOuts.Load() }
+
+// Upgrades returns how many getWriteAccess upcalls the segment served.
+func (s *Segment) Upgrades() uint64 { return s.upgrades.Load() }
+
+// SwapAllocator services segmentCreate upcalls by handing each
+// unilaterally created cache (temporaries, history objects) a fresh swap
+// segment — the default-mapper role of section 5.1.2.
+type SwapAllocator struct {
+	pageSize int
+	clock    *cost.Clock
+
+	mu      sync.Mutex
+	created int
+}
+
+var _ gmi.SegmentAllocator = (*SwapAllocator)(nil)
+
+// NewSwapAllocator creates the default mapper.
+func NewSwapAllocator(pageSize int, clock *cost.Clock) *SwapAllocator {
+	return &SwapAllocator{pageSize: pageSize, clock: clock}
+}
+
+// SegmentCreate implements gmi.SegmentAllocator.
+func (a *SwapAllocator) SegmentCreate(c gmi.Cache) (gmi.Segment, error) {
+	a.mu.Lock()
+	a.created++
+	n := a.created
+	a.mu.Unlock()
+	return NewSegment(fmt.Sprintf("swap-%d", n), a.pageSize, a.clock), nil
+}
+
+// Created returns how many swap segments have been allocated.
+func (a *SwapAllocator) Created() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.created
+}
+
+// ErrInjected is returned by failing test segments.
+var ErrInjected = fmt.Errorf("seg: injected failure")
+
+// FlakySegment wraps a segment, failing the first FailPullIns pull-ins
+// and FailPushOuts push-outs; for failure-injection tests.
+type FlakySegment struct {
+	gmi.Segment
+	FailPullIns  atomic.Int64
+	FailPushOuts atomic.Int64
+}
+
+// PullIn implements gmi.Segment.
+func (f *FlakySegment) PullIn(c gmi.Cache, off, size int64, mode gmi.Prot) error {
+	if f.FailPullIns.Add(-1) >= 0 {
+		return ErrInjected
+	}
+	return f.Segment.PullIn(c, off, size, mode)
+}
+
+// PushOut implements gmi.Segment.
+func (f *FlakySegment) PushOut(c gmi.Cache, off, size int64) error {
+	if f.FailPushOuts.Add(-1) >= 0 {
+		return ErrInjected
+	}
+	return f.Segment.PushOut(c, off, size)
+}

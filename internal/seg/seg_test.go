@@ -1,0 +1,162 @@
+package seg
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chorusvm/internal/cost"
+	"chorusvm/internal/gmi"
+)
+
+const pg = 8192
+
+func TestStoreSparseReadWrite(t *testing.T) {
+	st := NewStore(pg, cost.New())
+	// Never-written pages read as zero.
+	buf := make([]byte, 100)
+	st.ReadAt(5*pg, buf)
+	if !bytes.Equal(buf, make([]byte, 100)) {
+		t.Fatal("sparse read not zero")
+	}
+	// Cross-page unaligned write/read round trip.
+	data := []byte("across the page boundary")
+	st.WriteAt(pg-10, data)
+	got := make([]byte, len(data))
+	st.ReadAt(pg-10, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page round trip failed")
+	}
+	if st.Pages() != 2 {
+		t.Fatalf("pages = %d, want 2", st.Pages())
+	}
+}
+
+// TestStoreOracle quick-checks the store against a flat byte slice.
+func TestStoreOracle(t *testing.T) {
+	type op struct {
+		Off  uint16
+		Len  uint8
+		Seed uint8
+	}
+	f := func(ops []op) bool {
+		st := NewStore(pg, cost.New())
+		model := make([]byte, 4*pg)
+		for _, o := range ops {
+			off := int64(o.Off) % int64(len(model)-1)
+			n := int(o.Len)%256 + 1
+			if off+int64(n) > int64(len(model)) {
+				n = int(int64(len(model)) - off)
+			}
+			data := make([]byte, n)
+			for i := range data {
+				data[i] = o.Seed ^ byte(i)
+			}
+			st.WriteAt(off, data)
+			copy(model[off:], data)
+		}
+		got := make([]byte, len(model))
+		st.ReadAt(0, got)
+		return bytes.Equal(got, model)
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fakeCache implements just enough gmi.Cache for segment round trips.
+type fakeCache struct {
+	gmi.Cache
+	filled []byte
+	mode   gmi.Prot
+	data   []byte
+}
+
+func (f *fakeCache) FillUp(off int64, data []byte, mode gmi.Prot) error {
+	f.filled = append([]byte(nil), data...)
+	f.mode = mode
+	return nil
+}
+
+func (f *fakeCache) CopyBack(off int64, buf []byte) error {
+	copy(buf, f.data[off:])
+	return nil
+}
+
+func TestSegmentPullPush(t *testing.T) {
+	clock := cost.New()
+	sg := NewSegment("s", pg, clock)
+	want := []byte("hello segment")
+	sg.Store().WriteAt(0, want)
+
+	fc := &fakeCache{}
+	if err := sg.PullIn(fc, 0, pg, gmi.ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fc.filled[:len(want)], want) {
+		t.Fatal("pullIn content wrong")
+	}
+	if sg.PullIns() != 1 {
+		t.Fatal("pullIn not counted")
+	}
+	if clock.Count(cost.EvDiskRead) == 0 {
+		t.Fatal("disk read not charged")
+	}
+
+	fc.data = make([]byte, pg)
+	copy(fc.data, "written back")
+	if err := sg.PushOut(fc, 0, pg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 12)
+	sg.Store().ReadAt(0, got)
+	if string(got) != "written back" {
+		t.Fatal("pushOut did not reach store")
+	}
+	if sg.PushOuts() != 1 {
+		t.Fatal("pushOut not counted")
+	}
+}
+
+func TestSwapAllocatorDistinctSegments(t *testing.T) {
+	a := NewSwapAllocator(pg, cost.New())
+	s1, err := a.SegmentCreate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := a.SegmentCreate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatal("swap segments shared")
+	}
+	// Distinct stores: writes do not alias.
+	s1.(*Segment).Store().WriteAt(0, []byte{1})
+	buf := make([]byte, 1)
+	s2.(*Segment).Store().ReadAt(0, buf)
+	if buf[0] != 0 {
+		t.Fatal("stores alias")
+	}
+	if a.Created() != 2 {
+		t.Fatalf("created = %d", a.Created())
+	}
+}
+
+func TestFlakySegment(t *testing.T) {
+	sg := NewSegment("s", pg, cost.New())
+	fl := &FlakySegment{Segment: sg}
+	fl.FailPullIns.Store(2)
+	fc := &fakeCache{}
+	for i := 0; i < 2; i++ {
+		if err := fl.PullIn(fc, 0, pg, gmi.ProtRead); !errors.Is(err, ErrInjected) {
+			t.Fatalf("attempt %d: got %v", i, err)
+		}
+	}
+	if err := fl.PullIn(fc, 0, pg, gmi.ProtRead); err != nil {
+		t.Fatalf("third attempt should succeed: %v", err)
+	}
+}
