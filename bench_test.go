@@ -15,6 +15,7 @@ package chorusvm_test
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"chorusvm/internal/bench"
 	"chorusvm/internal/core"
@@ -128,6 +129,26 @@ func BenchmarkMakeWorkload(b *testing.B) {
 	div := float64(b.N + 1)
 	b.ReportMetric(float64(r.WarmSim.Microseconds())/div/1000, "warm-sim-ms/op")
 	b.ReportMetric(float64(r.ColdSim.Microseconds())/div/1000, "cold-sim-ms/op")
+}
+
+// BenchmarkParallelFaultThroughput measures wall-clock faults/sec with 1,
+// 2, 4 and 8 contexts demand-pulling disjoint segments concurrently. The
+// workload is pull-latency bound (each pullIn models 200µs of device
+// time), so the speedup comes from overlapping device waits — which the
+// sharded global map and shared-mode fast path allow and the old single
+// PVM lock forbade.
+func BenchmarkParallelFaultThroughput(b *testing.B) {
+	const pagesPerWorker = 64
+	const latency = 200 * time.Microsecond
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var last bench.ParallelResult
+			for i := 0; i < b.N; i++ {
+				last = bench.ParallelFaultThroughput(workers, pagesPerWorker, latency)
+			}
+			b.ReportMetric(last.FaultsSec, "faults/sec")
+		})
+	}
 }
 
 // BenchmarkMMUPortability runs the zero-fill workload over each simulated

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"chorusvm/internal/bench"
 	"chorusvm/internal/core"
@@ -29,6 +30,7 @@ func main() {
 	table := flag.Int("table", 0, "regenerate only table 6 or 7 (0 = both)")
 	derive := flag.Bool("derive", true, "print the section 5.3.2 derived overheads")
 	ablations := flag.Bool("ablations", false, "run the ablation benchmarks")
+	parallel := flag.Bool("parallel", false, "run the parallel fault-throughput benchmark")
 	iters := flag.Int("iters", 32, "iterations per cell")
 	frames := flag.Int("frames", 2048, "physical frames per memory manager")
 	flag.Parse()
@@ -69,6 +71,15 @@ func main() {
 		fmt.Println(bench.MakeWorkload(8, 16).Format())
 		fmt.Println(bench.CopyPolicy(32, *iters).Format())
 		fmt.Println(bench.FormatMMU(bench.MMUPortability(32, 32, *iters)))
+	}
+
+	if *parallel {
+		fmt.Println("=== Parallel fault throughput (sharded global map) ===")
+		var rs []bench.ParallelResult
+		for _, w := range []int{1, 2, 4, 8} {
+			rs = append(rs, bench.ParallelFaultThroughput(w, 64, 200*time.Microsecond))
+		}
+		fmt.Println(bench.FormatParallel(rs))
 	}
 	os.Exit(0)
 }

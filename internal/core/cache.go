@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
@@ -31,6 +32,14 @@ func (r parentRange) covers(off int64) bool { return off >= r.off && off < r.off
 // cache is a local-cache descriptor.
 type cache struct {
 	pvm *PVM
+	// id is a stable small integer used to hash global-map keys onto
+	// shards (see shard.go).
+	id uint64
+	// listMu guards pageHead/pageTail/npages so the fast fault path can
+	// link freshly resident pages while holding only p.mu.RLock plus the
+	// page's shard mutex. Every other cache field is written only under
+	// p.mu held exclusively.
+	listMu sync.Mutex
 
 	// seg is the bound segment; nil for a temporary (zero-fill) cache
 	// until the first push-out assigns one via segmentCreate.
@@ -93,7 +102,8 @@ var _ gmi.Cache = (*cache)(nil)
 
 // newCache allocates a cache descriptor; p.mu must be held.
 func (p *PVM) newCache(seg gmi.Segment, temp bool) *cache {
-	c := &cache{pvm: p, seg: seg, temp: temp, protCap: gmi.ProtRWX}
+	p.nextCacheID++
+	c := &cache{pvm: p, id: p.nextCacheID, seg: seg, temp: temp, protCap: gmi.ProtRWX}
 	p.caches[c] = struct{}{}
 	p.clock.Charge(cost.EvCacheCreate, 1)
 	return c
@@ -113,11 +123,13 @@ func (c *cache) Resident() int {
 	return c.npages
 }
 
-// addPage links a new resident page into the cache and the global map;
-// p.mu held. Any existing global-map entry for the key must have been
-// removed by the caller.
+// addPage links a new resident page into the cache and the global map.
+// Any existing global-map entry for the key must have been removed by the
+// caller, who holds p.mu exclusively or (fast fault path) p.mu.RLock plus
+// the key's shard mutex.
 func (p *PVM) addPage(c *cache, pg *page) {
 	pg.cache = c
+	c.listMu.Lock()
 	pg.prevInCache = c.pageTail
 	pg.nextInCache = nil
 	if c.pageTail != nil {
@@ -127,15 +139,17 @@ func (p *PVM) addPage(c *cache, pg *page) {
 	}
 	c.pageTail = pg
 	c.npages++
-	p.gmap[pageKey{c, pg.off}] = pg
+	c.listMu.Unlock()
+	p.gmapSet(pageKey{c, pg.off}, pg)
 	p.clock.Charge(cost.EvGlobalMapOp, 1)
-	p.lru.push(pg)
+	p.lruPush(pg)
 }
 
 // unlinkPage removes the page from its cache's list, the global map and
-// the LRU, leaving the frame to the caller; p.mu held.
+// the LRU, leaving the frame to the caller; p.mu held exclusively.
 func (p *PVM) unlinkPage(pg *page) {
 	c := pg.cache
+	c.listMu.Lock()
 	if pg.prevInCache != nil {
 		pg.prevInCache.nextInCache = pg.nextInCache
 	} else {
@@ -148,19 +162,19 @@ func (p *PVM) unlinkPage(pg *page) {
 	}
 	pg.prevInCache, pg.nextInCache = nil, nil
 	c.npages--
-	if e, ok := p.gmap[pageKey{c, pg.off}]; ok && e == mapEntry(pg) {
-		delete(p.gmap, pageKey{c, pg.off})
+	c.listMu.Unlock()
+	if e := p.gmapGet(pageKey{c, pg.off}); e == mapEntry(pg) {
+		p.gmapDelete(pageKey{c, pg.off})
 		p.clock.Charge(cost.EvGlobalMapOp, 1)
 	}
-	p.lru.remove(pg)
+	p.lruRemove(pg)
 }
 
-// ownPage returns the cache's resident page at off, if any; p.mu held.
+// ownPage returns the cache's resident page at off, if any; p.mu held
+// exclusively (or the key's shard mutex).
 func (p *PVM) ownPage(c *cache, off int64) *page {
-	if e, ok := p.gmap[pageKey{c, off}]; ok {
-		if pg, ok := e.(*page); ok {
-			return pg
-		}
+	if pg, ok := p.gmapGet(pageKey{c, off}).(*page); ok {
+		return pg
 	}
 	return nil
 }

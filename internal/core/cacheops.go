@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
 )
@@ -35,10 +37,10 @@ func (c *cache) FillUp(off int64, data []byte, mode gmi.Prot) error {
 }
 
 // fillPage installs one page of segment data; p.mu held, may be released
-// while reserving a frame.
+// while reserving a frame or filling the frame's content.
 func (p *PVM) fillPage(c *cache, off int64, chunk []byte, mode gmi.Prot) error {
 	for {
-		switch e := p.gmap[pageKey{c, off}].(type) {
+		switch e := p.gmapGet(pageKey{c, off}).(type) {
 		case *page:
 			if e.busy {
 				p.waitBusy(e)
@@ -61,20 +63,21 @@ func (p *PVM) fillPage(c *cache, off int64, chunk []byte, mode gmi.Prot) error {
 				continue
 			}
 			// This is the pull we are answering: install and wake.
-			pg, err := p.installFilled(c, off, chunk, mode)
+			pg, installed, err := p.installFilled(c, off, chunk, mode)
 			if err != nil {
 				return err
 			}
 			_ = pg
-			if cur, ok := p.gmap[pageKey{c, off}]; ok && cur == mapEntry(e) {
-				// installFilled replaced the entry already; only the
-				// wake-up remains.
+			if installed && p.gmapGet(pageKey{c, off}) == mapEntry(e) {
+				// Our install must have replaced the stub.
 				panic("core: fill did not replace the stub")
 			}
-			close(e.done)
+			if p.gmapGet(pageKey{c, off}) != mapEntry(e) {
+				p.settleStub(e)
+			}
 			return nil
 		case nil:
-			if _, err := p.installFilled(c, off, chunk, mode); err != nil {
+			if _, _, err := p.installFilled(c, off, chunk, mode); err != nil {
 				return err
 			}
 			return nil
@@ -83,35 +86,51 @@ func (p *PVM) fillPage(c *cache, off int64, chunk []byte, mode gmi.Prot) error {
 }
 
 // installFilled allocates and fills a fresh page; p.mu held, released
-// transiently for reservation. The segment explicitly provided this data,
-// which supersedes any inherited view of the offset.
-func (p *PVM) installFilled(c *cache, off int64, chunk []byte, mode gmi.Prot) (*page, error) {
+// transiently for reservation and for the frame's bzero/bcopy (the bulk
+// of the fill cost — the frame is private until published, tracked by
+// inFlightFrames for the accounting invariant). The segment explicitly
+// provided this data, which supersedes any inherited view of the offset.
+// installed=false means a competing fill won while the lock was out and
+// its page (returned) stands.
+func (p *PVM) installFilled(c *cache, off int64, chunk []byte, mode gmi.Prot) (pg *page, installed bool, err error) {
 	p.supersedeParent(c, off)
 	release, err := p.reserveFrames(1)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	defer release()
+	if pg := p.ownPage(c, off); pg != nil {
+		return pg, false, nil
+	}
 	f, err := p.mem.Alloc()
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
+	atomic.AddInt64(&p.inFlightFrames, 1)
+	p.mu.Unlock()
 	if len(chunk) < len(f.Data) {
 		p.mem.Zero(f)
 	}
 	copy(f.Data, chunk)
 	p.clock.Charge(cost.EvBcopyPage, 1)
-	pg := &page{frame: f, off: off, granted: mode}
-	if old, ok := p.gmap[pageKey{c, off}]; ok {
+	p.mu.Lock()
+	if pg := p.ownPage(c, off); pg != nil {
+		p.mem.Free(f)
+		atomic.AddInt64(&p.inFlightFrames, -1)
+		return pg, false, nil
+	}
+	pg = &page{frame: f, off: off, granted: mode}
+	if old := p.gmapGet(pageKey{c, off}); old != nil {
 		if st, isStub := old.(*cowStub); isStub {
 			p.removeStub(st)
 		} else {
-			delete(p.gmap, pageKey{c, off})
+			p.gmapDelete(pageKey{c, off})
 		}
 	}
 	p.addPage(c, pg)
+	atomic.AddInt64(&p.inFlightFrames, -1)
 	p.afterResident(c, pg)
-	return pg, nil
+	return pg, true, nil
 }
 
 // CopyBack implements gmi.Cache: a segment manager retrieves cached data,
@@ -190,7 +209,7 @@ func (p *PVM) writeBack(c *cache, off, size int64, release bool) error {
 	// and whole-cache flushes pass huge ranges.
 	for _, o := range p.offsetsInRange(c, lo, hi) {
 		for {
-			e := p.gmap[pageKey{c, o}]
+			e := p.gmapGet(pageKey{c, o})
 			if st, isStub := e.(*cowStub); isStub {
 				// Materialize the deferred copy so it can be written.
 				if _, err := p.breakStub(c, o, st); err != nil {
@@ -277,7 +296,7 @@ func (c *cache) Invalidate(off, size int64) error {
 	lo, hi := p.pageFloor(off), p.pageCeilClamped(off, size)
 	for _, o := range p.offsetsInRange(c, lo, hi) {
 		for {
-			e := p.gmap[pageKey{c, o}]
+			e := p.gmapGet(pageKey{c, o})
 			if ss, isSync := e.(*syncStub); isSync {
 				p.waitStub(ss)
 				continue
@@ -301,7 +320,7 @@ func (c *cache) Invalidate(off, size int64) error {
 				if _, err := p.clonePageInto(c.history, c.histTranslate(o), pg); err != nil {
 					return err
 				}
-				p.stats.HistoryPushes++
+				atomic.AddUint64(&p.stats.HistoryPushes, 1)
 				continue
 			}
 			pg.cowProtected = false
@@ -359,7 +378,7 @@ func (c *cache) LockInMemory(off, size int64) error {
 				continue
 			}
 			pg.pin++
-			p.lru.remove(pg)
+			p.lruRemove(pg)
 			break
 		}
 	}
@@ -376,7 +395,7 @@ func (c *cache) Unlock(off, size int64) error {
 		if pg := p.ownPage(c, o); pg != nil && pg.pin > 0 {
 			pg.pin--
 			if pg.pin == 0 {
-				p.lru.push(pg)
+				p.lruPush(pg)
 			}
 		}
 	}
@@ -401,7 +420,7 @@ func (c *cache) Destroy() error {
 	}
 	if c.nchildren > 0 {
 		c.zombie = true
-		p.stats.Zombies++
+		atomic.AddUint64(&p.stats.Zombies, 1)
 		// A dead source with a single child may splice out of the tree
 		// immediately (the fork-exit merge of section 4.2.5).
 		p.maybeReapParent(c)

@@ -2,6 +2,8 @@ package core
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
@@ -15,7 +17,14 @@ import (
 // context is an address space: a machine-dependent Space plus the sorted
 // region list of section 4.1.1.
 type context struct {
-	pvm       *PVM
+	pvm *PVM
+	// spaceMu is a leaf mutex guarding space (mmu.Space implementations
+	// are not concurrency-safe). Taken by the fast fault path and the
+	// load/store path under p.mu.RLock; the structural path (p.mu held
+	// exclusively) also takes it in invalidateMappings/protectMappings/
+	// mapPage, and may touch space directly elsewhere — safe, because
+	// exclusive p.mu excludes every RLock holder.
+	spaceMu   sync.Mutex
 	space     mmu.Space
 	regions   []*region // sorted by start address, non-overlapping
 	destroyed bool
@@ -171,15 +180,19 @@ func (ctx *context) access(va gmi.VA, buf []byte, mode gmi.Prot) error {
 	return nil
 }
 
-// accessPage references up to one page worth of bytes at va.
+// accessPage references up to one page worth of bytes at va. It runs
+// under the shared structural lock plus the context's space mutex, so
+// loads and stores from different contexts proceed in parallel, as on a
+// multiprocessor.
 func (ctx *context) accessPage(va gmi.VA, chunk []byte, mode gmi.Prot) error {
 	p := ctx.pvm
 	for attempt := 0; attempt < 64; attempt++ {
-		p.mu.Lock()
+		p.mu.RLock()
 		if ctx.destroyed {
-			p.mu.Unlock()
+			p.mu.RUnlock()
 			return gmi.ErrDestroyed
 		}
+		ctx.spaceMu.Lock()
 		frame, err := ctx.space.Translate(va, mode, false)
 		if err == nil {
 			b := int64(va) & p.pageMask
@@ -188,14 +201,17 @@ func (ctx *context) accessPage(va gmi.VA, chunk []byte, mode gmi.Prot) error {
 			} else {
 				copy(chunk, frame.Data[b:int(b)+len(chunk)])
 			}
-			p.mu.Unlock()
+			ctx.spaceMu.Unlock()
+			p.mu.RUnlock()
 			return nil
 		}
-		p.mu.Unlock()
+		ctx.spaceMu.Unlock()
+		p.mu.RUnlock()
 		if ferr := p.HandleFault(ctx, va, mode); ferr != nil {
 			return ferr
 		}
 	}
+	atomic.AddUint64(&p.stats.ProtFaults, 1)
 	return gmi.ErrProtection
 }
 
@@ -313,7 +329,7 @@ func (r *region) LockInMemory() error {
 			}
 			pg.pin++
 			r.pins = append(r.pins, pg)
-			p.lru.remove(pg)
+			p.lruRemove(pg)
 			prot := r.prot
 			if mode != gmi.ProtWrite {
 				prot &^= gmi.ProtWrite
@@ -349,7 +365,7 @@ func (r *region) unlockAllLocked() {
 		if pg.pin > 0 {
 			pg.pin--
 			if pg.pin == 0 && pg.frame != nil {
-				p.lru.push(pg)
+				p.lruPush(pg)
 			}
 		}
 	}

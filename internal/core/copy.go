@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
@@ -148,7 +149,7 @@ func (p *PVM) moveLarge(src *cache, soff int64, dst *cache, doff, size int64) er
 			}
 			pg := p.ownPage(src, soff+o)
 			if pg == nil {
-				_, occupied := p.gmap[pageKey{src, soff + o}]
+				occupied := p.gmapGet(pageKey{src, soff + o}) != nil
 				if !occupied && src.findParent(soff+o) == nil && src.seg == nil {
 					// The source holds nothing — no page, no deferred
 					// stub, no parent, no segment: the moved content is
@@ -200,7 +201,7 @@ func (p *PVM) moveLarge(src *cache, soff int64, dst *cache, doff, size int64) er
 					if _, err := p.clonePageInto(src.history, src.histTranslate(soff+o), pg); err != nil {
 						return err
 					}
-					p.stats.HistoryPushes++
+					atomic.AddUint64(&p.stats.HistoryPushes, 1)
 					continue
 				}
 				pg.cowProtected = false
@@ -244,7 +245,7 @@ func (p *PVM) prepareOverwrite(dst *cache, off int64) (*page, error) {
 		if iter > 1000 {
 			panic("core: prepareOverwrite livelock")
 		}
-		e := p.gmap[pageKey{dst, off}]
+		e := p.gmapGet(pageKey{dst, off})
 		if ss, isSync := e.(*syncStub); isSync {
 			p.waitStub(ss)
 			continue
@@ -267,7 +268,7 @@ func (p *PVM) prepareOverwrite(dst *cache, off int64) (*page, error) {
 			if _, err := p.clonePageInto(dst.history, dst.histTranslate(off), src); err != nil {
 				return nil, err
 			}
-			p.stats.HistoryPushes++
+			atomic.AddUint64(&p.stats.HistoryPushes, 1)
 			continue
 		}
 		// Preserve it for per-page stub readers of not-resident content.
@@ -327,7 +328,9 @@ func (p *PVM) prepareOverwrite(dst *cache, off int64) (*page, error) {
 func (p *PVM) invalidateRegionMappings(c *cache, off int64) {
 	for _, r := range c.regions {
 		if off >= r.coff && off < r.coff+r.size {
+			r.ctx.spaceMu.Lock()
 			r.ctx.space.Unmap(r.addr + gmi.VA(off-r.coff))
+			r.ctx.spaceMu.Unlock()
 		}
 	}
 }
@@ -340,7 +343,7 @@ func (p *PVM) ownWritablePage(c *cache, off int64) (*page, error) {
 		if iter > 1000 {
 			panic("core: ownWritablePage livelock")
 		}
-		switch e := p.gmap[pageKey{c, off}].(type) {
+		switch e := p.gmapGet(pageKey{c, off}).(type) {
 		case *page:
 			if e.busy {
 				p.waitBusy(e)
@@ -432,7 +435,7 @@ func (p *PVM) readAtLocked(c *cache, off int64, buf []byte) error {
 		b := cur - po
 		n := min64(p.pageSize-b, int64(len(buf)-done))
 		copy(buf[done:done+int(n)], pg.frame.Data[b:b+n])
-		p.lru.touch(pg)
+		p.lruTouch(pg)
 		done += int(n)
 	}
 	return nil
@@ -452,7 +455,7 @@ func (p *PVM) writeAtLocked(c *cache, off int64, data []byte) error {
 		n := min64(p.pageSize-b, int64(len(data)-done))
 		copy(pg.frame.Data[b:b+n], data[done:done+int(n)])
 		pg.dirty = true
-		p.lru.touch(pg)
+		p.lruTouch(pg)
 		done += int(n)
 	}
 	return nil

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
 )
@@ -44,7 +46,7 @@ func (p *PVM) materializePrivate(c *cache, off int64) (*page, error) {
 			if _, err := p.clonePageInto(c.history, c.histTranslate(off), src); err != nil {
 				return nil, err
 			}
-			p.stats.HistoryPushes++
+			atomic.AddUint64(&p.stats.HistoryPushes, 1)
 			continue // the clone released the lock; re-validate
 		}
 		// Per-page stubs waiting on (c, off) must keep reading the
@@ -58,7 +60,7 @@ func (p *PVM) materializePrivate(c *cache, off int64) (*page, error) {
 		if err != nil {
 			return nil, err
 		}
-		p.stats.CowBreaks++
+		atomic.AddUint64(&p.stats.CowBreaks, 1)
 		return pg, nil
 	}
 }
@@ -91,7 +93,7 @@ func (p *PVM) materializeRemoteStubs(c *cache, off int64, src *page) (bool, erro
 	var rest *cowStub
 	for st := cur; st != nil; {
 		next := st.nextForPage
-		if live, lok := p.gmap[pageKey{st.dstCache, st.dstOff}]; lok && live == mapEntry(st) {
+		if live := p.gmapGet(pageKey{st.dstCache, st.dstOff}); live == mapEntry(st) {
 			st.src = npg
 			st.srcCache, st.srcOff = npg.cache, npg.off
 			st.nextForPage = rest
@@ -131,14 +133,14 @@ func (p *PVM) breakStub(c *cache, off int64, st *cowStub) (*page, error) {
 		if _, err := p.clonePageInto(c.history, c.histTranslate(off), src); err != nil {
 			return nil, err
 		}
-		p.stats.HistoryPushes++
+		atomic.AddUint64(&p.stats.HistoryPushes, 1)
 		return nil, nil // lock released; re-resolve
 	}
 	pg, err := p.clonePageInto(c, off, src)
 	if err != nil {
 		return nil, err
 	}
-	p.stats.StubBreaks++
+	atomic.AddUint64(&p.stats.StubBreaks, 1)
 	return pg, nil
 }
 
@@ -189,7 +191,7 @@ func (p *PVM) transferToStubs(pg *page) error {
 	if npg.stubs != nil {
 		p.protectMappings(npg, gmi.ProtRead|gmi.ProtExec|gmi.ProtSystem)
 	}
-	p.stats.StubBreaks++
+	atomic.AddUint64(&p.stats.StubBreaks, 1)
 	return nil
 }
 
@@ -205,7 +207,7 @@ func (p *PVM) resolvesTo(c *cache, off int64, target *cache, toff int64) bool {
 		if c == target && off == toff {
 			return true
 		}
-		switch e := p.gmap[pageKey{c, off}].(type) {
+		switch e := p.gmapGet(pageKey{c, off}).(type) {
 		case *page:
 			return false // owned content elsewhere
 		case *syncStub:
@@ -290,7 +292,7 @@ func (p *PVM) installStub(dst *cache, doff int64, sc *cache, soff int64) error {
 			return nil
 		}
 		st := &cowStub{dstCache: dst, dstOff: doff}
-		switch e := p.gmap[pageKey{c, off}].(type) {
+		switch e := p.gmapGet(pageKey{c, off}).(type) {
 		case *page:
 			if e.busy {
 				p.waitBusy(e)
@@ -329,7 +331,7 @@ func (p *PVM) installStub(dst *cache, doff int64, sc *cache, soff int64) error {
 			st.nextForPage = c.remoteStubs[off]
 			c.remoteStubs[off] = st
 		}
-		p.gmap[pageKey{dst, doff}] = st
+		p.gmapSet(pageKey{dst, doff}, st)
 		if dst.stubsAt == nil {
 			dst.stubsAt = make(map[int64]*cowStub)
 		}

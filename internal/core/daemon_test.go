@@ -48,3 +48,41 @@ func TestPageoutDaemon(t *testing.T) {
 	}
 	check(t, p)
 }
+
+// TestPageoutDaemonZeroInterval is the regression test for the interval
+// clamp: StartPageoutDaemon(…, 0) used to panic inside time.NewTicker.
+// It must instead run at the minimum poll interval and still replenish
+// frames under pressure.
+func TestPageoutDaemonZeroInterval(t *testing.T) {
+	p, _ := newTestPVM(t, 32)
+	stop := p.StartPageoutDaemon(8, 16, 0) // would panic before the clamp
+	defer stop()
+
+	ctx, _ := p.ContextCreate()
+	c := p.TempCacheCreate()
+	const npages = 48
+	mustRegion(t, ctx, base, npages*pg, gmi.ProtRW, c, 0)
+	for i := 0; i < npages; i++ {
+		mustWrite(t, ctx, base+gmi.VA(i*pg), pattern(byte(i+1), 32))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Memory().FreeFrames() >= 8 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if free := p.Memory().FreeFrames(); free < 8 {
+		t.Fatalf("daemon left only %d free frames", free)
+	}
+	for i := 0; i < npages; i++ {
+		got := mustRead(t, ctx, base+gmi.VA(i*pg), 32)
+		want := pattern(byte(i+1), 32)
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("page %d corrupted under daemon evictions", i)
+			}
+		}
+	}
+	check(t, p)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"chorusvm/internal/gmi"
@@ -34,6 +35,14 @@ type CacheInfo struct {
 	Working  bool
 	Zombie   bool
 	Temp     bool
+}
+
+// String renders every counter, for tools and logs.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"faults=%d segv=%d prot=%d zerofills=%d cowbreaks=%d historypushes=%d stubbreaks=%d pullins=%d pushouts=%d evictions=%d collapses=%d zombies=%d",
+		s.Faults, s.SegvFaults, s.ProtFaults, s.ZeroFills, s.CowBreaks, s.HistoryPushes,
+		s.StubBreaks, s.PullIns, s.PushOuts, s.Evictions, s.Collapses, s.Zombies)
 }
 
 // Describe reports the structure behind a cache; ok is false for foreign

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
@@ -11,25 +12,91 @@ import (
 // path, the history-object write-violation rules of sections 4.2.2-4.2.3,
 // and the per-virtual-page stub resolution of section 4.3.
 //
-// Locking protocol: every function here runs with p.mu held and may
-// release and reacquire it (to wait on in-transit fragments, to issue
-// upcalls, or to reclaim frames). Functions that may do so return with the
-// lock held again; callers must re-validate anything they looked up before
-// the call. The outer fault loop simply restarts resolution from the
-// global map after any such step.
+// # Locking protocol
+//
+// Faults resolve in two tiers.
+//
+// Fast path (fastFaultOnce): p.mu.RLock plus the faulting key's global-map
+// shard mutex. It handles the common cases end to end — mapping a resident
+// page for read, a simple write to an already-writable page, zero-filling
+// a temporary, and a single-page pullIn — so faults on different pages
+// from different contexts proceed in parallel. Page-content work (bzero of
+// a fresh frame) and mapper upcalls run with no shard lock held: an
+// in-transit fragment is represented by a synchronization stub in the
+// global map, so concurrent access blocks on the fragment, never on a
+// lock. Anything structural — deferred-copy stubs, history pushes, access
+// upgrades, read-through of parent chains, clustered read-ahead, frame
+// reclaim — makes the fast path bail out wholesale.
+//
+// Slow path (slowFault/resolveFault): p.mu held exclusively, which
+// excludes every RLock holder and therefore every shard-lock holder.
+// Under it the original big-lock protocol applies unchanged: functions
+// may release and reacquire p.mu (to wait on in-transit fragments, to
+// issue upcalls, or to reclaim frames); they return with the lock held
+// again, and callers re-validate anything they looked up before the call.
+// The outer fault loop simply restarts resolution from the global map
+// after any such step.
+//
+// Lock ordering (a lock may only be taken while holding locks strictly to
+// its left; never the reverse):
+//
+//	p.mu (RLock or Lock)  →  shard mutex  →  leaf mutexes
+//	                                         (ctx.spaceMu, c.listMu,
+//	                                          p.lruMu, p.reserveMu)
+//
+// Additional rules:
+//
+//   - Never block on a channel (syncStub.done, page.busyDone) while
+//     holding any of these locks: release the shard mutex AND the RLock
+//     first. (A blocked RLock holder would deadlock against a queued
+//     writer that the channel's closer needs to get past.)
+//   - Never acquire p.mu exclusively while holding the RLock or a shard
+//     mutex.
+//   - Every single-key global-map access holds either p.mu exclusively or
+//     that key's shard mutex (see shard.go); the gmap helpers do not lock
+//     internally.
+//   - Mapper upcalls (pullIn/pushOut/getWriteAccess/segmentCreate) are
+//     issued with no PVM lock held.
 
 // HandleFault resolves one page fault: va faulted in ctx with the given
 // access type. It is the entry point the simulated CPU (context.Read/
 // Write) invokes, standing in for the hardware trap.
 func (p *PVM) HandleFault(ctx *context, va gmi.VA, access gmi.Prot) error {
 	p.clock.Charge(cost.EvFault, 1)
+	atomic.AddUint64(&p.stats.Faults, 1)
+	err, handled := p.fastFault(ctx, va, access)
+	if !handled {
+		err = p.slowFault(ctx, va, access)
+	}
+	if err == gmi.ErrProtection {
+		atomic.AddUint64(&p.stats.ProtFaults, 1)
+	}
+	return err
+}
+
+// fastFault drives the shared-lock resolution loop; handled=false means
+// the fault needs the exclusive slow path.
+func (p *PVM) fastFault(ctx *context, va gmi.VA, access gmi.Prot) (error, bool) {
+	for attempt := 0; attempt < 16; attempt++ {
+		done, retry, err := p.fastFaultOnce(ctx, va, access)
+		if done {
+			return err, true
+		}
+		if !retry {
+			break
+		}
+	}
+	return nil, false
+}
+
+// slowFault is the exclusive-lock fallback: the original single-lock
+// resolution protocol.
+func (p *PVM) slowFault(ctx *context, va gmi.VA, access gmi.Prot) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.stats.Faults++
-
 	r := ctx.findRegion(va)
 	if r == nil {
-		p.stats.SegvFaults++
+		atomic.AddUint64(&p.stats.SegvFaults, 1)
 		return gmi.ErrSegmentation
 	}
 	if !r.prot.Allows(access) {
@@ -40,18 +107,242 @@ func (p *PVM) HandleFault(ctx *context, va gmi.VA, access gmi.Prot) error {
 	return p.resolveFault(ctx, r, pva, r.cache, off, access)
 }
 
-// resolveFault installs a translation for pva covering (c, off); p.mu held.
+// fastFaultOnce attempts one round of resolution under p.mu.RLock plus
+// one shard mutex. Returns done=true when the fault resolved (or failed
+// definitively), retry=true when it made progress (waited out an
+// in-transit fragment, completed a pull) and is worth re-running;
+// (false, false) escalates to the slow path. All locks are released on
+// return.
+//
+// Everything read here without a shard lock — region lists, r.prot,
+// cache identity fields (destroyed, zombie, seg, protCap, history,
+// parents, remoteStubs) — is mutated only under p.mu held exclusively,
+// so it is stable under the RLock. Page descriptor fields are guarded by
+// the page's key shard mutex.
+func (p *PVM) fastFaultOnce(ctx *context, va gmi.VA, access gmi.Prot) (done bool, retry bool, err error) {
+	write := access&gmi.ProtWrite != 0
+	p.mu.RLock()
+	r := ctx.findRegion(va)
+	if r == nil {
+		p.mu.RUnlock()
+		atomic.AddUint64(&p.stats.SegvFaults, 1)
+		return true, false, gmi.ErrSegmentation
+	}
+	if !r.prot.Allows(access) {
+		p.mu.RUnlock()
+		return true, false, gmi.ErrProtection
+	}
+	c := r.cache
+	if c.destroyed && !c.zombie {
+		p.mu.RUnlock()
+		return true, false, gmi.ErrDestroyed
+	}
+	pva := gmi.VA(p.pageFloor(int64(va)))
+	off := r.coff + p.pageFloor(int64(va)-int64(r.addr))
+	key := pageKey{c, off}
+	sh := p.shardOf(key)
+	sh.mu.Lock()
+	p.clock.Charge(cost.EvGlobalMapOp, 1)
+	switch e := sh.m[key].(type) {
+	case *page:
+		if e.busy {
+			ch := e.busyDone
+			sh.mu.Unlock()
+			p.mu.RUnlock()
+			if ch != nil {
+				<-ch
+			}
+			return false, true, nil
+		}
+		if write {
+			if c.protCap&gmi.ProtWrite == 0 {
+				sh.mu.Unlock()
+				p.mu.RUnlock()
+				return true, false, gmi.ErrProtection
+			}
+			if !e.granted.Allows(gmi.ProtWrite) || e.cowProtected || e.stubs != nil {
+				// Access upgrade, history push or stub transfer: the
+				// slow path owns those.
+				sh.mu.Unlock()
+				p.mu.RUnlock()
+				return false, false, nil
+			}
+			// Readers may hold this frame read-only through descendant
+			// caches; their stale translations go before the write.
+			p.invalidateMappings(e)
+			p.mapPage(ctx, r, pva, e, r.prot)
+			e.dirty = true
+		} else {
+			p.mapPage(ctx, r, pva, e, p.readProt(r, e))
+		}
+		p.lruTouch(e)
+		sh.mu.Unlock()
+		p.mu.RUnlock()
+		return true, false, nil
+
+	case *syncStub:
+		ch := e.done
+		sh.mu.Unlock()
+		p.mu.RUnlock()
+		<-ch
+		return false, true, nil
+
+	case *cowStub:
+		// Deferred-copy resolution: slow path.
+		sh.mu.Unlock()
+		p.mu.RUnlock()
+		return false, false, nil
+
+	case nil:
+		if c.findParent(off) != nil || c.history != nil || len(c.remoteStubs) > 0 {
+			// Inherited content, or residency bookkeeping that touches
+			// other keys (afterResident): slow path.
+			sh.mu.Unlock()
+			p.mu.RUnlock()
+			return false, false, nil
+		}
+		if write && c.protCap&gmi.ProtWrite == 0 {
+			// The slow path materializes and then denies; match it.
+			sh.mu.Unlock()
+			p.mu.RUnlock()
+			return false, false, nil
+		}
+		if c.seg == nil {
+			return p.fastZeroFill(ctx, r, pva, c, off, key, sh, access)
+		}
+		if p.readAhead > 1 {
+			// Clustered pulls touch neighbouring keys: slow path.
+			sh.mu.Unlock()
+			p.mu.RUnlock()
+			return false, false, nil
+		}
+		return p.fastPullIn(c, off, key, sh, access)
+
+	default:
+		sh.mu.Unlock()
+		p.mu.RUnlock()
+		return false, false, nil
+	}
+}
+
+// fastZeroFill materializes a demand-zero page under the fast-path locks.
+// Entered holding p.mu.RLock and the key's shard mutex; releases both.
+// The frame reservation never evicts (tryReserveFrames), so mem.Alloc is
+// guaranteed to find a free frame without entering reclaim.
+func (p *PVM) fastZeroFill(ctx *context, r *region, pva gmi.VA, c *cache, off int64, key pageKey, sh *gmapShard, access gmi.Prot) (bool, bool, error) {
+	release, ok := p.tryReserveFrames(1)
+	if !ok {
+		// Needs eviction: slow path.
+		sh.mu.Unlock()
+		p.mu.RUnlock()
+		return false, false, nil
+	}
+	stub := &syncStub{done: make(chan struct{})}
+	sh.m[key] = stub
+	p.clock.Charge(cost.EvGlobalMapOp, 1)
+	sh.mu.Unlock()
+
+	// Zero the private frame with no shard lock held. The RLock is
+	// retained: no structural operation can run, so nothing can resolve
+	// or replace the stub meanwhile, and Alloc/Zero take no PVM locks.
+	f, err := p.mem.Alloc()
+	if err != nil {
+		sh.mu.Lock()
+		if sh.m[key] == mapEntry(stub) {
+			delete(sh.m, key)
+		}
+		p.settleStub(stub)
+		sh.mu.Unlock()
+		release()
+		p.mu.RUnlock()
+		return true, false, err
+	}
+	p.mem.Zero(f)
+
+	pg := &page{frame: f, off: off, granted: gmi.ProtRWX, dirty: true}
+	sh.mu.Lock()
+	delete(sh.m, key)
+	p.addPage(c, pg)
+	// afterResident would be a no-op: the fast path only zero-fills when
+	// the cache has no history and no remote stub readers.
+	p.clock.Charge(cost.EvGlobalMapOp, 1) // parity with the slow path's re-resolve
+	if access&gmi.ProtWrite != 0 {
+		p.mapPage(ctx, r, pva, pg, r.prot)
+	} else {
+		p.mapPage(ctx, r, pva, pg, p.readProt(r, pg))
+	}
+	p.settleStub(stub)
+	sh.mu.Unlock()
+	atomic.AddUint64(&p.stats.ZeroFills, 1)
+	release()
+	p.mu.RUnlock()
+	return true, false, nil
+}
+
+// fastPullIn issues a single-page pullIn upcall from the fast path.
+// Entered holding p.mu.RLock and the key's shard mutex; both are released
+// before the upcall (the segment's FillUp answer takes p.mu exclusively).
+// On success the page is resident and the caller retries the fast path to
+// map it.
+func (p *PVM) fastPullIn(c *cache, off int64, key pageKey, sh *gmapShard, access gmi.Prot) (bool, bool, error) {
+	stub := &syncStub{done: make(chan struct{})}
+	sh.m[key] = stub
+	p.clock.Charge(cost.EvGlobalMapOp, 1)
+	seg := c.seg
+	sh.mu.Unlock()
+	p.mu.RUnlock()
+
+	atomic.AddUint64(&p.stats.PullIns, 1)
+	p.clock.Charge(cost.EvPullIn, 1)
+	err := seg.PullIn(c, off, p.pageSize, access|gmi.ProtRead)
+
+	// Settle: whatever the fill did not replace is removed and woken.
+	filled := true
+	p.mu.RLock()
+	sh.mu.Lock()
+	if sh.m[key] == mapEntry(stub) {
+		delete(sh.m, key)
+		p.settleStub(stub)
+		filled = false
+	}
+	sh.mu.Unlock()
+	p.mu.RUnlock()
+	if err != nil {
+		return true, false, err
+	}
+	if !filled {
+		return true, false, fmt.Errorf("core: segment did not fill (cache %p, off %#x)", c, off)
+	}
+	return false, true, nil
+}
+
+// settleStub closes a synchronization stub exactly once. Callers hold
+// p.mu exclusively or the stub's key shard mutex; the two modes exclude
+// each other, so the flag needs no further synchronization.
+func (p *PVM) settleStub(s *syncStub) {
+	if !s.closed {
+		s.closed = true
+		close(s.done)
+	}
+}
+
+// resolveFault installs a translation for pva covering (c, off); p.mu
+// held exclusively.
 func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off int64, access gmi.Prot) error {
 	write := access&gmi.ProtWrite != 0
 	for iter := 0; ; iter++ {
 		if iter > 1000 {
 			panic("core: fault resolution livelock")
 		}
+		if ctx.destroyed || r.gone {
+			// A wait below released the lock and the region went away.
+			return gmi.ErrDestroyed
+		}
 		if c.destroyed && !c.zombie {
 			return gmi.ErrDestroyed
 		}
 		p.clock.Charge(cost.EvGlobalMapOp, 1)
-		switch e := p.gmap[pageKey{c, off}].(type) {
+		switch e := p.gmapGet(pageKey{c, off}).(type) {
 		case *page:
 			if e.busy {
 				p.waitBusy(e)
@@ -68,7 +359,7 @@ func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off in
 			} else {
 				p.mapPage(ctx, r, pva, e, p.readProt(r, e))
 			}
-			p.lru.touch(e)
+			p.lruTouch(e)
 			return nil
 
 		case *syncStub:
@@ -87,7 +378,7 @@ func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off in
 					continue // stub state changed while blocked
 				}
 				p.mapPage(ctx, r, pva, src, r.prot&^gmi.ProtWrite)
-				p.lru.touch(src)
+				p.lruTouch(src)
 				return nil
 			}
 			if _, err := p.breakStub(c, off, e); err != nil {
@@ -114,7 +405,7 @@ func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off in
 					continue
 				}
 				p.mapPage(ctx, r, pva, src, r.prot&^gmi.ProtWrite)
-				p.lru.touch(src)
+				p.lruTouch(src)
 				return nil
 			}
 			// c owns this offset: bring the data in from its segment
@@ -140,13 +431,17 @@ func (p *PVM) readProt(r *region, pg *page) gmi.Prot {
 }
 
 // mapPage installs the translation and records it in the page's rmap.
+// Caller holds p.mu exclusively or the page's key shard mutex; the space
+// itself is touched under the context's spaceMu leaf lock.
 func (p *PVM) mapPage(ctx *context, r *region, pva gmi.VA, pg *page, prot gmi.Prot) {
+	ctx.spaceMu.Lock()
 	ctx.space.Map(pva, pg.frame, prot)
+	ctx.spaceMu.Unlock()
 	pg.addMapping(ctx, pva)
 }
 
-// waitStub blocks until an in-transit fragment settles; p.mu released and
-// reacquired.
+// waitStub blocks until an in-transit fragment settles; p.mu (exclusive)
+// released and reacquired.
 func (p *PVM) waitStub(s *syncStub) {
 	ch := s.done
 	p.mu.Unlock()
@@ -154,7 +449,8 @@ func (p *PVM) waitStub(s *syncStub) {
 	p.mu.Lock()
 }
 
-// waitBusy blocks until a push-out completes; p.mu released and reacquired.
+// waitBusy blocks until a push-out completes; p.mu (exclusive) released
+// and reacquired.
 func (p *PVM) waitBusy(pg *page) {
 	ch := pg.busyDone
 	if ch == nil {
@@ -178,7 +474,7 @@ func (p *PVM) stubSource(st *cowStub) (*page, error) {
 	}
 	// The walk may have released the lock; verify the stub is still the
 	// live entry before using the page.
-	if cur, ok := p.gmap[pageKey{st.dstCache, st.dstOff}]; !ok || cur != mapEntry(st) {
+	if cur := p.gmapGet(pageKey{st.dstCache, st.dstOff}); cur != mapEntry(st) {
 		return nil, nil
 	}
 	return src, nil
@@ -195,7 +491,7 @@ func (p *PVM) ensureResident(c *cache, off int64, access gmi.Prot) (*page, error
 			panic("core: ensureResident livelock")
 		}
 		p.clock.Charge(cost.EvGlobalMapOp, 1)
-		switch e := p.gmap[pageKey{c, off}].(type) {
+		switch e := p.gmapGet(pageKey{c, off}).(type) {
 		case *page:
 			if e.busy {
 				p.waitBusy(e)
@@ -230,20 +526,20 @@ func (p *PVM) ensureResident(c *cache, off int64, access gmi.Prot) (*page, error
 // concurrent access to each in-transit page (section 4.1.2). When
 // read-ahead is configured, the pull is clustered over the following
 // empty owner-resolved pages, amortizing the segment's positioning cost.
-// p.mu held; released around the upcall.
+// p.mu held exclusively; released around the upcall.
 func (p *PVM) bringIn(c *cache, off int64, access gmi.Prot) error {
 	if c.seg == nil {
 		// Zero-fill: the MM "unilaterally decides to cache" the
 		// fragment; no segment is involved until first push-out.
 		key := pageKey{c, off}
 		stub := &syncStub{done: make(chan struct{})}
-		p.gmap[key] = stub
+		p.gmapSet(key, stub)
 		p.clock.Charge(cost.EvGlobalMapOp, 1)
 		settle := func() {
-			if cur, ok := p.gmap[key]; ok && cur == mapEntry(stub) {
-				delete(p.gmap, key)
+			if cur := p.gmapGet(key); cur == mapEntry(stub) {
+				p.gmapDelete(key)
 			}
-			close(stub.done)
+			p.settleStub(stub)
 		}
 		release, err := p.reserveFrames(1)
 		if err != nil {
@@ -258,11 +554,11 @@ func (p *PVM) bringIn(c *cache, off int64, access gmi.Prot) error {
 		}
 		p.mem.Zero(f)
 		pg := &page{frame: f, off: off, granted: gmi.ProtRWX, dirty: true}
-		delete(p.gmap, key)
+		p.gmapDelete(key)
 		p.addPage(c, pg)
 		p.afterResident(c, pg)
-		p.stats.ZeroFills++
-		close(stub.done)
+		atomic.AddUint64(&p.stats.ZeroFills, 1)
+		p.settleStub(stub)
 		return nil
 	}
 
@@ -271,7 +567,7 @@ func (p *PVM) bringIn(c *cache, off int64, access gmi.Prot) error {
 	count := 1
 	for count < p.readAhead {
 		o := off + int64(count)*p.pageSize
-		if _, occupied := p.gmap[pageKey{c, o}]; occupied {
+		if p.gmapGet(pageKey{c, o}) != nil {
 			break
 		}
 		if c.findParent(o) != nil {
@@ -282,12 +578,12 @@ func (p *PVM) bringIn(c *cache, off int64, access gmi.Prot) error {
 	stubs := make([]*syncStub, count)
 	for i := range stubs {
 		stubs[i] = &syncStub{done: make(chan struct{})}
-		p.gmap[pageKey{c, off + int64(i)*p.pageSize}] = stubs[i]
+		p.gmapSet(pageKey{c, off + int64(i)*p.pageSize}, stubs[i])
 	}
 	p.clock.Charge(cost.EvGlobalMapOp, count)
 
 	seg := c.seg
-	p.stats.PullIns++
+	atomic.AddUint64(&p.stats.PullIns, 1)
 	p.clock.Charge(cost.EvPullIn, 1)
 	p.mu.Unlock()
 	err := seg.PullIn(c, off, int64(count)*p.pageSize, access|gmi.ProtRead)
@@ -297,9 +593,9 @@ func (p *PVM) bringIn(c *cache, off int64, access gmi.Prot) error {
 	firstFilled := true
 	for i, stub := range stubs {
 		key := pageKey{c, off + int64(i)*p.pageSize}
-		if cur, ok := p.gmap[key]; ok && cur == mapEntry(stub) {
-			delete(p.gmap, key)
-			close(stub.done)
+		if cur := p.gmapGet(key); cur == mapEntry(stub) {
+			p.gmapDelete(key)
+			p.settleStub(stub)
 			if i == 0 {
 				firstFilled = false
 			}
@@ -317,7 +613,7 @@ func (p *PVM) bringIn(c *cache, off int64, access gmi.Prot) error {
 // afterResident applies the bookkeeping a freshly resident own page needs:
 // re-establish deferred-copy protection if the offset lies in the cache's
 // protected history fragment, and re-thread any per-page stubs that were
-// waiting for the content; p.mu held.
+// waiting for the content; p.mu held exclusively.
 func (p *PVM) afterResident(c *cache, pg *page) {
 	if p.historyWants(c, pg.off) {
 		pg.cowProtected = true
@@ -344,7 +640,7 @@ func (p *PVM) afterResident(c *cache, pg *page) {
 // into the history object (section 4.2.2), detach per-page stub readers
 // (section 4.3), then invalidate stale read mappings so the writer's new
 // mapping is authoritative. Returns restarted=true when the lock was
-// released and the caller must re-resolve.
+// released and the caller must re-resolve. p.mu held exclusively.
 func (p *PVM) breakOwnForWrite(c *cache, off int64, pg *page) (restarted bool, err error) {
 	if c.protCap&gmi.ProtWrite == 0 {
 		return false, gmi.ErrProtection
@@ -374,7 +670,7 @@ func (p *PVM) breakOwnForWrite(c *cache, off int64, pg *page) (restarted bool, e
 			if _, err := p.clonePageInto(c.history, c.histTranslate(off), pg); err != nil {
 				return true, err
 			}
-			p.stats.HistoryPushes++
+			atomic.AddUint64(&p.stats.HistoryPushes, 1)
 			// The clone released the lock; re-resolve.
 			pg.cowProtected = false
 			return true, nil
@@ -397,7 +693,7 @@ func (p *PVM) breakOwnForWrite(c *cache, off int64, pg *page) (restarted bool, e
 
 // zeroPageInto allocates a zero-filled dirty page at (dst, off); may
 // release the lock, so callers re-validate. Used when explicitly moved
-// zeros must shadow older segment content.
+// zeros must shadow older segment content. p.mu held exclusively.
 func (p *PVM) zeroPageInto(dst *cache, off int64) (*page, error) {
 	release, err := p.reserveFrames(1)
 	if err != nil {
@@ -413,11 +709,11 @@ func (p *PVM) zeroPageInto(dst *cache, off int64) (*page, error) {
 	}
 	p.mem.Zero(f)
 	pg := &page{frame: f, off: off, granted: gmi.ProtRWX, dirty: true}
-	if old, ok := p.gmap[pageKey{dst, off}]; ok {
+	if old := p.gmapGet(pageKey{dst, off}); old != nil {
 		if st, isStub := old.(*cowStub); isStub {
 			p.removeStub(st)
 		} else {
-			delete(p.gmap, pageKey{dst, off})
+			p.gmapDelete(pageKey{dst, off})
 		}
 	}
 	p.addPage(dst, pg)
@@ -427,7 +723,7 @@ func (p *PVM) zeroPageInto(dst *cache, off int64) (*page, error) {
 
 // clonePageInto allocates a page at (dst, off) initialized with src's
 // contents. May release the lock to reserve a frame; the caller must
-// re-validate. Returns the new page.
+// re-validate. Returns the new page. p.mu held exclusively.
 func (p *PVM) clonePageInto(dst *cache, off int64, src *page) (*page, error) {
 	src.pin++
 	release, err := p.reserveFrames(1)
@@ -446,11 +742,11 @@ func (p *PVM) clonePageInto(dst *cache, off int64, src *page) (*page, error) {
 	}
 	p.mem.CopyFrame(f, src.frame)
 	pg := &page{frame: f, off: off, granted: gmi.ProtRWX, dirty: true}
-	if old, ok := p.gmap[pageKey{dst, off}]; ok {
+	if old := p.gmapGet(pageKey{dst, off}); old != nil {
 		if st, isStub := old.(*cowStub); isStub {
 			p.removeStub(st)
 		} else {
-			delete(p.gmap, pageKey{dst, off})
+			p.gmapDelete(pageKey{dst, off})
 		}
 	}
 	p.addPage(dst, pg)

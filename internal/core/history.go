@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
 )
@@ -92,7 +94,7 @@ func (p *PVM) historyWants(c *cache, off int64) bool {
 		return false
 	}
 	hoff := c.histTranslate(off)
-	if _, occupied := p.gmap[pageKey{h, hoff}]; occupied {
+	if p.gmapGet(pageKey{h, hoff}) != nil {
 		// Own page, per-page stub or in-transit fragment: the history
 		// no longer reads this offset through c.
 		return false
@@ -213,7 +215,7 @@ func (p *PVM) tryCollapse(w *cache) {
 		w.parents = nil
 		delete(p.caches, w)
 		p.clock.Charge(cost.EvCacheDestroy, 1)
-		p.stats.Collapses++
+		atomic.AddUint64(&p.stats.Collapses, 1)
 		// The grandparent may itself be a dead single-child node now.
 		p.maybeReapParent(gp)
 		return
@@ -221,7 +223,7 @@ func (p *PVM) tryCollapse(w *cache) {
 	// Rootless temporary: the child stands alone; dropping its fragment
 	// releases w's last reference, reaping it.
 	off, size := frag.off, frag.size
-	p.stats.Collapses++
+	atomic.AddUint64(&p.stats.Collapses, 1)
 	p.removeParentRange(ch, off, size)
 }
 
@@ -285,8 +287,8 @@ func (p *PVM) dropPage(pg *page) {
 // destination cache's index, without touching its source threading (the
 // caller owns that); p.mu held.
 func (p *PVM) detachStubEntry(st *cowStub) {
-	if cur, ok := p.gmap[pageKey{st.dstCache, st.dstOff}]; ok && cur == mapEntry(st) {
-		delete(p.gmap, pageKey{st.dstCache, st.dstOff})
+	if cur := p.gmapGet(pageKey{st.dstCache, st.dstOff}); cur == mapEntry(st) {
+		p.gmapDelete(pageKey{st.dstCache, st.dstOff})
 	}
 	if st.dstCache.stubsAt != nil {
 		delete(st.dstCache.stubsAt, st.dstOff)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // CheckInvariants verifies the structural invariants of Figure 2 and
@@ -50,7 +51,7 @@ func (p *PVM) checkInvariantsLocked() error {
 				return fmt.Errorf("cache %p holds offset %#x twice", c, pg.off)
 			}
 			seen[pg.off] = true
-			if e, ok := p.gmap[pageKey{c, pg.off}]; !ok || e != mapEntry(pg) {
+			if e := p.gmapGet(pageKey{c, pg.off}); e != mapEntry(pg) {
 				return fmt.Errorf("cache %p page %#x not in global map", c, pg.off)
 			}
 			if !pg.inLRU && pg.pin == 0 {
@@ -60,7 +61,7 @@ func (p *PVM) checkInvariantsLocked() error {
 				if st.src != pg {
 					return fmt.Errorf("stub on page %#x of %p points at %p", pg.off, c, st.src)
 				}
-				if e, ok := p.gmap[pageKey{st.dstCache, st.dstOff}]; !ok || e != mapEntry(st) {
+				if e := p.gmapGet(pageKey{st.dstCache, st.dstOff}); e != mapEntry(st) {
 					return fmt.Errorf("threaded stub (%p,%#x) not live in global map", st.dstCache, st.dstOff)
 				}
 			}
@@ -122,22 +123,27 @@ func (p *PVM) checkInvariantsLocked() error {
 
 	// Global map entries must belong to live structures.
 	stubCount := 0
-	for key, e := range p.gmap {
+	var gmapErr error
+	p.gmapRange(func(key pageKey, e mapEntry) bool {
 		switch v := e.(type) {
 		case *page:
 			if v.cache != key.c || v.off != key.off {
-				return fmt.Errorf("global map key (%p,%#x) holds page (%p,%#x)", key.c, key.off, v.cache, v.off)
+				gmapErr = fmt.Errorf("global map key (%p,%#x) holds page (%p,%#x)", key.c, key.off, v.cache, v.off)
+				return false
 			}
 			if _, live := p.caches[key.c]; !live {
-				return fmt.Errorf("global map page for freed cache %p", key.c)
+				gmapErr = fmt.Errorf("global map page for freed cache %p", key.c)
+				return false
 			}
 		case *cowStub:
 			stubCount++
 			if v.dstCache != key.c || v.dstOff != key.off {
-				return fmt.Errorf("global map key (%p,%#x) holds stub for (%p,%#x)", key.c, key.off, v.dstCache, v.dstOff)
+				gmapErr = fmt.Errorf("global map key (%p,%#x) holds stub for (%p,%#x)", key.c, key.off, v.dstCache, v.dstOff)
+				return false
 			}
 			if v.dstCache.stubsAt[key.off] != v {
-				return fmt.Errorf("stub (%p,%#x) missing from stubsAt index", key.c, key.off)
+				gmapErr = fmt.Errorf("stub (%p,%#x) missing from stubsAt index", key.c, key.off)
+				return false
 			}
 			if v.src != nil {
 				found := false
@@ -147,7 +153,8 @@ func (p *PVM) checkInvariantsLocked() error {
 					}
 				}
 				if !found {
-					return fmt.Errorf("stub (%p,%#x) not threaded on its source page", key.c, key.off)
+					gmapErr = fmt.Errorf("stub (%p,%#x) not threaded on its source page", key.c, key.off)
+					return false
 				}
 			} else if v.srcCache != nil {
 				found := false
@@ -157,12 +164,17 @@ func (p *PVM) checkInvariantsLocked() error {
 					}
 				}
 				if !found {
-					return fmt.Errorf("stub (%p,%#x) not threaded on remote list of (%p,%#x)", key.c, key.off, v.srcCache, v.srcOff)
+					gmapErr = fmt.Errorf("stub (%p,%#x) not threaded on remote list of (%p,%#x)", key.c, key.off, v.srcCache, v.srcOff)
+					return false
 				}
 			}
 		case *syncStub:
 			// In-transit: acceptable at any time.
 		}
+		return true
+	})
+	if gmapErr != nil {
+		return gmapErr
 	}
 	indexCount := 0
 	for c := range p.caches {
@@ -174,10 +186,12 @@ func (p *PVM) checkInvariantsLocked() error {
 
 	// Frame accounting: every allocated frame is owned by exactly one
 	// resident page (pages hold distinct frames by construction of the
-	// allocator).
-	if free := p.mem.FreeFrames(); free+totalPages != p.mem.TotalFrames() {
-		return fmt.Errorf("frame accounting: %d free + %d resident != %d total",
-			free, totalPages, p.mem.TotalFrames())
+	// allocator) or is in flight (allocated but unpublished while its
+	// content is filled outside the lock).
+	inFlight := int(atomic.LoadInt64(&p.inFlightFrames))
+	if free := p.mem.FreeFrames(); free+totalPages+inFlight != p.mem.TotalFrames() {
+		return fmt.Errorf("frame accounting: %d free + %d resident + %d in flight != %d total",
+			free, totalPages, inFlight, p.mem.TotalFrames())
 	}
 
 	// Regions: sorted, non-overlapping, cache back-registration.

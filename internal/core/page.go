@@ -77,6 +77,12 @@ type mapping struct {
 // set). Accesses to the fragment block on done (section 4.1.2).
 type syncStub struct {
 	done chan struct{}
+	// closed records that done has been closed. The filler and the
+	// fault path can both try to settle a stub; whoever removes it from
+	// the global map closes done, guarded by this flag (writers hold
+	// p.mu exclusively or the stub key's shard mutex — mutually
+	// exclusive modes, see settleStub).
+	closed bool
 	// out, when non-nil, is the page being pushed out: copyBack finds
 	// the data here while the key is detached from normal access.
 	out *page
@@ -162,25 +168,31 @@ func (l *lruList) victim() *page {
 // invalidateMappings removes every live translation of pg, after which no
 // context can reach the frame without faulting. Stale rmap entries (same
 // va remapped to a different frame since) are detected by comparing the
-// installed frame and skipped.
+// installed frame and skipped. Caller holds p.mu exclusively or the
+// page's shard mutex; each context's space is touched under its spaceMu.
 func (p *PVM) invalidateMappings(pg *page) {
 	for _, m := range pg.rmap {
+		m.ctx.spaceMu.Lock()
 		if f, _, ok := m.ctx.space.Lookup(m.va); ok && f == pg.frame {
 			m.ctx.space.Unmap(m.va)
 		}
+		m.ctx.spaceMu.Unlock()
 	}
 	pg.rmap = pg.rmap[:0]
 }
 
 // protectMappings lowers every live translation of pg to prot (used to
-// write-protect deferred-copy sources and cleaned pages).
+// write-protect deferred-copy sources and cleaned pages). Same locking as
+// invalidateMappings.
 func (p *PVM) protectMappings(pg *page, prot gmi.Prot) {
 	live := pg.rmap[:0]
 	for _, m := range pg.rmap {
+		m.ctx.spaceMu.Lock()
 		if f, cur, ok := m.ctx.space.Lookup(m.va); ok && f == pg.frame {
 			m.ctx.space.Protect(m.va, cur&prot)
 			live = append(live, m)
 		}
+		m.ctx.spaceMu.Unlock()
 	}
 	pg.rmap = live
 }

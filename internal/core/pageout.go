@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"chorusvm/internal/cost"
@@ -18,9 +19,22 @@ import (
 // reserveFrames guarantees that k subsequent Alloc calls will succeed,
 // evicting pages as needed. It may release and reacquire p.mu; the caller
 // must re-validate earlier lookups. The returned release function gives
-// the reservation back.
+// the reservation back. p.mu held exclusively; the reservation count
+// itself lives under reserveMu because the fast fault path (which never
+// evicts — see tryReserveFrames) reserves against the same pool.
 func (p *PVM) reserveFrames(k int) (release func(), err error) {
-	for p.mem.FreeFrames() < p.reserved+k {
+	for {
+		p.reserveMu.Lock()
+		if p.mem.FreeFrames() >= p.reserved+k {
+			p.reserved += k
+			p.reserveMu.Unlock()
+			return func() {
+				p.reserveMu.Lock()
+				p.reserved -= k
+				p.reserveMu.Unlock()
+			}, nil
+		}
+		p.reserveMu.Unlock()
 		progress, err := p.evictOne()
 		if err != nil {
 			return nil, err
@@ -29,8 +43,6 @@ func (p *PVM) reserveFrames(k int) (release func(), err error) {
 			return nil, gmi.ErrNoMemory
 		}
 	}
-	p.reserved += k
-	return func() { p.reserved -= k }, nil
 }
 
 // evictOne makes one unit of reclaim progress: freeing a clean victim,
@@ -46,7 +58,7 @@ func (p *PVM) evictOne() (bool, error) {
 		if !pg.dirty {
 			p.moveStubsToRemote(pg)
 			p.dropPage(pg)
-			p.stats.Evictions++
+			atomic.AddUint64(&p.stats.Evictions, 1)
 			return true, nil
 		}
 		if c.seg == nil {
@@ -73,7 +85,7 @@ func (p *PVM) evictOne() (bool, error) {
 			p.moveStubsToRemote(pg)
 			p.dropPage(pg)
 		}
-		p.stats.Evictions++
+		atomic.AddUint64(&p.stats.Evictions, 1)
 		return true, nil
 	}
 	return false, nil
@@ -93,7 +105,7 @@ func (p *PVM) pushPage(pg *page) error {
 	// Writers must fault (and block on busy) while the push is in
 	// flight, so the pushed snapshot is coherent.
 	p.protectMappings(pg, gmi.ProtRead|gmi.ProtExec|gmi.ProtSystem)
-	p.stats.PushOuts++
+	atomic.AddUint64(&p.stats.PushOuts, 1)
 	p.clock.Charge(cost.EvPushOut, 1)
 
 	p.mu.Unlock()
@@ -157,6 +169,11 @@ func (p *PVM) StartPageoutDaemon(low, high int, interval time.Duration) (stop fu
 	if high < low {
 		high = low
 	}
+	if interval <= 0 {
+		// time.NewTicker panics on non-positive intervals; treat "no
+		// interval" as "poll often".
+		interval = 10 * time.Millisecond
+	}
 	done := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -170,21 +187,38 @@ func (p *PVM) StartPageoutDaemon(low, high int, interval time.Duration) (stop fu
 				return
 			case <-tick.C:
 			}
+			// Cheap unlocked pre-check to keep idle wakeups off the
+			// structural lock; the authoritative check repeats below.
 			if p.mem.FreeFrames() >= low {
 				continue
 			}
 			p.mu.Lock()
-			for p.mem.FreeFrames() < high {
+			// Re-validate under the lock: frames may have been freed (or
+			// another reclaimer run) since the sample above, in which
+			// case evicting up to the high watermark would over-evict.
+			if p.mem.FreeFrames() >= low {
+				p.mu.Unlock()
+				continue
+			}
+			// Bound the work per wakeup so one tick cannot monopolize
+			// the structural lock against the fault path.
+			budget := high - low
+			if budget < 1 {
+				budget = 1
+			}
+			for evicted := 0; evicted < budget && p.mem.FreeFrames() < high; {
 				progress, err := p.evictOne()
 				if err != nil || !progress {
 					break
 				}
+				evicted++
 			}
 			p.mu.Unlock()
 		}
 	}()
+	var once sync.Once
 	return func() {
-		close(done)
+		once.Do(func() { close(done) })
 		wg.Wait()
 	}
 }

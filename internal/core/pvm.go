@@ -29,6 +29,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
@@ -99,9 +100,12 @@ func (o *Options) fill() {
 }
 
 // Stats are PVM-internal counters, complementing the clock's event counts.
+// Fields are updated with atomic operations (the fast fault path counts
+// without the structural lock); read them through Stats().
 type Stats struct {
 	Faults        uint64 // page faults handled
 	SegvFaults    uint64 // faults outside any region
+	ProtFaults    uint64 // accesses denied by protection
 	ZeroFills     uint64 // demand-zero pages materialized
 	CowBreaks     uint64 // private pages materialized by deferred copies
 	HistoryPushes uint64 // original pages preserved into history objects
@@ -128,19 +132,37 @@ type PVM struct {
 	copyOnRef bool
 	collapse  bool
 
-	// mu is the paper's "simple synchronization interface provided by
-	// the host kernel": one lock over all PVM structures. Upcalls
-	// (pullIn/pushOut/segmentCreate) are always issued with mu released;
-	// in-transit fragments are represented by stubs in the global map so
-	// concurrent access blocks on the fragment, not on the lock.
-	mu       sync.Mutex
-	gmap     map[pageKey]mapEntry
-	lru      lruList
-	caches   map[*cache]struct{}
-	contexts map[*context]struct{}
-	current  *context
-	reserved int // frames promised to in-flight fault handling
-	stats    Stats
+	// mu is the structural lock. Held exclusively (mu.Lock) it is the
+	// paper's "simple synchronization interface provided by the host
+	// kernel": one lock over all PVM structures, used by every structural
+	// operation (cache/context/region create and destroy, history-tree
+	// surgery, copies, page-out) and by the slow fault path. The fast
+	// fault path holds it shared (mu.RLock) plus one global-map shard
+	// mutex, so independent faults proceed in parallel; see fault.go for
+	// the full protocol and lock ordering. Upcalls (pullIn/pushOut/
+	// segmentCreate) are always issued with no PVM lock held; in-transit
+	// fragments are represented by stubs in the global map so concurrent
+	// access blocks on the fragment, not on a lock.
+	mu     sync.RWMutex
+	shards [gmapShards]gmapShard // the lock-striped global map
+
+	// Leaf mutexes, ordered strictly after mu/shard locks: lruMu guards
+	// the global LRU, reserveMu the frame-reservation count. Per-cache
+	// (listMu) and per-context (spaceMu) leaves live on those structs.
+	lruMu     sync.Mutex
+	lru       lruList
+	reserveMu sync.Mutex
+	reserved  int // frames promised to in-flight fault handling
+
+	caches      map[*cache]struct{}
+	contexts    map[*context]struct{}
+	current     *context
+	nextCacheID uint64
+	// inFlightFrames counts frames allocated but not yet published in any
+	// page list (content being filled outside the lock); the frame
+	// accounting invariant includes them.
+	inFlightFrames int64
+	stats          Stats
 }
 
 var _ gmi.MemoryManager = (*PVM)(nil)
@@ -157,9 +179,11 @@ func New(o Options) *PVM {
 		readAhead: o.ReadAheadPages,
 		copyOnRef: o.CopyOnReference,
 		collapse:  !o.DisableCollapse,
-		gmap:      make(map[pageKey]mapEntry),
 		caches:    make(map[*cache]struct{}),
 		contexts:  make(map[*context]struct{}),
+	}
+	for i := range p.shards {
+		p.shards[i].m = make(map[pageKey]mapEntry)
 	}
 	p.mem = phys.NewMemory(o.Frames, o.PageSize, o.Clock)
 	switch o.MMU {
@@ -195,9 +219,21 @@ func (p *PVM) MMU() mmu.MMU { return p.hw }
 
 // Stats returns a copy of the internal counters.
 func (p *PVM) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	s := &p.stats
+	return Stats{
+		Faults:        atomic.LoadUint64(&s.Faults),
+		SegvFaults:    atomic.LoadUint64(&s.SegvFaults),
+		ProtFaults:    atomic.LoadUint64(&s.ProtFaults),
+		ZeroFills:     atomic.LoadUint64(&s.ZeroFills),
+		CowBreaks:     atomic.LoadUint64(&s.CowBreaks),
+		HistoryPushes: atomic.LoadUint64(&s.HistoryPushes),
+		StubBreaks:    atomic.LoadUint64(&s.StubBreaks),
+		PullIns:       atomic.LoadUint64(&s.PullIns),
+		PushOuts:      atomic.LoadUint64(&s.PushOuts),
+		Evictions:     atomic.LoadUint64(&s.Evictions),
+		Collapses:     atomic.LoadUint64(&s.Collapses),
+		Zombies:       atomic.LoadUint64(&s.Zombies),
+	}
 }
 
 // CacheCreate implements gmi.MemoryManager: it binds seg to a new cache.

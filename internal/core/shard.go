@@ -1,0 +1,111 @@
+package core
+
+import "sync"
+
+// This file implements the lock-striped global map. The map that names
+// every cached page (section 4.1.1) used to live behind the single PVM
+// lock; it is now split into gmapShards shards so that concurrent faults
+// on independent pages serialize only per shard.
+//
+// Locking invariant for the global map: every single-key access holds
+// EITHER p.mu exclusively OR the key's shard mutex. The helpers below do
+// not lock internally — the caller supplies whichever of the two it
+// already holds. This works because exclusive p.mu excludes every
+// shard-lock holder (shard locks are only ever taken under p.mu.RLock),
+// so the two modes can never observe each other mid-update. Whole-map
+// iteration (gmapRange, gmapLen) requires p.mu held exclusively.
+
+// gmapShards is the number of global-map shards; must be a power of two.
+const gmapShards = 64
+
+// gmapShard is one stripe of the global map.
+type gmapShard struct {
+	mu sync.Mutex
+	m  map[pageKey]mapEntry
+}
+
+// shardOf returns the shard responsible for key. Caches carry a small
+// integer id so the hash does not depend on pointer values (which would
+// make shard distribution, and thus benchmarks, run-to-run unstable).
+func (p *PVM) shardOf(key pageKey) *gmapShard {
+	h := (key.c.id ^ uint64(key.off)) * 0x9E3779B97F4A7C15
+	return &p.shards[(h>>48)&(gmapShards-1)]
+}
+
+// gmapGet returns the entry at key, or nil. Caller holds p.mu exclusively
+// or the key's shard mutex.
+func (p *PVM) gmapGet(key pageKey) mapEntry {
+	return p.shardOf(key).m[key]
+}
+
+// gmapSet stores the entry at key. Caller holds p.mu exclusively or the
+// key's shard mutex.
+func (p *PVM) gmapSet(key pageKey, e mapEntry) {
+	p.shardOf(key).m[key] = e
+}
+
+// gmapDelete removes the entry at key. Caller holds p.mu exclusively or
+// the key's shard mutex.
+func (p *PVM) gmapDelete(key pageKey) {
+	delete(p.shardOf(key).m, key)
+}
+
+// gmapRange calls f for every entry until f returns false; p.mu held
+// exclusively.
+func (p *PVM) gmapRange(f func(pageKey, mapEntry) bool) {
+	for i := range p.shards {
+		for k, e := range p.shards[i].m {
+			if !f(k, e) {
+				return
+			}
+		}
+	}
+}
+
+// gmapLen returns the number of entries; p.mu held exclusively.
+func (p *PVM) gmapLen() int {
+	n := 0
+	for i := range p.shards {
+		n += len(p.shards[i].m)
+	}
+	return n
+}
+
+// tryReserveFrames reserves k frames for the fast fault path without
+// evicting: it succeeds only when free frames already exceed every
+// outstanding reservation, guaranteeing the subsequent Alloc calls find
+// free frames and never enter reclaim. Callable under p.mu.RLock.
+func (p *PVM) tryReserveFrames(k int) (release func(), ok bool) {
+	p.reserveMu.Lock()
+	defer p.reserveMu.Unlock()
+	if p.mem.FreeFrames() < p.reserved+k {
+		return nil, false
+	}
+	p.reserved += k
+	return func() {
+		p.reserveMu.Lock()
+		p.reserved -= k
+		p.reserveMu.Unlock()
+	}, true
+}
+
+// lruPush, lruRemove and lruTouch wrap the global LRU behind its leaf
+// mutex so the fast fault path (p.mu.RLock holders) and the structural
+// path can both thread pages safely.
+func (p *PVM) lruPush(pg *page) {
+	p.lruMu.Lock()
+	p.lru.push(pg)
+	p.lruMu.Unlock()
+}
+
+func (p *PVM) lruRemove(pg *page) {
+	p.lruMu.Lock()
+	p.lru.remove(pg)
+	p.lruMu.Unlock()
+}
+
+func (p *PVM) lruTouch(pg *page) {
+	p.lruMu.Lock()
+	p.lru.touch(pg)
+	p.lruMu.Unlock()
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"chorusvm/internal/gmi"
 )
@@ -176,4 +177,141 @@ func TestConcurrentSharedReaders(t *testing.T) {
 	}()
 	wg.Wait()
 	check(t, p)
+}
+
+// TestConcurrentOracleStress is the sharded-fault-path torture test: every
+// worker keeps a byte-level oracle of its private region while faulting,
+// copying, flushing and syncing concurrently — and while both the pageout
+// daemon and a forced PageOut goroutine reclaim frames out from under
+// them. Run with -race. Invariants (DESIGN.md section 6) are checked only
+// at quiescence: the frame-accounting invariant is allowed to be
+// transiently unobservable mid-fault, never at rest.
+func TestConcurrentOracleStress(t *testing.T) {
+	p, _ := newTestPVM(t, 96)
+	stopDaemon := p.StartPageoutDaemon(16, 32, 500*time.Microsecond)
+	defer stopDaemon()
+
+	const (
+		workers = 6
+		pages   = 8
+		rounds  = 80
+	)
+	done := make(chan struct{})
+	var reclaimer sync.WaitGroup
+	reclaimer.Add(1)
+	go func() {
+		defer reclaimer.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				p.PageOut(4)
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			ctx, err := p.ContextCreate()
+			if err != nil {
+				errs <- err
+				return
+			}
+			cbase := gmi.VA(0x200_0000)
+			c := p.TempCacheCreate()
+			if _, err := ctx.RegionCreate(cbase, pages*pg, gmi.ProtRW, c, 0); err != nil {
+				errs <- err
+				return
+			}
+			model := make([]byte, pages*pg)
+			for r := 0; r < rounds; r++ {
+				off := rng.Int63n(pages*pg - 512)
+				data := make([]byte, rng.Intn(511)+1)
+				rng.Read(data)
+				if err := ctx.Write(cbase+gmi.VA(off), data); err != nil {
+					errs <- fmt.Errorf("worker %d write: %w", w, err)
+					return
+				}
+				copy(model[off:], data)
+				switch r % 16 {
+				case 3: // deferred copy, read through it, drop it
+					cp := p.TempCacheCreate()
+					if err := c.Copy(cp, 0, 0, pages*pg); err != nil {
+						errs <- fmt.Errorf("worker %d copy: %w", w, err)
+						return
+					}
+					buf := make([]byte, 128)
+					coff := rng.Int63n(pages*pg - 128)
+					if err := cp.ReadAt(coff, buf); err != nil {
+						errs <- fmt.Errorf("worker %d copy read: %w", w, err)
+						return
+					}
+					if !bytes.Equal(buf, model[coff:coff+128]) {
+						errs <- fmt.Errorf("worker %d copy content mismatch at %#x", w, coff)
+						return
+					}
+					if err := cp.Destroy(); err != nil {
+						errs <- fmt.Errorf("worker %d copy destroy: %w", w, err)
+						return
+					}
+				case 7: // write back and release frames; next read re-pulls
+					if err := c.Flush(0, pages*pg); err != nil {
+						errs <- fmt.Errorf("worker %d flush: %w", w, err)
+						return
+					}
+				case 11: // write back, keep cached
+					if err := c.Sync(0, pages*pg); err != nil {
+						errs <- fmt.Errorf("worker %d sync: %w", w, err)
+						return
+					}
+				}
+				voff := rng.Int63n(pages*pg - 256)
+				got := make([]byte, 256)
+				if err := ctx.Read(cbase+gmi.VA(voff), got); err != nil {
+					errs <- fmt.Errorf("worker %d read: %w", w, err)
+					return
+				}
+				if !bytes.Equal(got, model[voff:voff+256]) {
+					errs <- fmt.Errorf("worker %d content diverged at %#x round %d", w, voff, r)
+					return
+				}
+			}
+			// Final full-region verify against the oracle, then teardown.
+			full := make([]byte, pages*pg)
+			if err := ctx.Read(cbase, full); err != nil {
+				errs <- fmt.Errorf("worker %d final read: %w", w, err)
+				return
+			}
+			if !bytes.Equal(full, model) {
+				errs <- fmt.Errorf("worker %d final content diverged", w)
+				return
+			}
+			if err := ctx.Destroy(); err != nil {
+				errs <- err
+				return
+			}
+			if err := c.Destroy(); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	reclaimer.Wait()
+	stopDaemon()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	check(t, p)
+	if p.Memory().FreeFrames() != p.Memory().TotalFrames() {
+		t.Fatalf("frames leaked: %d/%d free", p.Memory().FreeFrames(), p.Memory().TotalFrames())
+	}
 }

@@ -149,8 +149,8 @@ func (in *Interp) exec(raw string) error {
 		return nil
 	case "stats":
 		st := in.pvm.Stats()
-		fmt.Fprintf(in.out, "faults=%d zerofills=%d cowbreaks=%d stubbreaks=%d historypushes=%d pullins=%d pushouts=%d evictions=%d collapses=%d\n",
-			st.Faults, st.ZeroFills, st.CowBreaks, st.StubBreaks,
+		fmt.Fprintf(in.out, "faults=%d protfaults=%d zerofills=%d cowbreaks=%d stubbreaks=%d historypushes=%d pullins=%d pushouts=%d evictions=%d collapses=%d\n",
+			st.Faults, st.ProtFaults, st.ZeroFills, st.CowBreaks, st.StubBreaks,
 			st.HistoryPushes, st.PullIns, st.PushOuts, st.Evictions, st.Collapses)
 		return nil
 	case "clock":
