@@ -20,6 +20,7 @@ import (
 	"chorusvm/internal/bench"
 	"chorusvm/internal/core"
 	"chorusvm/internal/machvm"
+	"chorusvm/internal/obs"
 )
 
 var systems = []struct {
@@ -144,7 +145,26 @@ func BenchmarkParallelFaultThroughput(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			var last bench.ParallelResult
 			for i := 0; i < b.N; i++ {
-				last = bench.ParallelFaultThroughput(workers, pagesPerWorker, latency)
+				last = bench.ParallelFaultThroughput(workers, pagesPerWorker, latency, nil)
+			}
+			b.ReportMetric(last.FaultsSec, "faults/sec")
+		})
+	}
+}
+
+// BenchmarkParallelFaultThroughputTraced is the same workload with a live
+// obs.Tracer wired into the PVM and segments — the number EXPERIMENTS.md
+// compares against the untraced run to bound the instrumentation
+// overhead (<5% target).
+func BenchmarkParallelFaultThroughputTraced(b *testing.B) {
+	const pagesPerWorker = 64
+	const latency = 200 * time.Microsecond
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			tracer := obs.New(obs.Options{})
+			var last bench.ParallelResult
+			for i := 0; i < b.N; i++ {
+				last = bench.ParallelFaultThroughput(workers, pagesPerWorker, latency, tracer)
 			}
 			b.ReportMetric(last.FaultsSec, "faults/sec")
 		})

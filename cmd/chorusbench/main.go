@@ -13,6 +13,8 @@
 //	chorusbench -table 6        # one table
 //	chorusbench -ablations     # crossover / exec-cache / IPC / collapse / MMU
 //	chorusbench -iters 64      # more averaging
+//	chorusbench -parallel -hist          # + fault-stage latency breakdown
+//	chorusbench -parallel -trace=out.json -trace-format=chrome
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"chorusvm/internal/bench"
 	"chorusvm/internal/core"
 	"chorusvm/internal/machvm"
+	"chorusvm/internal/obs"
 )
 
 func main() {
@@ -33,6 +36,9 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run the parallel fault-throughput benchmark")
 	iters := flag.Int("iters", 32, "iterations per cell")
 	frames := flag.Int("frames", 2048, "physical frames per memory manager")
+	hist := flag.Bool("hist", false, "print latency histograms and the fault-stage breakdown (wall-clock; implies tracing the -parallel runs)")
+	traceFile := flag.String("trace", "", "write the captured event trace to this file")
+	traceFormat := flag.String("trace-format", obs.FormatChrome, "trace encoding: text, jsonl or chrome (chrome://tracing / Perfetto)")
 	flag.Parse()
 
 	chorus := bench.PVM(core.Options{Frames: *frames, SmallCopyPages: -1})
@@ -74,12 +80,46 @@ func main() {
 	}
 
 	if *parallel {
+		// A tracer is wired into the runs when anything will consume it.
+		var tracer *obs.Tracer
+		if *hist || *traceFile != "" {
+			tracer = obs.New(obs.Options{})
+		}
 		fmt.Println("=== Parallel fault throughput (sharded global map) ===")
 		var rs []bench.ParallelResult
 		for _, w := range []int{1, 2, 4, 8} {
-			rs = append(rs, bench.ParallelFaultThroughput(w, 64, 200*time.Microsecond))
+			rs = append(rs, bench.ParallelFaultThroughput(w, 64, 200*time.Microsecond, tracer))
 		}
 		fmt.Println(bench.FormatParallel(rs))
+		if tracer != nil {
+			snap := tracer.Snapshot()
+			if *hist {
+				fmt.Println(snap.FaultBreakdown())
+				fmt.Println(bench.FormatParallelStats(rs))
+				fmt.Println(snap.String())
+			}
+			if err := writeTrace(*traceFile, *traceFormat, tracer); err != nil {
+				fmt.Fprintln(os.Stderr, "chorusbench:", err)
+				os.Exit(1)
+			}
+		}
 	}
 	os.Exit(0)
+}
+
+// writeTrace dumps the tracer's event ring to path (no-op when path is
+// empty).
+func writeTrace(path, format string, tracer *obs.Tracer) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteTrace(f, format, tracer.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -7,6 +7,9 @@
 //	vmtrace file.vt        # run a script file
 //	vmtrace -              # read a script from stdin
 //	vmtrace -demo          # run a built-in fork/COW demonstration
+//	vmtrace -demo -trace=out.json -trace-format=chrome
+//	                       # + capture an event trace for chrome://tracing
+//	vmtrace -demo -hist    # + print latency histograms at exit
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"strings"
 
 	"chorusvm/internal/core"
+	"chorusvm/internal/obs"
 	"chorusvm/internal/script"
 )
 
@@ -37,9 +41,19 @@ clock
 func main() {
 	runDemo := flag.Bool("demo", false, "run the built-in demonstration script")
 	frames := flag.Int("frames", 1024, "physical frames")
+	traceFile := flag.String("trace", "", "write the captured event trace to this file (enables tracing)")
+	traceFormat := flag.String("trace-format", obs.FormatChrome, "trace encoding: text, jsonl or chrome (chrome://tracing / Perfetto)")
+	hist := flag.Bool("hist", false, "print latency histograms after the script (enables tracing)")
 	flag.Parse()
 
-	in, err := script.New(os.Stdout, core.Options{Frames: *frames})
+	opts := core.Options{Frames: *frames}
+	if *traceFile != "" || *hist {
+		// The interpreter would otherwise create a disabled tracer that
+		// scripts must `trace on` themselves; these flags ask for the
+		// whole run captured.
+		opts.Tracer = obs.New(obs.Options{})
+	}
+	in, err := script.New(os.Stdout, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vmtrace:", err)
 		os.Exit(1)
@@ -58,11 +72,28 @@ func main() {
 		defer f.Close()
 		err = in.Run(f)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: vmtrace [-demo] [file.vt | -]")
+		fmt.Fprintln(os.Stderr, "usage: vmtrace [-demo] [-trace=FILE [-trace-format=F]] [-hist] [file.vt | -]")
 		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vmtrace:", err)
 		os.Exit(1)
+	}
+	tracer := in.PVM().Tracer()
+	if *hist {
+		fmt.Print(tracer.Snapshot().String())
+	}
+	if *traceFile != "" {
+		f, ferr := os.Create(*traceFile)
+		if ferr == nil {
+			ferr = obs.WriteTrace(f, *traceFormat, tracer.Events())
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "vmtrace:", ferr)
+			os.Exit(1)
+		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"chorusvm/internal/core"
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
+	"chorusvm/internal/obs"
 	"chorusvm/internal/seg"
 )
 
@@ -40,6 +41,10 @@ type ParallelResult struct {
 	Faults    int
 	Elapsed   time.Duration
 	FaultsSec float64
+	// Stats is the PVM counter activity of this run (a Stats.Delta over
+	// the measured interval; the run starts from a fresh PVM, so it is
+	// the whole run's activity).
+	Stats core.Stats
 }
 
 // ParallelFaultThroughput runs `workers` goroutines, each with a private
@@ -47,7 +52,10 @@ type ParallelResult struct {
 // of simulated device time, and measures wall-clock faults per second
 // while every worker demand-pulls pagesPerWorker pages. Frames are sized
 // so no eviction occurs; the measurement isolates the fault path itself.
-func ParallelFaultThroughput(workers, pagesPerWorker int, pullLatency time.Duration) ParallelResult {
+// tracer may be nil (the uninstrumented baseline); when non-nil it is
+// wired into the PVM and every worker segment, so the run populates the
+// fault-stage histograms and the event ring.
+func ParallelFaultThroughput(workers, pagesPerWorker int, pullLatency time.Duration, tracer *obs.Tracer) ParallelResult {
 	clock := cost.New()
 	const pageSize = 8192
 	p := core.New(core.Options{
@@ -55,6 +63,7 @@ func ParallelFaultThroughput(workers, pagesPerWorker int, pullLatency time.Durat
 		PageSize: pageSize,
 		Clock:    clock,
 		SegAlloc: seg.NewSwapAllocator(pageSize, clock),
+		Tracer:   tracer,
 	})
 
 	type worker struct {
@@ -72,6 +81,7 @@ func ParallelFaultThroughput(workers, pagesPerWorker int, pullLatency time.Durat
 			Segment: seg.NewSegment(fmt.Sprintf("par-%d", i), pageSize, clock),
 			latency: pullLatency,
 		}
+		s.SetTracer(tracer)
 		c := p.CacheCreate(s)
 		base := benchBase + gmi.VA(int64(i)*size*2)
 		if _, err := ctx.RegionCreate(base, size, gmi.ProtRW, c, 0); err != nil {
@@ -95,6 +105,7 @@ func ParallelFaultThroughput(workers, pagesPerWorker int, pullLatency time.Durat
 			}
 		}(ws[i])
 	}
+	before := p.Stats()
 	t0 := time.Now()
 	close(start)
 	wg.Wait()
@@ -106,6 +117,7 @@ func ParallelFaultThroughput(workers, pagesPerWorker int, pullLatency time.Durat
 		Faults:    faults,
 		Elapsed:   elapsed,
 		FaultsSec: float64(faults) / elapsed.Seconds(),
+		Stats:     p.Stats().Delta(before),
 	}
 }
 
@@ -122,6 +134,19 @@ func FormatParallel(rs []ParallelResult) string {
 		}
 		fmt.Fprintf(&b, "%8d %10d %12s %14.0f %8.2fx\n",
 			r.Workers, r.Faults, r.Elapsed.Round(time.Millisecond), r.FaultsSec, speedup)
+	}
+	return b.String()
+}
+
+// FormatParallelStats renders the PVM counter activity of each run — the
+// Stats.Delta column view printed next to the latency breakdown.
+func FormatParallelStats(rs []ParallelResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-run PVM counters (Stats delta over the measured interval)\n")
+	fmt.Fprintf(&b, "%8s %8s %9s %8s %9s\n", "workers", "faults", "zerofills", "pullins", "evictions")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%8d %8d %9d %8d %9d\n",
+			r.Workers, r.Stats.Faults, r.Stats.ZeroFills, r.Stats.PullIns, r.Stats.Evictions)
 	}
 	return b.String()
 }

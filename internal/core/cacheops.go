@@ -43,7 +43,7 @@ func (p *PVM) fillPage(c *cache, off int64, chunk []byte, mode gmi.Prot) error {
 		switch e := p.gmapGet(pageKey{c, off}).(type) {
 		case *page:
 			if e.busy {
-				p.waitBusy(e)
+				p.waitBusy(e, nil)
 				continue
 			}
 			if e.dirty {
@@ -59,7 +59,7 @@ func (p *PVM) fillPage(c *cache, off int64, chunk []byte, mode gmi.Prot) error {
 			continue
 		case *syncStub:
 			if e.out != nil {
-				p.waitStub(e)
+				p.waitStub(e, nil)
 				continue
 			}
 			// This is the pull we are answering: install and wake.
@@ -212,13 +212,13 @@ func (p *PVM) writeBack(c *cache, off, size int64, release bool) error {
 			e := p.gmapGet(pageKey{c, o})
 			if st, isStub := e.(*cowStub); isStub {
 				// Materialize the deferred copy so it can be written.
-				if _, err := p.breakStub(c, o, st); err != nil {
+				if _, err := p.breakStub(c, o, st, nil); err != nil {
 					return err
 				}
 				continue
 			}
 			if ss, isSync := e.(*syncStub); isSync {
-				p.waitStub(ss)
+				p.waitStub(ss, nil)
 				continue
 			}
 			pg, _ := e.(*page)
@@ -226,7 +226,7 @@ func (p *PVM) writeBack(c *cache, off, size int64, release bool) error {
 				break
 			}
 			if pg.busy {
-				p.waitBusy(pg)
+				p.waitBusy(pg, nil)
 				continue
 			}
 			if pg.dirty {
@@ -298,7 +298,7 @@ func (c *cache) Invalidate(off, size int64) error {
 		for {
 			e := p.gmapGet(pageKey{c, o})
 			if ss, isSync := e.(*syncStub); isSync {
-				p.waitStub(ss)
+				p.waitStub(ss, nil)
 				continue
 			}
 			if st, isStub := e.(*cowStub); isStub {
@@ -310,14 +310,14 @@ func (c *cache) Invalidate(off, size int64) error {
 				break
 			}
 			if pg.busy {
-				p.waitBusy(pg)
+				p.waitBusy(pg, nil)
 				continue
 			}
 			if pg.pin > 0 {
 				return gmi.ErrLocked
 			}
 			if pg.cowProtected && p.historyWants(c, o) {
-				if _, err := p.clonePageInto(c.history, c.histTranslate(o), pg); err != nil {
+				if _, err := p.clonePageInto(c.history, c.histTranslate(o), pg, nil); err != nil {
 					return err
 				}
 				atomic.AddUint64(&p.stats.HistoryPushes, 1)
@@ -374,7 +374,7 @@ func (c *cache) LockInMemory(off, size int64) error {
 				continue
 			}
 			if pg.busy {
-				p.waitBusy(pg)
+				p.waitBusy(pg, nil)
 				continue
 			}
 			pg.pin++

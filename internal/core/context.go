@@ -317,14 +317,14 @@ func (r *region) LockInMemory() error {
 			if mode == gmi.ProtWrite {
 				pg, err = p.ownWritablePage(r.cache, r.coff+o)
 			} else {
-				pg, err = p.ensureResident(r.cache, r.coff+o, gmi.ProtRead)
+				pg, err = p.ensureResident(r.cache, r.coff+o, gmi.ProtRead, nil)
 			}
 			if err != nil {
 				r.unlockAllLocked()
 				return err
 			}
 			if pg.busy {
-				p.waitBusy(pg)
+				p.waitBusy(pg, nil)
 				continue
 			}
 			pg.pin++

@@ -6,6 +6,7 @@ import (
 
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
+	"chorusvm/internal/obs"
 )
 
 // This file implements the Table 1 data-access operations: cache.copy and
@@ -27,6 +28,8 @@ func (c *cache) Copy(dst gmi.Cache, dstOff, srcOff, size int64) error {
 		return nil
 	}
 	p := c.pvm
+	start := p.obs.Clock()
+	defer p.obs.Span(obs.KindCopy, obs.OpCopy, int64(c.id), size, start)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if c.destroyed || d.destroyed {
@@ -58,6 +61,8 @@ func (c *cache) Move(dst gmi.Cache, dstOff, srcOff, size int64) error {
 		return nil
 	}
 	p := c.pvm
+	start := p.obs.Clock()
+	defer p.obs.Span(obs.KindMove, obs.OpMove, int64(c.id), size, start)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if c.destroyed || d.destroyed {
@@ -159,7 +164,7 @@ func (p *PVM) moveLarge(src *cache, soff int64, dst *cache, doff, size int64) er
 					if dst.seg == nil {
 						break
 					}
-					zpg, err := p.zeroPageInto(dst, doff+o)
+					zpg, err := p.zeroPageInto(dst, doff+o, nil)
 					if err != nil {
 						return err
 					}
@@ -171,25 +176,25 @@ func (p *PVM) moveLarge(src *cache, soff int64, dst *cache, doff, size int64) er
 				// ancestor's page, or a stub-designated page at another
 				// offset — the holder keeps its frame and the
 				// destination gets a copy.
-				content, err := p.ensureResident(src, soff+o, gmi.ProtRead)
+				content, err := p.ensureResident(src, soff+o, gmi.ProtRead, nil)
 				if err != nil {
 					return err
 				}
 				if content.cache != src || content.off != soff+o {
-					if _, err := p.clonePageInto(dst, doff+o, content); err != nil {
+					if _, err := p.clonePageInto(dst, doff+o, content, nil); err != nil {
 						return err
 					}
 				}
 				continue
 			}
 			if pg.busy {
-				p.waitBusy(pg)
+				p.waitBusy(pg, nil)
 				continue
 			}
 			if pg.pin > 0 {
 				// Pinned source frame stays; the destination gets a
 				// copy instead.
-				if _, err := p.clonePageInto(dst, doff+o, pg); err != nil {
+				if _, err := p.clonePageInto(dst, doff+o, pg, nil); err != nil {
 					return err
 				}
 				continue
@@ -198,7 +203,7 @@ func (p *PVM) moveLarge(src *cache, soff int64, dst *cache, doff, size int64) er
 			// children before the frame leaves.
 			if pg.cowProtected {
 				if p.historyWants(src, soff+o) {
-					if _, err := p.clonePageInto(src.history, src.histTranslate(soff+o), pg); err != nil {
+					if _, err := p.clonePageInto(src.history, src.histTranslate(soff+o), pg, nil); err != nil {
 						return err
 					}
 					atomic.AddUint64(&p.stats.HistoryPushes, 1)
@@ -208,7 +213,7 @@ func (p *PVM) moveLarge(src *cache, soff int64, dst *cache, doff, size int64) er
 			}
 			// Per-page stub readers must keep the content too.
 			if pg.stubs != nil {
-				if err := p.transferToStubs(pg); err != nil {
+				if err := p.transferToStubs(pg, nil); err != nil {
 					return err
 				}
 				continue
@@ -223,7 +228,7 @@ func (p *PVM) moveLarge(src *cache, soff int64, dst *cache, doff, size int64) er
 // copyIntoFrame physically copies the logical content of (src, soff) into
 // an existing destination page's frame (used for pinned destinations).
 func (p *PVM) copyIntoFrame(dst *page, src *cache, soff int64) error {
-	s, err := p.ensureResident(src, soff, gmi.ProtRead)
+	s, err := p.ensureResident(src, soff, gmi.ProtRead, nil)
 	if err != nil {
 		return err
 	}
@@ -247,25 +252,25 @@ func (p *PVM) prepareOverwrite(dst *cache, off int64) (*page, error) {
 		}
 		e := p.gmapGet(pageKey{dst, off})
 		if ss, isSync := e.(*syncStub); isSync {
-			p.waitStub(ss)
+			p.waitStub(ss, nil)
 			continue
 		}
 		own, _ := e.(*page)
 		if own != nil && own.busy {
-			p.waitBusy(own)
+			p.waitBusy(own, nil)
 			continue
 		}
 
 		// Preserve the pre-copy content for the history object.
 		if p.historyWants(dst, off) {
-			src, err := p.ensureResident(dst, off, gmi.ProtRead)
+			src, err := p.ensureResident(dst, off, gmi.ProtRead, nil)
 			if err != nil {
 				return nil, err
 			}
 			if src == nil {
 				continue
 			}
-			if _, err := p.clonePageInto(dst.history, dst.histTranslate(off), src); err != nil {
+			if _, err := p.clonePageInto(dst.history, dst.histTranslate(off), src, nil); err != nil {
 				return nil, err
 			}
 			atomic.AddUint64(&p.stats.HistoryPushes, 1)
@@ -274,7 +279,7 @@ func (p *PVM) prepareOverwrite(dst *cache, off int64) (*page, error) {
 		// Preserve it for per-page stub readers of not-resident content.
 		if dst.remoteStubs != nil {
 			if _, waiting := dst.remoteStubs[off]; waiting {
-				src, err := p.ensureResident(dst, off, gmi.ProtRead)
+				src, err := p.ensureResident(dst, off, gmi.ProtRead, nil)
 				if err != nil {
 					return nil, err
 				}
@@ -290,7 +295,7 @@ func (p *PVM) prepareOverwrite(dst *cache, off int64) (*page, error) {
 		// And for stub readers threaded on the resident page.
 		if own != nil && own.stubs != nil {
 			if own.pin > 0 {
-				if err := p.transferToStubs(own); err != nil {
+				if err := p.transferToStubs(own, nil); err != nil {
 					return nil, err
 				}
 			} else {
@@ -346,10 +351,10 @@ func (p *PVM) ownWritablePage(c *cache, off int64) (*page, error) {
 		switch e := p.gmapGet(pageKey{c, off}).(type) {
 		case *page:
 			if e.busy {
-				p.waitBusy(e)
+				p.waitBusy(e, nil)
 				continue
 			}
-			restarted, err := p.breakOwnForWrite(c, off, e)
+			restarted, err := p.breakOwnForWrite(c, off, e, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -358,21 +363,21 @@ func (p *PVM) ownWritablePage(c *cache, off int64) (*page, error) {
 			}
 			return e, nil
 		case *syncStub:
-			p.waitStub(e)
+			p.waitStub(e, nil)
 			continue
 		case *cowStub:
-			if _, err := p.breakStub(c, off, e); err != nil {
+			if _, err := p.breakStub(c, off, e, nil); err != nil {
 				return nil, err
 			}
 			continue
 		case nil:
 			if pr := c.findParent(off); pr != nil {
-				if _, err := p.materializePrivate(c, off); err != nil {
+				if _, err := p.materializePrivate(c, off, nil); err != nil {
 					return nil, err
 				}
 				continue
 			}
-			if err := p.bringIn(c, off, gmi.ProtRW); err != nil {
+			if err := p.bringIn(c, off, gmi.ProtRW, nil); err != nil {
 				return nil, err
 			}
 			continue
@@ -428,7 +433,7 @@ func (p *PVM) readAtLocked(c *cache, off int64, buf []byte) error {
 	for done := 0; done < len(buf); {
 		cur := off + int64(done)
 		po := p.pageFloor(cur)
-		pg, err := p.ensureResident(c, po, gmi.ProtRead)
+		pg, err := p.ensureResident(c, po, gmi.ProtRead, nil)
 		if err != nil {
 			return err
 		}

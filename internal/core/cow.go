@@ -5,6 +5,7 @@ import (
 
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
+	"chorusvm/internal/obs"
 )
 
 // This file implements the two deferred-copy resolution paths: private
@@ -17,7 +18,7 @@ import (
 // page, the history gets its own copy of the original first, since its
 // value was logically taken at copy time. Returns (nil, nil) when state
 // changed underfoot and the caller must re-resolve.
-func (p *PVM) materializePrivate(c *cache, off int64) (*page, error) {
+func (p *PVM) materializePrivate(c *cache, off int64, span *obs.FaultSpan) (*page, error) {
 	p.clock.Charge(cost.EvHistoryLookup, 1)
 	for iter := 0; ; iter++ {
 		if iter > 1000 {
@@ -30,7 +31,7 @@ func (p *PVM) materializePrivate(c *cache, off int64) (*page, error) {
 		if pr == nil {
 			return nil, nil
 		}
-		src, err := p.ensureResident(pr.parent, pr.translate(off), gmi.ProtRead)
+		src, err := p.ensureResident(pr.parent, pr.translate(off), gmi.ProtRead, span)
 		if err != nil {
 			return nil, err
 		}
@@ -43,10 +44,11 @@ func (p *PVM) materializePrivate(c *cache, off int64) (*page, error) {
 		// Section 4.2.3: the history object's logical value was taken
 		// from the same original; it must get its own copy.
 		if p.historyWants(c, off) {
-			if _, err := p.clonePageInto(c.history, c.histTranslate(off), src); err != nil {
+			if _, err := p.clonePageInto(c.history, c.histTranslate(off), src, span); err != nil {
 				return nil, err
 			}
 			atomic.AddUint64(&p.stats.HistoryPushes, 1)
+			p.obs.Emit(obs.KindHistoryPush, int64(c.id), off)
 			continue // the clone released the lock; re-validate
 		}
 		// Per-page stubs waiting on (c, off) must keep reading the
@@ -56,11 +58,12 @@ func (p *PVM) materializePrivate(c *cache, off int64) (*page, error) {
 		} else if restarted {
 			continue
 		}
-		pg, err := p.clonePageInto(c, off, src)
+		pg, err := p.clonePageInto(c, off, src, span)
 		if err != nil {
 			return nil, err
 		}
 		atomic.AddUint64(&p.stats.CowBreaks, 1)
+		p.obs.Emit(obs.KindCowBreak, int64(c.id), off)
 		return pg, nil
 	}
 }
@@ -77,7 +80,7 @@ func (p *PVM) materializeRemoteStubs(c *cache, off int64, src *page) (bool, erro
 	if !ok {
 		return false, nil
 	}
-	npg, err := p.clonePageInto(head.dstCache, head.dstOff, src)
+	npg, err := p.clonePageInto(head.dstCache, head.dstOff, src, nil)
 	if err != nil {
 		return true, err
 	}
@@ -118,8 +121,8 @@ func (p *PVM) materializeRemoteStubs(c *cache, off int64, src *page) (bool, erro
 // breakStub resolves a write reference through a per-page stub: allocate a
 // private frame for the destination, copy the source, and replace the stub
 // in the global map (section 4.3). Returns (nil, nil) to request a restart.
-func (p *PVM) breakStub(c *cache, off int64, st *cowStub) (*page, error) {
-	src, err := p.stubSource(st)
+func (p *PVM) breakStub(c *cache, off int64, st *cowStub, span *obs.FaultSpan) (*page, error) {
+	src, err := p.stubSource(st, span)
 	if err != nil {
 		return nil, err
 	}
@@ -130,17 +133,19 @@ func (p *PVM) breakStub(c *cache, off int64, st *cowStub) (*page, error) {
 	// this page, the history's logical value is the stub content: it
 	// must be preserved first (the 4.2.3 rule transposed to stubs).
 	if p.historyWants(c, off) {
-		if _, err := p.clonePageInto(c.history, c.histTranslate(off), src); err != nil {
+		if _, err := p.clonePageInto(c.history, c.histTranslate(off), src, span); err != nil {
 			return nil, err
 		}
 		atomic.AddUint64(&p.stats.HistoryPushes, 1)
+		p.obs.Emit(obs.KindHistoryPush, int64(c.id), off)
 		return nil, nil // lock released; re-resolve
 	}
-	pg, err := p.clonePageInto(c, off, src)
+	pg, err := p.clonePageInto(c, off, src, span)
 	if err != nil {
 		return nil, err
 	}
 	atomic.AddUint64(&p.stats.StubBreaks, 1)
+	p.obs.Emit(obs.KindStubBreak, int64(c.id), off)
 	return pg, nil
 }
 
@@ -150,7 +155,7 @@ func (p *PVM) breakStub(c *cache, off int64, st *cowStub) (*page, error) {
 // and the remaining stubs re-point at the migrated page. One bcopy, like
 // Sprite's copy-on-source-write. Always releases the lock; the caller
 // re-resolves.
-func (p *PVM) transferToStubs(pg *page) error {
+func (p *PVM) transferToStubs(pg *page, span *obs.FaultSpan) error {
 	pg.pin++
 	release, err := p.reserveFrames(1)
 	pg.pin--
@@ -166,7 +171,9 @@ func (p *PVM) transferToStubs(pg *page) error {
 	if err != nil {
 		return err
 	}
+	span.Mark(obs.StageResolve)
 	p.mem.CopyFrame(f, pg.frame)
+	span.Mark(obs.StageContent)
 
 	// The owner's readers (direct and via stubs) must re-fault.
 	p.invalidateMappings(pg)
@@ -192,6 +199,7 @@ func (p *PVM) transferToStubs(pg *page) error {
 		p.protectMappings(npg, gmi.ProtRead|gmi.ProtExec|gmi.ProtSystem)
 	}
 	atomic.AddUint64(&p.stats.StubBreaks, 1)
+	p.obs.Emit(obs.KindStubBreak, int64(st0.dstCache.id), st0.dstOff)
 	return nil
 }
 
@@ -211,7 +219,7 @@ func (p *PVM) resolvesTo(c *cache, off int64, target *cache, toff int64) bool {
 		case *page:
 			return false // owned content elsewhere
 		case *syncStub:
-			p.waitStub(e)
+			p.waitStub(e, nil)
 			continue
 		case *cowStub:
 			if e.src != nil {
@@ -295,7 +303,7 @@ func (p *PVM) installStub(dst *cache, doff int64, sc *cache, soff int64) error {
 		switch e := p.gmapGet(pageKey{c, off}).(type) {
 		case *page:
 			if e.busy {
-				p.waitBusy(e)
+				p.waitBusy(e, nil)
 				continue
 			}
 			st.src, st.srcCache, st.srcOff = e, c, off
@@ -303,7 +311,7 @@ func (p *PVM) installStub(dst *cache, doff int64, sc *cache, soff int64) error {
 			e.stubs = st
 			p.protectMappings(e, gmi.ProtRead|gmi.ProtExec|gmi.ProtSystem)
 		case *syncStub:
-			p.waitStub(e)
+			p.waitStub(e, nil)
 			continue
 		case *cowStub:
 			// Copy of a copy: share the original source (chain

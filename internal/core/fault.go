@@ -6,6 +6,7 @@ import (
 
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
+	"chorusvm/internal/obs"
 )
 
 // This file is the PVM's page-fault engine: the section 4.1.2 lookup
@@ -61,24 +62,47 @@ import (
 // HandleFault resolves one page fault: va faulted in ctx with the given
 // access type. It is the entry point the simulated CPU (context.Read/
 // Write) invokes, standing in for the hardware trap.
+//
+// Observability: a FaultSpan opens here and is threaded by pointer down
+// both resolution tiers; the helpers Mark stage boundaries on it as they
+// wait for locks, issue upcalls and touch page content. Shared helpers
+// also reachable outside a fault receive a nil span, which disables the
+// marks. With no tracer configured the span is the zero value and every
+// probe is a single branch (see TestHandleFaultDisabledTracerAllocs).
 func (p *PVM) HandleFault(ctx *context, va gmi.VA, access gmi.Prot) error {
 	p.clock.Charge(cost.EvFault, 1)
 	atomic.AddUint64(&p.stats.Faults, 1)
-	err, handled := p.fastFault(ctx, va, access)
+	span := p.obs.FaultBegin()
+	err, handled := p.fastFault(ctx, va, access, &span)
 	if !handled {
-		err = p.slowFault(ctx, va, access)
+		err = p.slowFault(ctx, va, access, &span)
 	}
 	if err == gmi.ErrProtection {
 		atomic.AddUint64(&p.stats.ProtFaults, 1)
 	}
+	span.End(int64(va), faultErrArg(err))
 	return err
+}
+
+// faultErrArg encodes a fault outcome for the KindFault event's Arg2.
+func faultErrArg(err error) int64 {
+	switch err {
+	case nil:
+		return 0
+	case gmi.ErrSegmentation:
+		return 1
+	case gmi.ErrProtection:
+		return 2
+	default:
+		return 3
+	}
 }
 
 // fastFault drives the shared-lock resolution loop; handled=false means
 // the fault needs the exclusive slow path.
-func (p *PVM) fastFault(ctx *context, va gmi.VA, access gmi.Prot) (error, bool) {
+func (p *PVM) fastFault(ctx *context, va gmi.VA, access gmi.Prot, span *obs.FaultSpan) (error, bool) {
 	for attempt := 0; attempt < 16; attempt++ {
-		done, retry, err := p.fastFaultOnce(ctx, va, access)
+		done, retry, err := p.fastFaultOnce(ctx, va, access, span)
 		if done {
 			return err, true
 		}
@@ -91,8 +115,9 @@ func (p *PVM) fastFault(ctx *context, va gmi.VA, access gmi.Prot) (error, bool) 
 
 // slowFault is the exclusive-lock fallback: the original single-lock
 // resolution protocol.
-func (p *PVM) slowFault(ctx *context, va gmi.VA, access gmi.Prot) error {
+func (p *PVM) slowFault(ctx *context, va gmi.VA, access gmi.Prot, span *obs.FaultSpan) error {
 	p.mu.Lock()
+	span.Mark(obs.StageLockWait)
 	defer p.mu.Unlock()
 	r := ctx.findRegion(va)
 	if r == nil {
@@ -104,7 +129,7 @@ func (p *PVM) slowFault(ctx *context, va gmi.VA, access gmi.Prot) error {
 	}
 	pva := gmi.VA(p.pageFloor(int64(va)))
 	off := r.coff + p.pageFloor(int64(va)-int64(r.addr))
-	return p.resolveFault(ctx, r, pva, r.cache, off, access)
+	return p.resolveFault(ctx, r, pva, r.cache, off, access, span)
 }
 
 // fastFaultOnce attempts one round of resolution under p.mu.RLock plus
@@ -119,7 +144,7 @@ func (p *PVM) slowFault(ctx *context, va gmi.VA, access gmi.Prot) error {
 // parents, remoteStubs) — is mutated only under p.mu held exclusively,
 // so it is stable under the RLock. Page descriptor fields are guarded by
 // the page's key shard mutex.
-func (p *PVM) fastFaultOnce(ctx *context, va gmi.VA, access gmi.Prot) (done bool, retry bool, err error) {
+func (p *PVM) fastFaultOnce(ctx *context, va gmi.VA, access gmi.Prot, span *obs.FaultSpan) (done bool, retry bool, err error) {
 	write := access&gmi.ProtWrite != 0
 	p.mu.RLock()
 	r := ctx.findRegion(va)
@@ -142,6 +167,7 @@ func (p *PVM) fastFaultOnce(ctx *context, va gmi.VA, access gmi.Prot) (done bool
 	key := pageKey{c, off}
 	sh := p.shardOf(key)
 	sh.mu.Lock()
+	span.Mark(obs.StageLockWait)
 	p.clock.Charge(cost.EvGlobalMapOp, 1)
 	switch e := sh.m[key].(type) {
 	case *page:
@@ -150,7 +176,9 @@ func (p *PVM) fastFaultOnce(ctx *context, va gmi.VA, access gmi.Prot) (done bool
 			sh.mu.Unlock()
 			p.mu.RUnlock()
 			if ch != nil {
+				span.Mark(obs.StageResolve)
 				<-ch
+				span.Mark(obs.StageLockWait)
 			}
 			return false, true, nil
 		}
@@ -184,7 +212,9 @@ func (p *PVM) fastFaultOnce(ctx *context, va gmi.VA, access gmi.Prot) (done bool
 		ch := e.done
 		sh.mu.Unlock()
 		p.mu.RUnlock()
+		span.Mark(obs.StageResolve)
 		<-ch
+		span.Mark(obs.StageLockWait)
 		return false, true, nil
 
 	case *cowStub:
@@ -208,7 +238,7 @@ func (p *PVM) fastFaultOnce(ctx *context, va gmi.VA, access gmi.Prot) (done bool
 			return false, false, nil
 		}
 		if c.seg == nil {
-			return p.fastZeroFill(ctx, r, pva, c, off, key, sh, access)
+			return p.fastZeroFill(ctx, r, pva, c, off, key, sh, access, span)
 		}
 		if p.readAhead > 1 {
 			// Clustered pulls touch neighbouring keys: slow path.
@@ -216,7 +246,7 @@ func (p *PVM) fastFaultOnce(ctx *context, va gmi.VA, access gmi.Prot) (done bool
 			p.mu.RUnlock()
 			return false, false, nil
 		}
-		return p.fastPullIn(c, off, key, sh, access)
+		return p.fastPullIn(c, off, key, sh, access, span)
 
 	default:
 		sh.mu.Unlock()
@@ -229,7 +259,7 @@ func (p *PVM) fastFaultOnce(ctx *context, va gmi.VA, access gmi.Prot) (done bool
 // Entered holding p.mu.RLock and the key's shard mutex; releases both.
 // The frame reservation never evicts (tryReserveFrames), so mem.Alloc is
 // guaranteed to find a free frame without entering reclaim.
-func (p *PVM) fastZeroFill(ctx *context, r *region, pva gmi.VA, c *cache, off int64, key pageKey, sh *gmapShard, access gmi.Prot) (bool, bool, error) {
+func (p *PVM) fastZeroFill(ctx *context, r *region, pva gmi.VA, c *cache, off int64, key pageKey, sh *gmapShard, access gmi.Prot, span *obs.FaultSpan) (bool, bool, error) {
 	release, ok := p.tryReserveFrames(1)
 	if !ok {
 		// Needs eviction: slow path.
@@ -257,10 +287,13 @@ func (p *PVM) fastZeroFill(ctx *context, r *region, pva gmi.VA, c *cache, off in
 		p.mu.RUnlock()
 		return true, false, err
 	}
+	span.Mark(obs.StageResolve)
 	p.mem.Zero(f)
+	span.Mark(obs.StageContent)
 
 	pg := &page{frame: f, off: off, granted: gmi.ProtRWX, dirty: true}
 	sh.mu.Lock()
+	span.Mark(obs.StageLockWait)
 	delete(sh.m, key)
 	p.addPage(c, pg)
 	// afterResident would be a no-op: the fast path only zero-fills when
@@ -274,6 +307,7 @@ func (p *PVM) fastZeroFill(ctx *context, r *region, pva gmi.VA, c *cache, off in
 	p.settleStub(stub)
 	sh.mu.Unlock()
 	atomic.AddUint64(&p.stats.ZeroFills, 1)
+	p.obs.Emit(obs.KindZeroFill, int64(c.id), off)
 	release()
 	p.mu.RUnlock()
 	return true, false, nil
@@ -284,7 +318,7 @@ func (p *PVM) fastZeroFill(ctx *context, r *region, pva gmi.VA, c *cache, off in
 // before the upcall (the segment's FillUp answer takes p.mu exclusively).
 // On success the page is resident and the caller retries the fast path to
 // map it.
-func (p *PVM) fastPullIn(c *cache, off int64, key pageKey, sh *gmapShard, access gmi.Prot) (bool, bool, error) {
+func (p *PVM) fastPullIn(c *cache, off int64, key pageKey, sh *gmapShard, access gmi.Prot, span *obs.FaultSpan) (bool, bool, error) {
 	stub := &syncStub{done: make(chan struct{})}
 	sh.m[key] = stub
 	p.clock.Charge(cost.EvGlobalMapOp, 1)
@@ -294,12 +328,17 @@ func (p *PVM) fastPullIn(c *cache, off int64, key pageKey, sh *gmapShard, access
 
 	atomic.AddUint64(&p.stats.PullIns, 1)
 	p.clock.Charge(cost.EvPullIn, 1)
+	span.Mark(obs.StageResolve)
+	start := p.obs.Clock()
 	err := seg.PullIn(c, off, p.pageSize, access|gmi.ProtRead)
+	p.obs.Span(obs.KindPullIn, obs.OpPullIn, int64(c.id), off, start)
+	span.Mark(obs.StageUpcall)
 
 	// Settle: whatever the fill did not replace is removed and woken.
 	filled := true
 	p.mu.RLock()
 	sh.mu.Lock()
+	span.Mark(obs.StageLockWait)
 	if sh.m[key] == mapEntry(stub) {
 		delete(sh.m, key)
 		p.settleStub(stub)
@@ -328,7 +367,7 @@ func (p *PVM) settleStub(s *syncStub) {
 
 // resolveFault installs a translation for pva covering (c, off); p.mu
 // held exclusively.
-func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off int64, access gmi.Prot) error {
+func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off int64, access gmi.Prot, span *obs.FaultSpan) error {
 	write := access&gmi.ProtWrite != 0
 	for iter := 0; ; iter++ {
 		if iter > 1000 {
@@ -345,11 +384,11 @@ func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off in
 		switch e := p.gmapGet(pageKey{c, off}).(type) {
 		case *page:
 			if e.busy {
-				p.waitBusy(e)
+				p.waitBusy(e, span)
 				continue
 			}
 			if write {
-				if restarted, err := p.breakOwnForWrite(c, off, e); err != nil {
+				if restarted, err := p.breakOwnForWrite(c, off, e, span); err != nil {
 					return err
 				} else if restarted {
 					continue
@@ -363,14 +402,14 @@ func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off in
 			return nil
 
 		case *syncStub:
-			p.waitStub(e)
+			p.waitStub(e, span)
 			continue
 
 		case *cowStub:
 			if !write && !p.copyOnRef {
 				// Read through the stub: share the source page
 				// read-only.
-				src, err := p.stubSource(e)
+				src, err := p.stubSource(e, span)
 				if err != nil {
 					return err
 				}
@@ -381,7 +420,7 @@ func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off in
 				p.lruTouch(src)
 				return nil
 			}
-			if _, err := p.breakStub(c, off, e); err != nil {
+			if _, err := p.breakStub(c, off, e, span); err != nil {
 				return err
 			}
 			continue
@@ -389,7 +428,7 @@ func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off in
 		case nil:
 			if pr := c.findParent(off); pr != nil {
 				if write || p.copyOnRef {
-					if _, err := p.materializePrivate(c, off); err != nil {
+					if _, err := p.materializePrivate(c, off, span); err != nil {
 						return err
 					}
 					continue
@@ -397,7 +436,7 @@ func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off in
 				// Read miss: share the ancestor's page read-only
 				// (copy-on-write policy, Figure 3.a).
 				p.clock.Charge(cost.EvHistoryLookup, 1)
-				src, err := p.ensureResident(pr.parent, pr.translate(off), gmi.ProtRead)
+				src, err := p.ensureResident(pr.parent, pr.translate(off), gmi.ProtRead, span)
 				if err != nil {
 					return err
 				}
@@ -410,7 +449,7 @@ func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off in
 			}
 			// c owns this offset: bring the data in from its segment
 			// (or zero-fill a temporary) and loop to map it.
-			if err := p.bringIn(c, off, access); err != nil {
+			if err := p.bringIn(c, off, access, span); err != nil {
 				return err
 			}
 			continue
@@ -441,34 +480,39 @@ func (p *PVM) mapPage(ctx *context, r *region, pva gmi.VA, pg *page, prot gmi.Pr
 }
 
 // waitStub blocks until an in-transit fragment settles; p.mu (exclusive)
-// released and reacquired.
-func (p *PVM) waitStub(s *syncStub) {
+// released and reacquired. The wait (fragment plus relock) is attributed
+// to the span's lock-wait stage.
+func (p *PVM) waitStub(s *syncStub, span *obs.FaultSpan) {
 	ch := s.done
+	span.Mark(obs.StageResolve)
 	p.mu.Unlock()
 	<-ch
 	p.mu.Lock()
+	span.Mark(obs.StageLockWait)
 }
 
 // waitBusy blocks until a push-out completes; p.mu (exclusive) released
-// and reacquired.
-func (p *PVM) waitBusy(pg *page) {
+// and reacquired. Attributed like waitStub.
+func (p *PVM) waitBusy(pg *page, span *obs.FaultSpan) {
 	ch := pg.busyDone
 	if ch == nil {
 		return
 	}
+	span.Mark(obs.StageResolve)
 	p.mu.Unlock()
 	<-ch
 	p.mu.Lock()
+	span.Mark(obs.StageLockWait)
 }
 
 // stubSource returns the resident source page of a per-page stub, pulling
 // the source chain in if necessary. Returns (nil, nil) if the stub was
 // resolved or replaced while the lock was released; the caller restarts.
-func (p *PVM) stubSource(st *cowStub) (*page, error) {
+func (p *PVM) stubSource(st *cowStub, span *obs.FaultSpan) (*page, error) {
 	if st.src != nil && !st.src.busy {
 		return st.src, nil
 	}
-	src, err := p.ensureResident(st.srcCache, st.srcOff, gmi.ProtRead)
+	src, err := p.ensureResident(st.srcCache, st.srcOff, gmi.ProtRead, span)
 	if err != nil || src == nil {
 		return nil, err
 	}
@@ -485,7 +529,7 @@ func (p *PVM) stubSource(st *cowStub) (*page, error) {
 // the owning cache when nothing is resident. It returns with p.mu held;
 // the returned page is valid at return time (callers must use it before
 // releasing the lock).
-func (p *PVM) ensureResident(c *cache, off int64, access gmi.Prot) (*page, error) {
+func (p *PVM) ensureResident(c *cache, off int64, access gmi.Prot, span *obs.FaultSpan) (*page, error) {
 	for iter := 0; ; iter++ {
 		if iter > 1000 {
 			panic("core: ensureResident livelock")
@@ -494,12 +538,12 @@ func (p *PVM) ensureResident(c *cache, off int64, access gmi.Prot) (*page, error
 		switch e := p.gmapGet(pageKey{c, off}).(type) {
 		case *page:
 			if e.busy {
-				p.waitBusy(e)
+				p.waitBusy(e, span)
 				continue
 			}
 			return e, nil
 		case *syncStub:
-			p.waitStub(e)
+			p.waitStub(e, span)
 			continue
 		case *cowStub:
 			if e.src != nil && !e.src.busy {
@@ -513,7 +557,7 @@ func (p *PVM) ensureResident(c *cache, off int64, access gmi.Prot) (*page, error
 				c, off = pr.parent, pr.translate(off)
 				continue
 			}
-			if err := p.bringIn(c, off, access); err != nil {
+			if err := p.bringIn(c, off, access, span); err != nil {
 				return nil, err
 			}
 			continue
@@ -527,7 +571,7 @@ func (p *PVM) ensureResident(c *cache, off int64, access gmi.Prot) (*page, error
 // read-ahead is configured, the pull is clustered over the following
 // empty owner-resolved pages, amortizing the segment's positioning cost.
 // p.mu held exclusively; released around the upcall.
-func (p *PVM) bringIn(c *cache, off int64, access gmi.Prot) error {
+func (p *PVM) bringIn(c *cache, off int64, access gmi.Prot, span *obs.FaultSpan) error {
 	if c.seg == nil {
 		// Zero-fill: the MM "unilaterally decides to cache" the
 		// fragment; no segment is involved until first push-out.
@@ -552,12 +596,15 @@ func (p *PVM) bringIn(c *cache, off int64, access gmi.Prot) error {
 			settle()
 			return err
 		}
+		span.Mark(obs.StageResolve)
 		p.mem.Zero(f)
+		span.Mark(obs.StageContent)
 		pg := &page{frame: f, off: off, granted: gmi.ProtRWX, dirty: true}
 		p.gmapDelete(key)
 		p.addPage(c, pg)
 		p.afterResident(c, pg)
 		atomic.AddUint64(&p.stats.ZeroFills, 1)
+		p.obs.Emit(obs.KindZeroFill, int64(c.id), off)
 		p.settleStub(stub)
 		return nil
 	}
@@ -585,9 +632,13 @@ func (p *PVM) bringIn(c *cache, off int64, access gmi.Prot) error {
 	seg := c.seg
 	atomic.AddUint64(&p.stats.PullIns, 1)
 	p.clock.Charge(cost.EvPullIn, 1)
+	span.Mark(obs.StageResolve)
 	p.mu.Unlock()
+	start := p.obs.Clock()
 	err := seg.PullIn(c, off, int64(count)*p.pageSize, access|gmi.ProtRead)
+	p.obs.Span(obs.KindPullIn, obs.OpPullIn, int64(c.id), off, start)
 	p.mu.Lock()
+	span.Mark(obs.StageUpcall)
 
 	// Settle whatever the fill did not replace (everything, on error).
 	firstFilled := true
@@ -641,7 +692,7 @@ func (p *PVM) afterResident(c *cache, pg *page) {
 // (section 4.3), then invalidate stale read mappings so the writer's new
 // mapping is authoritative. Returns restarted=true when the lock was
 // released and the caller must re-resolve. p.mu held exclusively.
-func (p *PVM) breakOwnForWrite(c *cache, off int64, pg *page) (restarted bool, err error) {
+func (p *PVM) breakOwnForWrite(c *cache, off int64, pg *page, span *obs.FaultSpan) (restarted bool, err error) {
 	if c.protCap&gmi.ProtWrite == 0 {
 		return false, gmi.ErrProtection
 	}
@@ -651,9 +702,13 @@ func (p *PVM) breakOwnForWrite(c *cache, off int64, pg *page) (restarted bool, e
 		} else {
 			seg := c.seg
 			pg.pin++ // hold the page across the upcall
+			span.Mark(obs.StageResolve)
 			p.mu.Unlock()
+			start := p.obs.Clock()
 			err := seg.GetWriteAccess(c, off, p.pageSize)
+			p.obs.Span(obs.KindGetWrite, obs.OpGetWrite, int64(c.id), off, start)
 			p.mu.Lock()
+			span.Mark(obs.StageUpcall)
 			pg.pin--
 			if err != nil {
 				return true, err
@@ -667,10 +722,11 @@ func (p *PVM) breakOwnForWrite(c *cache, off int64, pg *page) (restarted bool, e
 			// Allocate the original's new home in the history object
 			// (the "page lookup in the history tree" of section 5.3.2).
 			p.clock.Charge(cost.EvHistoryLookup, 1)
-			if _, err := p.clonePageInto(c.history, c.histTranslate(off), pg); err != nil {
+			if _, err := p.clonePageInto(c.history, c.histTranslate(off), pg, span); err != nil {
 				return true, err
 			}
 			atomic.AddUint64(&p.stats.HistoryPushes, 1)
+			p.obs.Emit(obs.KindHistoryPush, int64(c.id), off)
 			// The clone released the lock; re-resolve.
 			pg.cowProtected = false
 			return true, nil
@@ -680,7 +736,7 @@ func (p *PVM) breakOwnForWrite(c *cache, off int64, pg *page) (restarted bool, e
 		pg.cowProtected = false
 	}
 	if pg.stubs != nil {
-		if err := p.transferToStubs(pg); err != nil {
+		if err := p.transferToStubs(pg, span); err != nil {
 			return true, err
 		}
 		return true, nil
@@ -694,7 +750,7 @@ func (p *PVM) breakOwnForWrite(c *cache, off int64, pg *page) (restarted bool, e
 // zeroPageInto allocates a zero-filled dirty page at (dst, off); may
 // release the lock, so callers re-validate. Used when explicitly moved
 // zeros must shadow older segment content. p.mu held exclusively.
-func (p *PVM) zeroPageInto(dst *cache, off int64) (*page, error) {
+func (p *PVM) zeroPageInto(dst *cache, off int64, span *obs.FaultSpan) (*page, error) {
 	release, err := p.reserveFrames(1)
 	if err != nil {
 		return nil, err
@@ -707,7 +763,9 @@ func (p *PVM) zeroPageInto(dst *cache, off int64) (*page, error) {
 	if err != nil {
 		return nil, err
 	}
+	span.Mark(obs.StageResolve)
 	p.mem.Zero(f)
+	span.Mark(obs.StageContent)
 	pg := &page{frame: f, off: off, granted: gmi.ProtRWX, dirty: true}
 	if old := p.gmapGet(pageKey{dst, off}); old != nil {
 		if st, isStub := old.(*cowStub); isStub {
@@ -724,7 +782,7 @@ func (p *PVM) zeroPageInto(dst *cache, off int64) (*page, error) {
 // clonePageInto allocates a page at (dst, off) initialized with src's
 // contents. May release the lock to reserve a frame; the caller must
 // re-validate. Returns the new page. p.mu held exclusively.
-func (p *PVM) clonePageInto(dst *cache, off int64, src *page) (*page, error) {
+func (p *PVM) clonePageInto(dst *cache, off int64, src *page, span *obs.FaultSpan) (*page, error) {
 	src.pin++
 	release, err := p.reserveFrames(1)
 	src.pin--
@@ -740,7 +798,9 @@ func (p *PVM) clonePageInto(dst *cache, off int64, src *page) (*page, error) {
 	if err != nil {
 		return nil, err
 	}
+	span.Mark(obs.StageResolve)
 	p.mem.CopyFrame(f, src.frame)
+	span.Mark(obs.StageContent)
 	pg := &page{frame: f, off: off, granted: gmi.ProtRWX, dirty: true}
 	if old := p.gmapGet(pageKey{dst, off}); old != nil {
 		if st, isStub := old.(*cowStub); isStub {

@@ -5,6 +5,7 @@ import (
 
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
+	"chorusvm/internal/obs"
 )
 
 // This file implements the history-object machinery of section 4.2:
@@ -22,6 +23,7 @@ const historyBound = int64(1) << 62
 // resident pages in the fragment are write-protected.
 func (p *PVM) attachHistory(src *cache, soff int64, dst *cache, doff, size int64) {
 	p.clock.Charge(cost.EvTreeInsert, 1)
+	p.obs.Emit(obs.KindHistoryInsert, int64(src.id), int64(dst.id))
 	// Detach the destination's stale inheritance first. The reap cascade
 	// this can trigger — freeing dead intermediate caches whose last
 	// reader was this fragment, collapsing working objects, clearing
@@ -216,6 +218,7 @@ func (p *PVM) tryCollapse(w *cache) {
 		delete(p.caches, w)
 		p.clock.Charge(cost.EvCacheDestroy, 1)
 		atomic.AddUint64(&p.stats.Collapses, 1)
+		p.obs.Emit(obs.KindHistoryCollapse, int64(w.id), 0)
 		// The grandparent may itself be a dead single-child node now.
 		p.maybeReapParent(gp)
 		return
@@ -224,6 +227,7 @@ func (p *PVM) tryCollapse(w *cache) {
 	// releases w's last reference, reaping it.
 	off, size := frag.off, frag.size
 	atomic.AddUint64(&p.stats.Collapses, 1)
+	p.obs.Emit(obs.KindHistoryCollapse, int64(w.id), 0)
 	p.removeParentRange(ch, off, size)
 }
 
@@ -275,7 +279,7 @@ func (p *PVM) migratePageToStubs(pg *page) {
 // dealt with stub readers and history preservation.
 func (p *PVM) dropPage(pg *page) {
 	for pg.busy {
-		p.waitBusy(pg)
+		p.waitBusy(pg, nil)
 	}
 	p.invalidateMappings(pg)
 	p.unlinkPage(pg)
@@ -338,7 +342,7 @@ func (p *PVM) freeCache(c *cache) {
 			off = o
 			break
 		}
-		src, err := p.ensureResident(c, off, gmi.ProtRead)
+		src, err := p.ensureResident(c, off, gmi.ProtRead, nil)
 		if err == nil && src != nil {
 			if _, merr := p.materializeRemoteStubs(c, off, src); merr != nil {
 				err = merr

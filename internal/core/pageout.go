@@ -7,6 +7,7 @@ import (
 
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
+	"chorusvm/internal/obs"
 )
 
 // This file implements physical-memory reclaim: the data-management policy
@@ -59,6 +60,7 @@ func (p *PVM) evictOne() (bool, error) {
 			p.moveStubsToRemote(pg)
 			p.dropPage(pg)
 			atomic.AddUint64(&p.stats.Evictions, 1)
+			p.obs.Emit(obs.KindEvict, int64(c.id), pg.off)
 			return true, nil
 		}
 		if c.seg == nil {
@@ -68,7 +70,9 @@ func (p *PVM) evictOne() (bool, error) {
 			// segmentCreate upcall: declare the unilaterally created
 			// cache to the upper layer so it can be swapped out.
 			p.mu.Unlock()
+			start := p.obs.Clock()
 			seg, err := p.segalloc.SegmentCreate(c)
+			p.obs.Span(obs.KindSegCreate, obs.OpPushOut, int64(c.id), 0, start)
 			p.mu.Lock()
 			if err != nil {
 				return false, err
@@ -86,6 +90,7 @@ func (p *PVM) evictOne() (bool, error) {
 			p.dropPage(pg)
 		}
 		atomic.AddUint64(&p.stats.Evictions, 1)
+		p.obs.Emit(obs.KindEvict, int64(c.id), pg.off)
 		return true, nil
 	}
 	return false, nil
@@ -109,7 +114,9 @@ func (p *PVM) pushPage(pg *page) error {
 	p.clock.Charge(cost.EvPushOut, 1)
 
 	p.mu.Unlock()
+	start := p.obs.Clock()
 	err := seg.PushOut(c, off, p.pageSize)
+	p.obs.Span(obs.KindPushOut, obs.OpPushOut, int64(c.id), off, start)
 	p.mu.Lock()
 
 	pg.busy = false

@@ -34,6 +34,7 @@ import (
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
 	"chorusvm/internal/mmu"
+	"chorusvm/internal/obs"
 	"chorusvm/internal/phys"
 )
 
@@ -73,6 +74,10 @@ type Options struct {
 	// DisableCollapse turns off the working-object collapse garbage
 	// collection (the section 4.2.5 extension), for ablation.
 	DisableCollapse bool
+	// Tracer, when non-nil, receives trace events and latency
+	// observations from every layer (see internal/obs). The nil default
+	// costs one predictable branch per probe site and zero allocations.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) fill() {
@@ -103,6 +108,14 @@ func (o *Options) fill() {
 // Fields are updated with atomic operations (the fast fault path counts
 // without the structural lock); read them through Stats().
 type Stats struct {
+	// Snapshot semantics: Stats() assembles the copy one atomic load at a
+	// time, under no lock, so while the system is running the copy is not
+	// a single consistent cut — each field is exact at the instant it was
+	// read, but related counters can disagree transiently (e.g. a fault
+	// counted in Faults whose ZeroFills increment lands after the
+	// snapshot). Counters are monotonic, so differencing two snapshots
+	// with Delta still bounds the activity in between.
+
 	Faults        uint64 // page faults handled
 	SegvFaults    uint64 // faults outside any region
 	ProtFaults    uint64 // accesses denied by protection
@@ -163,6 +176,10 @@ type PVM struct {
 	// accounting invariant includes them.
 	inFlightFrames int64
 	stats          Stats
+
+	// obs receives trace events and latency observations; nil when the
+	// PVM is not instrumented (every probe is nil-safe).
+	obs *obs.Tracer
 }
 
 var _ gmi.MemoryManager = (*PVM)(nil)
@@ -181,6 +198,7 @@ func New(o Options) *PVM {
 		collapse:  !o.DisableCollapse,
 		caches:    make(map[*cache]struct{}),
 		contexts:  make(map[*context]struct{}),
+		obs:       o.Tracer,
 	}
 	for i := range p.shards {
 		p.shards[i].m = make(map[pageKey]mapEntry)
@@ -211,13 +229,39 @@ func (p *PVM) PageSize() int { return int(p.pageSize) }
 // Clock returns the simulated clock.
 func (p *PVM) Clock() *cost.Clock { return p.clock }
 
+// Tracer returns the observability tracer (nil when uninstrumented).
+func (p *PVM) Tracer() *obs.Tracer { return p.obs }
+
 // Memory returns the physical memory pool (for tests and tools).
 func (p *PVM) Memory() *phys.Memory { return p.mem }
 
 // MMU returns the machine-dependent layer in use.
 func (p *PVM) MMU() mmu.MMU { return p.hw }
 
-// Stats returns a copy of the internal counters.
+// Delta returns s - prev, field by field. Counters are monotonic, so on
+// two snapshots of the same PVM taken in order the result never
+// underflows; it is the activity between the snapshots (subject to the
+// per-field consistency caveat documented on Stats).
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Faults:        s.Faults - prev.Faults,
+		SegvFaults:    s.SegvFaults - prev.SegvFaults,
+		ProtFaults:    s.ProtFaults - prev.ProtFaults,
+		ZeroFills:     s.ZeroFills - prev.ZeroFills,
+		CowBreaks:     s.CowBreaks - prev.CowBreaks,
+		HistoryPushes: s.HistoryPushes - prev.HistoryPushes,
+		StubBreaks:    s.StubBreaks - prev.StubBreaks,
+		PullIns:       s.PullIns - prev.PullIns,
+		PushOuts:      s.PushOuts - prev.PushOuts,
+		Evictions:     s.Evictions - prev.Evictions,
+		Collapses:     s.Collapses - prev.Collapses,
+		Zombies:       s.Zombies - prev.Zombies,
+	}
+}
+
+// Stats returns a copy of the internal counters. See the snapshot
+// semantics documented on the Stats type: the copy is assembled
+// field-by-field and is not one consistent cut while the PVM is active.
 func (p *PVM) Stats() Stats {
 	s := &p.stats
 	return Stats{

@@ -28,6 +28,7 @@ import (
 
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
+	"chorusvm/internal/obs"
 	"chorusvm/internal/seg"
 )
 
@@ -43,6 +44,9 @@ type Manager struct {
 	mu    sync.Mutex
 	pages map[int64]*pageDir
 	sites []*Site
+
+	// tr observes coherence-transaction latency (set before use; nil-safe).
+	tr *obs.Tracer
 }
 
 // pageDir is the directory entry for one page. lock serializes whole
@@ -85,6 +89,10 @@ func NewManager(pageSize int, clock *cost.Clock) *Manager {
 
 // Home exposes the home store (tests preload initial contents).
 func (m *Manager) Home() *seg.Store { return m.home }
+
+// SetTracer attaches an observability tracer. Call before sites start
+// faulting; a nil tracer (the default) disables the probes.
+func (m *Manager) SetTracer(t *obs.Tracer) { m.tr = t }
 
 // Attach joins a memory manager to the shared segment, returning the site
 // handle and the local cache to map into contexts.
@@ -177,12 +185,14 @@ func (m *Manager) fetchFor(s *Site, off int64) error {
 	if owner != nil && owner != s {
 		// Another site holds the page writable: write it home and
 		// demote it to a read-only copy (sync keeps it cached).
+		start := m.tr.Clock()
 		if err := owner.cache.Sync(off, m.pageSize); err != nil {
 			return err
 		}
 		if err := owner.cache.SetProtection(off, m.pageSize, gmi.ProtRead|gmi.ProtExec); err != nil {
 			return err
 		}
+		m.tr.Span(obs.KindDSMSync, obs.OpDSMSync, off, 0, start)
 		owner.Downgrades++
 		m.mu.Lock()
 		if d.owner == owner {
@@ -235,12 +245,14 @@ func (m *Manager) grantWrite(s *Site, off int64) error {
 	for _, v := range victims {
 		// A writable victim's modifications must reach home before the
 		// new writer proceeds; readers are simply discarded.
+		start := m.tr.Clock()
 		if err := v.cache.Sync(off, m.pageSize); err != nil {
 			return err
 		}
 		if err := v.cache.Invalidate(off, m.pageSize); err != nil {
 			return err
 		}
+		m.tr.Span(obs.KindDSMInvalidate, obs.OpDSMInvalidate, off, 0, start)
 		v.Invalidates++
 	}
 

@@ -13,6 +13,7 @@ import (
 
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
+	"chorusvm/internal/obs"
 	"chorusvm/internal/seg"
 )
 
@@ -40,6 +41,9 @@ type Kernel struct {
 
 	mu     sync.Mutex
 	nextID uint64
+
+	// tr observes message-transfer latency (set before use; nil-safe).
+	tr *obs.Tracer
 }
 
 // NewKernel creates the IPC machinery over a memory manager. nslots is the
@@ -64,6 +68,10 @@ func NewKernel(mm gmi.MemoryManager, clock *cost.Clock, nslots int) *Kernel {
 	}
 	return k
 }
+
+// SetTracer attaches an observability tracer. Call before the kernel
+// starts moving messages; a nil tracer (the default) disables the probes.
+func (k *Kernel) SetTracer(t *obs.Tracer) { k.tr = t }
 
 // message is a queued message: its body lives in a transit slot (or inline
 // for tiny control messages).
@@ -124,6 +132,7 @@ func (p *Port) Send(src gmi.Cache, off, size int64, reply *Port) error {
 	}
 	k := p.k
 	k.clock.Charge(cost.EvIPCSend, 1)
+	start := k.tr.Clock()
 	m := &message{size: size, reply: reply, slot: -1}
 	if size <= inlineLimit {
 		m.inline = make([]byte, size)
@@ -141,7 +150,9 @@ func (p *Port) Send(src gmi.Cache, off, size int64, reply *Port) error {
 		}
 		m.slot = slot
 	}
-	return p.enqueue(m)
+	err := p.enqueue(m)
+	k.tr.Span(obs.KindIPCSend, obs.OpIPCSend, int64(p.id), size, start)
+	return err
 }
 
 // SendBytes transmits a byte slice (for control messages and the mapper
@@ -152,6 +163,7 @@ func (p *Port) SendBytes(data []byte, reply *Port) error {
 	}
 	k := p.k
 	k.clock.Charge(cost.EvIPCSend, 1)
+	start := k.tr.Clock()
 	m := &message{size: int64(len(data)), reply: reply, slot: -1}
 	if len(data) <= inlineLimit {
 		m.inline = append([]byte(nil), data...)
@@ -166,7 +178,9 @@ func (p *Port) SendBytes(data []byte, reply *Port) error {
 		}
 		m.slot = slot
 	}
-	return p.enqueue(m)
+	err := p.enqueue(m)
+	k.tr.Span(obs.KindIPCSend, obs.OpIPCSend, int64(p.id), int64(len(data)), start)
+	return err
 }
 
 func (p *Port) enqueue(m *message) error {
@@ -196,6 +210,9 @@ func (p *Port) Receive(dst gmi.Cache, off int64, max int64) (int64, *Port, error
 	}
 	k := p.k
 	k.clock.Charge(cost.EvIPCRecv, 1)
+	// The span starts after the queue wait: it measures the body
+	// transfer (move or bcopy), not how long the message sat queued.
+	start := k.tr.Clock()
 	if m.size > max {
 		k.releaseMsg(m)
 		return 0, nil, errBadReceive
@@ -204,6 +221,7 @@ func (p *Port) Receive(dst gmi.Cache, off int64, max int64) (int64, *Port, error
 		if err := dst.WriteAt(off, m.inline); err != nil {
 			return 0, nil, err
 		}
+		k.tr.Span(obs.KindIPCRecv, obs.OpIPCRecv, int64(p.id), m.size, start)
 		return m.size, m.reply, nil
 	}
 	moveSize := m.size
@@ -215,6 +233,7 @@ func (p *Port) Receive(dst gmi.Cache, off int64, max int64) (int64, *Port, error
 	if err != nil {
 		return 0, nil, err
 	}
+	k.tr.Span(obs.KindIPCRecv, obs.OpIPCRecv, int64(p.id), m.size, start)
 	return m.size, m.reply, nil
 }
 
@@ -226,7 +245,9 @@ func (p *Port) ReceiveBytes() ([]byte, *Port, error) {
 	}
 	k := p.k
 	k.clock.Charge(cost.EvIPCRecv, 1)
+	start := k.tr.Clock()
 	if m.inline != nil {
+		k.tr.Span(obs.KindIPCRecv, obs.OpIPCRecv, int64(p.id), m.size, start)
 		return m.inline, m.reply, nil
 	}
 	buf := make([]byte, m.size)
@@ -238,6 +259,7 @@ func (p *Port) ReceiveBytes() ([]byte, *Port, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	k.tr.Span(obs.KindIPCRecv, obs.OpIPCRecv, int64(p.id), m.size, start)
 	return buf, m.reply, nil
 }
 

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers durations up to 2^39 ns ≈ 9 minutes; anything longer
+// lands in the last bucket.
+const numBuckets = 40
+
+// Histogram is a log2-bucketed latency histogram. Bucket i>0 holds
+// durations in [2^(i-1), 2^i) nanoseconds; bucket 0 holds zero (and any
+// negative clock glitch). Observe is two atomic adds plus one atomic
+// increment — safe from any goroutine, no locks.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	buckets [numBuckets]atomic.Uint64
+}
+
+func bucketIdx(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= numBuckets {
+		i = numBuckets - 1
+	}
+	return i
+}
+
+// Observe records one duration in nanoseconds.
+func (h *Histogram) Observe(ns int64) {
+	h.count.Add(1)
+	if ns > 0 {
+		h.sum.Add(ns)
+	}
+	h.buckets[bucketIdx(ns)].Add(1)
+}
+
+// snapshot copies the histogram's counters. Counters are read one by one
+// while writers may be active, so the copy is only approximately
+// consistent — same caveat as PVM.Stats.
+func (h *Histogram) snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of one histogram.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     int64
+	Buckets [numBuckets]uint64
+}
+
+// Mean returns the mean duration, or 0 for an empty histogram.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / int64(s.Count))
+}
+
+// Quantile returns an estimate of the q-quantile (0 < q ≤ 1): the
+// geometric midpoint of the bucket the q-th observation falls in. The
+// estimate is within 2x of the true value by construction.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(s.Count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, b := range s.Buckets {
+		cum += b
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			lo := int64(1) << (i - 1)
+			hi := int64(1) << i
+			return time.Duration((lo + hi) / 2)
+		}
+	}
+	return time.Duration(s.Sum) // unreachable
+}
+
+// Snapshot is a point-in-time copy of every histogram plus the ring's
+// event and drop counters. Like PVM.Stats, the fields are assembled one
+// atomic load at a time: each number is exact, but the set is not a
+// single consistent cut while the system is running.
+type Snapshot struct {
+	Ops    [NumOps]HistSnapshot
+	Events uint64 // events ever recorded into the ring
+	Drops  uint64 // of those, how many the ring has since overwritten
+}
+
+// Snapshot copies the tracer's histograms and counters; nil-safe (a nil
+// tracer yields the zero Snapshot).
+func (t *Tracer) Snapshot() Snapshot {
+	var s Snapshot
+	if t == nil {
+		return s
+	}
+	for i := range t.hist {
+		s.Ops[i] = t.hist[i].snapshot()
+	}
+	s.Events, s.Drops = t.ring.counts()
+	return s
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+func histRow(b *strings.Builder, name string, h HistSnapshot) {
+	fmt.Fprintf(b, "  %-16s %8d  %8s %8s %8s %8s\n",
+		name, h.Count,
+		fmtDur(h.Mean()), fmtDur(h.Quantile(0.50)),
+		fmtDur(h.Quantile(0.95)), fmtDur(h.Quantile(0.99)))
+}
+
+const histHeader = "  %-16s %8s  %8s %8s %8s %8s\n"
+
+// FaultBreakdown renders the per-stage fault-service table: the total
+// fault latency and where it went (the paper's Table 6 stages).
+func (s Snapshot) FaultBreakdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault-service breakdown (%d faults):\n", s.Ops[OpFault].Count)
+	fmt.Fprintf(&b, histHeader, "stage", "count", "mean", "p50", "p95", "p99")
+	for _, op := range []Op{OpFault, OpLockWait, OpResolve, OpUpcall, OpContent} {
+		histRow(&b, op.String(), s.Ops[op])
+	}
+	return b.String()
+}
+
+// String renders every non-empty histogram plus the ring counters.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "latency histograms (events=%d drops=%d):\n", s.Events, s.Drops)
+	fmt.Fprintf(&b, histHeader, "op", "count", "mean", "p50", "p95", "p99")
+	for op := Op(0); op < NumOps; op++ {
+		if s.Ops[op].Count == 0 {
+			continue
+		}
+		histRow(&b, op.String(), s.Ops[op])
+	}
+	return b.String()
+}

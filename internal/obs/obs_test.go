@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestKindOpStageNames(t *testing.T) {
+	for k := Kind(0); k < NumKinds; k++ {
+		if s := k.String(); s == "" || strings.Contains(s, "?") {
+			t.Errorf("Kind(%d) has no name: %q", k, s)
+		}
+	}
+	for o := Op(0); o < NumOps; o++ {
+		if s := o.String(); s == "" || strings.Contains(s, "?") {
+			t.Errorf("Op(%d) has no name: %q", o, s)
+		}
+	}
+	if NumKinds.String() != "kind?" || NumOps.String() != "op?" {
+		t.Error("out-of-range enums should render the placeholder")
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.SetEnabled(true) // must not panic
+	if tr.Clock() != 0 {
+		t.Fatal("nil tracer Clock != 0")
+	}
+	tr.Emit(KindEvict, 1, 2)
+	tr.Span(KindCopy, OpCopy, 1, 2, 3)
+	tr.Observe(OpFault, 5)
+	if evs := tr.Events(); evs != nil {
+		t.Fatalf("nil tracer returned events: %v", evs)
+	}
+	snap := tr.Snapshot()
+	if snap.Events != 0 || snap.Ops[OpFault].Count != 0 {
+		t.Fatal("nil tracer snapshot not zero")
+	}
+	span := tr.FaultBegin()
+	span.Mark(StageLockWait)
+	span.End(1, 2)
+	var nilSpan *FaultSpan
+	nilSpan.Mark(StageUpcall) // shared helpers outside a fault pass nil
+	nilSpan.End(0, 0)
+}
+
+func TestDisabledTracerRecordsNothing(t *testing.T) {
+	tr := New(Options{BufferEvents: 64})
+	tr.SetEnabled(false)
+	if tr.Clock() != 0 {
+		t.Fatal("disabled Clock should return the 0 sentinel")
+	}
+	tr.Emit(KindEvict, 1, 2)
+	tr.Observe(OpFault, 5)
+	span := tr.FaultBegin()
+	span.Mark(StageContent)
+	span.End(1, 2)
+	snap := tr.Snapshot()
+	if snap.Events != 0 {
+		t.Fatalf("disabled tracer recorded %d events", snap.Events)
+	}
+	if snap.Ops[OpFault].Count != 0 {
+		t.Fatal("disabled tracer recorded histogram observations")
+	}
+
+	// An operation started while disabled must not record when tracing is
+	// turned on mid-flight: Span treats start==0 as "no timestamp".
+	start := tr.Clock()
+	tr.SetEnabled(true)
+	tr.Span(KindCopy, OpCopy, 1, 2, start)
+	if got := tr.Snapshot().Ops[OpCopy].Count; got != 0 {
+		t.Fatalf("span started while disabled was recorded (%d)", got)
+	}
+}
+
+func TestClockNeverZeroWhenEnabled(t *testing.T) {
+	tr := New(Options{BufferEvents: 64})
+	for i := 0; i < 1000; i++ {
+		if tr.Clock() == 0 {
+			t.Fatal("enabled Clock returned the disabled sentinel")
+		}
+	}
+}
+
+func TestEmitSpanEvents(t *testing.T) {
+	tr := New(Options{BufferEvents: 1 << 10})
+	tr.Emit(KindEvict, 7, 8)
+	start := tr.Clock()
+	time.Sleep(time.Millisecond)
+	tr.Span(KindPullIn, OpPullIn, 3, 4, start)
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	// Events come back oldest first.
+	if evs[0].Kind != KindEvict || evs[0].Arg1 != 7 || evs[0].Arg2 != 8 {
+		t.Fatalf("first event wrong: %+v", evs[0])
+	}
+	if evs[1].Kind != KindPullIn || evs[1].Dur < int64(time.Millisecond)/2 {
+		t.Fatalf("span event wrong: %+v", evs[1])
+	}
+	snap := tr.Snapshot()
+	if snap.Ops[OpPullIn].Count != 1 {
+		t.Fatalf("span did not observe into the histogram: %+v", snap.Ops[OpPullIn])
+	}
+	if snap.Events != 2 || snap.Drops != 0 {
+		t.Fatalf("counts: events=%d drops=%d", snap.Events, snap.Drops)
+	}
+}
+
+func TestFaultSpanStagesAndIdempotentEnd(t *testing.T) {
+	tr := New(Options{BufferEvents: 1 << 10})
+	span := tr.FaultBegin()
+	time.Sleep(200 * time.Microsecond)
+	span.Mark(StageLockWait)
+	time.Sleep(200 * time.Microsecond)
+	span.Mark(StageUpcall)
+	span.End(0x1000, 0)
+	span.End(0x1000, 0) // second End must be a no-op
+
+	snap := tr.Snapshot()
+	if got := snap.Ops[OpFault].Count; got != 1 {
+		t.Fatalf("fault count = %d, want 1 (End not idempotent?)", got)
+	}
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events, want 1", len(evs))
+	}
+	e := evs[0]
+	if e.Kind != KindFault || e.Arg1 != 0x1000 {
+		t.Fatalf("fault event wrong: %+v", e)
+	}
+	if e.Stages[StageLockWait] < int64(100*time.Microsecond) {
+		t.Fatalf("lockwait stage too small: %v", e.Stages)
+	}
+	if e.Stages[StageUpcall] < int64(100*time.Microsecond) {
+		t.Fatalf("upcall stage too small: %v", e.Stages)
+	}
+	// Every nanosecond of the fault is attributed to exactly one stage.
+	var sum int64
+	for _, s := range e.Stages {
+		sum += s
+	}
+	if sum != e.Dur {
+		t.Fatalf("stages sum %d != dur %d", sum, e.Dur)
+	}
+	for st := Stage(0); st < NumStages; st++ {
+		if snap.Ops[stageOps[st]].Count != 1 {
+			t.Fatalf("stage %d not observed into its histogram", st)
+		}
+	}
+}
+
+func TestRingWrapCountsDrops(t *testing.T) {
+	// 16 stripes; BufferEvents=16 gives 1 slot per stripe, so almost every
+	// event after the first per stripe is a drop.
+	tr := New(Options{BufferEvents: 16})
+	const n = 500
+	for i := 0; i < n; i++ {
+		tr.Emit(KindEvict, int64(i), 0)
+	}
+	snap := tr.Snapshot()
+	if snap.Events != n {
+		t.Fatalf("events = %d, want %d", snap.Events, n)
+	}
+	if snap.Drops == 0 {
+		t.Fatal("wrapping ring reported no drops")
+	}
+	if snap.Drops >= snap.Events {
+		t.Fatalf("drops %d >= events %d", snap.Drops, snap.Events)
+	}
+	evs := tr.Events()
+	if len(evs) == 0 || len(evs) > 16 {
+		t.Fatalf("wrapped ring returned %d events, want 1..16", len(evs))
+	}
+	// Survivors are the most recent writes to their stripe.
+	for _, e := range evs {
+		if e.Kind != KindEvict {
+			t.Fatalf("decoded foreign event: %+v", e)
+		}
+	}
+}
+
+func TestEventsOrderedByTimestamp(t *testing.T) {
+	tr := New(Options{BufferEvents: 1 << 10})
+	for i := 0; i < 100; i++ {
+		tr.Emit(KindCopy, int64(i), 0)
+	}
+	evs := tr.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatalf("events out of order at %d: %d < %d", i, evs[i].TS, evs[i-1].TS)
+		}
+	}
+}
+
+func TestSat32Saturation(t *testing.T) {
+	tr := New(Options{BufferEvents: 1 << 10})
+	// Forge a fault event with a stage larger than 2^32-1 ns and check the
+	// ring encoding saturates rather than wrapping into a garbage value.
+	huge := int64(10 * time.Second)
+	tr.ring.put(Event{TS: 1, Dur: huge, Kind: KindFault,
+		Stages: [NumStages]int64{huge, 5, 0, 3}})
+	evs := tr.Events()
+	if len(evs) != 1 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if got := evs[0].Stages[0]; got != (1<<32)-1 {
+		t.Fatalf("stage not saturated: %d", got)
+	}
+	if evs[0].Stages[1] != 5 || evs[0].Stages[3] != 3 {
+		t.Fatalf("stage packing corrupted neighbours: %v", evs[0].Stages)
+	}
+	if evs[0].Dur != huge {
+		t.Fatal("Dur is a full int64 and must not saturate")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	if bucketIdx(0) != 0 || bucketIdx(-5) != 0 {
+		t.Fatal("non-positive durations must land in bucket 0")
+	}
+	if bucketIdx(1) != 1 || bucketIdx(2) != 2 || bucketIdx(3) != 2 || bucketIdx(4) != 3 {
+		t.Fatal("bucket boundaries wrong: bucket i holds [2^(i-1), 2^i)")
+	}
+	if bucketIdx(1<<62) != numBuckets-1 {
+		t.Fatal("huge durations must clamp to the last bucket")
+	}
+
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(1000) // bucket 10: [512, 1024)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1 << 20) // bucket 21
+	}
+	s := h.snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if m := s.Mean(); m < 100 || m > 200*time.Microsecond {
+		t.Fatalf("mean = %v", m)
+	}
+	p50 := s.Quantile(0.50)
+	if p50 < 512 || p50 >= 1024 {
+		t.Fatalf("p50 = %v, want within bucket [512ns, 1024ns)", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < time.Duration(1<<20) || p99 >= time.Duration(1<<21) {
+		t.Fatalf("p99 = %v, want within bucket [2^20ns, 2^21ns)", p99)
+	}
+	var empty HistSnapshot
+	if empty.Mean() != 0 || empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestSnapshotRendering(t *testing.T) {
+	tr := New(Options{BufferEvents: 64})
+	span := tr.FaultBegin()
+	span.End(1, 0)
+	tr.Observe(OpIPCSend, 12345)
+	s := tr.Snapshot()
+	text := s.String()
+	for _, want := range []string{"latency histograms", "fault", "ipc.send"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("String() missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "dsm.sync") {
+		t.Fatal("String() should omit empty histograms")
+	}
+	fb := s.FaultBreakdown()
+	for _, want := range []string{"fault-service breakdown (1 faults)",
+		"fault.lockwait", "fault.resolve", "fault.upcall", "fault.content"} {
+		if !strings.Contains(fb, want) {
+			t.Fatalf("FaultBreakdown() missing %q:\n%s", want, fb)
+		}
+	}
+}
+
+// TestDisabledTracerZeroAllocs enforces the package's first design rule:
+// the disabled path — nil tracer or constructed-but-disabled — performs
+// zero allocations per probe. The fault path's end-to-end version of this
+// check is core.TestHandleFaultDisabledTracerAllocs.
+func TestDisabledTracerZeroAllocs(t *testing.T) {
+	probe := func(tr *Tracer) func() {
+		return func() {
+			tr.Emit(KindEvict, 1, 2)
+			start := tr.Clock()
+			tr.Span(KindCopy, OpCopy, 1, 2, start)
+			tr.Observe(OpFault, 5)
+			span := tr.FaultBegin()
+			span.Mark(StageLockWait)
+			span.End(1, 2)
+		}
+	}
+	if n := testing.AllocsPerRun(100, probe(nil)); n != 0 {
+		t.Errorf("nil tracer probes allocate %.1f/op, want 0", n)
+	}
+	tr := New(Options{BufferEvents: 64})
+	tr.SetEnabled(false)
+	if n := testing.AllocsPerRun(100, probe(tr)); n != 0 {
+		t.Errorf("disabled tracer probes allocate %.1f/op, want 0", n)
+	}
+}
+
+// TestEnabledHotPathZeroAllocs checks the second design rule: recording
+// into the ring and histograms does not allocate either (Events() and the
+// sinks may; they are off the hot path).
+func TestEnabledHotPathZeroAllocs(t *testing.T) {
+	tr := New(Options{BufferEvents: 1 << 10})
+	if n := testing.AllocsPerRun(100, func() {
+		tr.Emit(KindEvict, 1, 2)
+		tr.Span(KindCopy, OpCopy, 1, 2, tr.Clock())
+		span := tr.FaultBegin()
+		span.Mark(StageLockWait)
+		span.End(1, 2)
+	}); n != 0 {
+		t.Errorf("enabled hot path allocates %.1f/op, want 0", n)
+	}
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentWritersAndReaders hammers the ring and histograms from
+// writer goroutines while readers continuously drain Events() and
+// Snapshot(), and the enabled flag is flipped underneath everyone. The
+// assertions are deliberately weak — the point is that the race detector
+// sees every access pattern the live system produces (CI runs this
+// package under -race).
+func TestConcurrentWritersAndReaders(t *testing.T) {
+	tr := New(Options{BufferEvents: 1 << 10})
+	const (
+		writers = 8
+		readers = 3
+		perG    = 2000
+	)
+	var writerWG, readerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(id int64) {
+			defer writerWG.Done()
+			for i := 0; i < perG; i++ {
+				span := tr.FaultBegin()
+				span.Mark(StageLockWait)
+				span.Mark(StageUpcall)
+				span.End(id, int64(i))
+				tr.Emit(KindEvict, id, int64(i))
+				tr.Span(KindCopy, OpCopy, id, int64(i), tr.Clock())
+				tr.Observe(OpIPCSend, int64(i))
+			}
+		}(int64(w))
+	}
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, e := range tr.Events() {
+					if e.Kind >= NumKinds {
+						t.Errorf("decoded invalid kind %d", e.Kind)
+						return
+					}
+					if e.Dur < 0 {
+						t.Errorf("decoded negative duration %d", e.Dur)
+						return
+					}
+				}
+				_ = tr.Snapshot().String()
+			}
+		}()
+	}
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 0; i < 100; i++ {
+			tr.SetEnabled(i%2 == 0)
+		}
+		tr.SetEnabled(true)
+	}()
+
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	snap := tr.Snapshot()
+	if snap.Events == 0 {
+		t.Fatal("no events recorded")
+	}
+	if snap.Ops[OpFault].Count == 0 {
+		t.Fatal("no faults observed")
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+	"unsafe"
+)
+
+// The event ring: a fixed set of stripes, each an independent
+// power-of-two ring of seqlock-published slots. A writer picks a stripe
+// by hashing the address of a stack local — goroutines running on
+// different Ps get stacks far apart, so this approximates per-P striping
+// without runtime hooks — reserves a slot with one atomic add, and
+// publishes it by storing the sequence number last. Readers validate the
+// sequence before and after decoding a slot and drop it on mismatch, so
+// a reader racing a wrapping writer sees either a whole event or
+// nothing. (If the ring wraps twice around a single in-flight write —
+// two writers in the same slot at once — a reader can accept a blend of
+// the two events; all accesses are atomic, so this is harmless and
+// confined to overload the drop counter already reports.)
+
+const (
+	numStripes  = 16 // power of two
+	stripeShift = 60 // 64 - log2(numStripes)
+)
+
+// slot is one published event, flattened to atomic words:
+//
+//	w0 TS  w1 Dur  w2 Kind  w3 Arg1  w4 Arg2
+//	w5 stages[0]<<32|stages[1]  w6 stages[2]<<32|stages[3]
+//
+// Stage values saturate at ~4.29s each (uint32 nanoseconds).
+type slot struct {
+	seq atomic.Uint64 // 0 while being written, else slot index + 1
+	w   [7]atomic.Int64
+}
+
+type stripe struct {
+	pos   atomic.Uint64 // next index to write (monotonic)
+	slots []slot
+	mask  uint64
+	_     [24]byte // pad to 64 bytes, keeping stripes off shared cache lines
+}
+
+type ring struct {
+	stripes [numStripes]stripe
+}
+
+// DefaultBufferEvents is the total slot count used when Options leaves
+// BufferEvents zero.
+const DefaultBufferEvents = 1 << 16
+
+func (r *ring) init(totalEvents int) {
+	if totalEvents <= 0 {
+		totalEvents = DefaultBufferEvents
+	}
+	per := totalEvents / numStripes
+	n := 1
+	for n < per {
+		n <<= 1
+	}
+	for i := range r.stripes {
+		r.stripes[i].slots = make([]slot, n)
+		r.stripes[i].mask = uint64(n - 1)
+	}
+}
+
+// stripeFor hashes the caller's stack address to a stripe.
+func (r *ring) stripeFor() *stripe {
+	var probe byte
+	h := uint64(uintptr(unsafe.Pointer(&probe))) * 0x9E3779B97F4A7C15
+	return &r.stripes[h>>stripeShift]
+}
+
+func sat32(ns int64) uint64 {
+	if ns < 0 {
+		return 0
+	}
+	if ns > (1<<32)-1 {
+		return (1 << 32) - 1
+	}
+	return uint64(ns)
+}
+
+func (r *ring) put(e Event) {
+	st := r.stripeFor()
+	idx := st.pos.Add(1) - 1
+	s := &st.slots[idx&st.mask]
+	s.seq.Store(0)
+	s.w[0].Store(e.TS)
+	s.w[1].Store(e.Dur)
+	s.w[2].Store(int64(e.Kind))
+	s.w[3].Store(e.Arg1)
+	s.w[4].Store(e.Arg2)
+	s.w[5].Store(int64(sat32(e.Stages[0])<<32 | sat32(e.Stages[1])))
+	s.w[6].Store(int64(sat32(e.Stages[2])<<32 | sat32(e.Stages[3])))
+	s.seq.Store(idx + 1)
+}
+
+// events decodes every currently-valid slot, oldest first by timestamp.
+func (r *ring) events() []Event {
+	var out []Event
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		end := st.pos.Load()
+		cap := uint64(len(st.slots))
+		start := uint64(0)
+		if end > cap {
+			start = end - cap
+		}
+		for idx := start; idx < end; idx++ {
+			s := &st.slots[idx&st.mask]
+			if s.seq.Load() != idx+1 {
+				continue // unpublished, or overwritten under us
+			}
+			var e Event
+			e.TS = s.w[0].Load()
+			e.Dur = s.w[1].Load()
+			e.Kind = Kind(s.w[2].Load())
+			e.Arg1 = s.w[3].Load()
+			e.Arg2 = s.w[4].Load()
+			p01 := uint64(s.w[5].Load())
+			p23 := uint64(s.w[6].Load())
+			e.Stages[0] = int64(p01 >> 32)
+			e.Stages[1] = int64(p01 & 0xFFFFFFFF)
+			e.Stages[2] = int64(p23 >> 32)
+			e.Stages[3] = int64(p23 & 0xFFFFFFFF)
+			if s.seq.Load() != idx+1 {
+				continue
+			}
+			if e.Kind >= NumKinds {
+				continue
+			}
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].TS < out[b].TS })
+	return out
+}
+
+// counts returns total events ever written and how many of those have
+// been overwritten (dropped from the ring).
+func (r *ring) counts() (events, drops uint64) {
+	for i := range r.stripes {
+		st := &r.stripes[i]
+		p := st.pos.Load()
+		events += p
+		if c := uint64(len(st.slots)); p > c {
+			drops += p - c
+		}
+	}
+	return events, drops
+}

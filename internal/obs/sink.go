@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Sinks: offline encoders for a captured event slice. These run after the
+// measured workload (typically at process exit), so clarity beats speed.
+
+// Formats accepted by WriteTrace and the -trace-format flags.
+const (
+	FormatText   = "text"
+	FormatJSONL  = "jsonl"
+	FormatChrome = "chrome"
+)
+
+// WriteTrace encodes evs in the named format.
+func WriteTrace(w io.Writer, format string, evs []Event) error {
+	switch format {
+	case FormatText:
+		return WriteText(w, evs)
+	case FormatJSONL:
+		return WriteJSONL(w, evs)
+	case FormatChrome:
+		return WriteChrome(w, evs)
+	default:
+		return fmt.Errorf("obs: unknown trace format %q (want %s, %s or %s)",
+			format, FormatText, FormatJSONL, FormatChrome)
+	}
+}
+
+// WriteText renders one line per event, timestamped from the tracer's
+// epoch, human-readable.
+func WriteText(w io.Writer, evs []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range evs {
+		fmt.Fprintf(bw, "%12s %-16s", fmtDur(time.Duration(e.TS)), e.Kind)
+		if e.Dur > 0 {
+			fmt.Fprintf(bw, " dur=%s", fmtDur(time.Duration(e.Dur)))
+		}
+		fmt.Fprintf(bw, " arg1=%#x arg2=%#x", e.Arg1, e.Arg2)
+		if e.Kind == KindFault {
+			fmt.Fprintf(bw, " lockwait=%s resolve=%s upcall=%s content=%s",
+				fmtDur(time.Duration(e.Stages[StageLockWait])),
+				fmtDur(time.Duration(e.Stages[StageResolve])),
+				fmtDur(time.Duration(e.Stages[StageUpcall])),
+				fmtDur(time.Duration(e.Stages[StageContent])))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// jsonlEvent is the JSONL wire form; durations in nanoseconds.
+type jsonlEvent struct {
+	TS     int64            `json:"ts"`
+	Dur    int64            `json:"dur,omitempty"`
+	Kind   string           `json:"kind"`
+	Arg1   int64            `json:"arg1"`
+	Arg2   int64            `json:"arg2"`
+	Stages map[string]int64 `json:"stages,omitempty"`
+}
+
+// WriteJSONL encodes one JSON object per line.
+func WriteJSONL(w io.Writer, evs []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range evs {
+		je := jsonlEvent{TS: e.TS, Dur: e.Dur, Kind: e.Kind.String(),
+			Arg1: e.Arg1, Arg2: e.Arg2}
+		if e.Kind == KindFault {
+			je.Stages = map[string]int64{
+				"lockwait": e.Stages[StageLockWait],
+				"resolve":  e.Stages[StageResolve],
+				"upcall":   e.Stages[StageUpcall],
+				"content":  e.Stages[StageContent],
+			}
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is the Trace Event Format "complete event" ('X') plus the
+// 'M' metadata records; timestamps and durations are in microseconds.
+// See chrome://tracing and ui.perfetto.dev.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const chromePID = 1
+
+// WriteChrome encodes a Chrome trace-event JSON file. Fault events are
+// assigned greedily to "fault lane" tracks so concurrent faults never
+// overlap on one track, and each fault carries its stage breakdown both
+// as args and as child slices nested inside the fault slice. Other kinds
+// get one track per kind. Events with no duration become 1µs slices so
+// they remain visible.
+func WriteChrome(w io.Writer, evs []Event) error {
+	var out []chromeEvent
+	lanes := []int64{} // per fault lane: end timestamp of its last slice
+	tids := map[string]int{}
+	nextTID := 1
+	tid := func(name string) int {
+		if id, ok := tids[name]; ok {
+			return id
+		}
+		id := nextTID
+		nextTID++
+		tids[name] = id
+		out = append(out, chromeEvent{Name: "thread_name", Ph: "M",
+			PID: chromePID, TID: id, Args: map[string]any{"name": name}})
+		return id
+	}
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	stageNames := [NumStages]string{"lockwait", "resolve", "upcall", "content"}
+	for _, e := range evs {
+		dur := e.Dur
+		if dur <= 0 {
+			dur = 1000
+		}
+		var id int
+		if e.Kind == KindFault {
+			lane := -1
+			for i, end := range lanes {
+				if end <= e.TS {
+					lane = i
+					break
+				}
+			}
+			if lane < 0 {
+				lane = len(lanes)
+				lanes = append(lanes, 0)
+			}
+			lanes[lane] = e.TS + dur
+			id = tid(fmt.Sprintf("fault lane %d", lane))
+		} else {
+			id = tid(e.Kind.String())
+		}
+		ce := chromeEvent{Name: e.Kind.String(), Ph: "X",
+			TS: us(e.TS), Dur: us(dur), PID: chromePID, TID: id,
+			Args: map[string]any{"arg1": e.Arg1, "arg2": e.Arg2}}
+		if e.Kind == KindFault {
+			cursor := e.TS
+			for st := Stage(0); st < NumStages; st++ {
+				ce.Args[stageNames[st]+"_ns"] = e.Stages[st]
+				if e.Stages[st] <= 0 {
+					continue
+				}
+				out = append(out, chromeEvent{Name: stageNames[st], Ph: "X",
+					TS: us(cursor), Dur: us(e.Stages[st]), PID: chromePID, TID: id})
+				cursor += e.Stages[st]
+			}
+		}
+		out = append(out, ce)
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(map[string]any{"traceEvents": out}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleEvents returns a small trace with two overlapping faults (to
+// exercise the chrome lane assignment) and one plain event.
+func sampleEvents() []Event {
+	ms := int64(time.Millisecond)
+	return []Event{
+		{TS: 1 * ms, Dur: 4 * ms, Kind: KindFault, Arg1: 0x10000, Arg2: 0,
+			Stages: [NumStages]int64{ms, 2 * ms, 0, ms}},
+		{TS: 2 * ms, Dur: 2 * ms, Kind: KindFault, Arg1: 0x20000, Arg2: 0,
+			Stages: [NumStages]int64{0, 2 * ms, 0, 0}},
+		{TS: 6 * ms, Kind: KindEvict, Arg1: 3, Arg2: 0x4000},
+	}
+}
+
+func TestWriteTraceUnknownFormat(t *testing.T) {
+	var b strings.Builder
+	if err := WriteTrace(&b, "protobuf", nil); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var b strings.Builder
+	if err := WriteTrace(&b, FormatText, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if got := strings.Count(out, "\n"); got != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", got, out)
+	}
+	if !strings.Contains(out, "fault") || !strings.Contains(out, "evict") {
+		t.Fatalf("missing kinds:\n%s", out)
+	}
+	// Fault lines carry the stage breakdown; the evict line must not.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		hasStages := strings.Contains(line, "lockwait=")
+		if strings.Contains(line, "fault") != hasStages {
+			t.Fatalf("stage fields on the wrong line: %s", line)
+		}
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	var b strings.Builder
+	if err := WriteTrace(&b, FormatJSONL, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	var lines int
+	for sc.Scan() {
+		var je jsonlEvent
+		if err := json.Unmarshal(sc.Bytes(), &je); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", lines, err, sc.Text())
+		}
+		switch je.Kind {
+		case "fault":
+			if je.Stages == nil || je.Stages["resolve"] != int64(2*time.Millisecond) {
+				t.Fatalf("fault line missing stages: %+v", je)
+			}
+		case "evict":
+			if je.Stages != nil {
+				t.Fatalf("evict line has stages: %+v", je)
+			}
+		default:
+			t.Fatalf("unexpected kind %q", je.Kind)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("got %d lines, want 3", lines)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	var b strings.Builder
+	if err := WriteTrace(&b, FormatChrome, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("chrome output not valid JSON: %v", err)
+	}
+	var slices, meta []chromeEvent
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slices = append(slices, e)
+		case "M":
+			meta = append(meta, e)
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+		if e.PID != chromePID {
+			t.Fatalf("wrong pid: %+v", e)
+		}
+	}
+	// Two overlapping faults must land on different lanes, each with a
+	// thread_name metadata record.
+	laneOf := map[string]int{}
+	for _, m := range meta {
+		laneOf[m.Args["name"].(string)] = m.TID
+	}
+	if _, ok := laneOf["fault lane 0"]; !ok {
+		t.Fatalf("missing fault lane 0 metadata: %v", laneOf)
+	}
+	if _, ok := laneOf["fault lane 1"]; !ok {
+		t.Fatalf("overlapping faults share a lane: %v", laneOf)
+	}
+	if _, ok := laneOf["evict"]; !ok {
+		t.Fatalf("missing per-kind track: %v", laneOf)
+	}
+	// Per lane, slices of the same name must not overlap in time.
+	type span struct{ start, end float64 }
+	byTID := map[int][]span{}
+	var faults, stageSlices int
+	for _, s := range slices {
+		if s.Dur <= 0 {
+			t.Fatalf("zero-duration slice survived: %+v", s)
+		}
+		switch s.Name {
+		case "fault":
+			faults++
+			byTID[s.TID] = append(byTID[s.TID], span{s.TS, s.TS + s.Dur})
+		case "lockwait", "resolve", "upcall", "content":
+			stageSlices++
+		}
+	}
+	if faults != 2 {
+		t.Fatalf("got %d fault slices, want 2", faults)
+	}
+	// sampleEvents has 4 non-zero stages across its two faults.
+	if stageSlices != 4 {
+		t.Fatalf("got %d stage slices, want 4", stageSlices)
+	}
+	for tid, ss := range byTID {
+		for i := range ss {
+			for j := i + 1; j < len(ss); j++ {
+				if ss[i].start < ss[j].end && ss[j].start < ss[i].end {
+					t.Fatalf("fault slices overlap on tid %d: %+v %+v", tid, ss[i], ss[j])
+				}
+			}
+		}
+	}
+}

@@ -23,6 +23,8 @@
 //	tree                                print the history tree
 //	stats                               print fault/copy counters
 //	clock                               print the simulated clock
+//	trace on|off                        enable/disable the event tracer
+//	hist                                print the latency histograms
 //
 // Offsets and addresses accept 0x-hex or decimal; OFF/LEN are bytes.
 package script
@@ -38,6 +40,7 @@ import (
 	"chorusvm/internal/core"
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
+	"chorusvm/internal/obs"
 	"chorusvm/internal/seg"
 )
 
@@ -78,6 +81,13 @@ func New(out io.Writer, opts core.Options) (*Interp, error) {
 			ps = 8192
 		}
 		opts.SegAlloc = seg.NewSwapAllocator(ps, opts.Clock)
+	}
+	if opts.Tracer == nil {
+		// Scripts can `trace on` at any point, so the interpreter always
+		// carries a tracer; it starts disabled (one atomic load per probe)
+		// unless the caller supplied a live one.
+		opts.Tracer = obs.New(obs.Options{})
+		opts.Tracer.SetEnabled(false)
 	}
 	p := core.New(opts)
 	ctx, err := p.ContextCreate()
@@ -155,6 +165,15 @@ func (in *Interp) exec(raw string) error {
 		return nil
 	case "clock":
 		fmt.Fprintf(in.out, "simulated %v\n", in.clock.Elapsed())
+		return nil
+	case "trace":
+		if len(args) != 1 || (args[0] != "on" && args[0] != "off") {
+			return fmt.Errorf("trace: need on|off")
+		}
+		in.pvm.Tracer().SetEnabled(args[0] == "on")
+		return nil
+	case "hist":
+		fmt.Fprint(in.out, in.pvm.Tracer().Snapshot().String())
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"chorusvm/internal/core"
+	"chorusvm/internal/obs"
 )
 
 func run(t *testing.T, src string) (*Interp, string) {
@@ -135,5 +136,46 @@ tree
 `)
 	if !strings.Contains(out, "(w") {
 		t.Fatalf("second copy did not show a working object:\n%s", out)
+	}
+}
+
+func TestScriptTraceAndHist(t *testing.T) {
+	// Faults before `trace on` must not be recorded; faults after must
+	// show up in the `hist` table.
+	in, out := run(t, `
+cache a
+region ra a 0x10000 4
+write ra 0x0 0x11 0x10
+trace on
+write ra 0x2000 0x22 0x10
+trace off
+hist
+`)
+	if !strings.Contains(out, "latency histograms") {
+		t.Fatalf("hist printed nothing:\n%s", out)
+	}
+	snap := in.PVM().Tracer().Snapshot()
+	if snap.Events == 0 {
+		t.Fatal("trace on recorded no events")
+	}
+	st := in.PVM().Stats()
+	if got := snap.Ops[obs.OpFault].Count; got >= st.Faults {
+		t.Fatalf("tracer saw %d faults but only the traced window's should be recorded (total %d)", got, st.Faults)
+	}
+	if in.PVM().Tracer().Enabled() {
+		t.Fatal("trace off left the tracer enabled")
+	}
+}
+
+func TestScriptTraceErrors(t *testing.T) {
+	for _, src := range []string{"trace", "trace maybe", "trace on off"} {
+		var out strings.Builder
+		in, err := New(&out, core.Options{Frames: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Run(strings.NewReader(src)); err == nil {
+			t.Errorf("script %q: want usage error, got nil", src)
+		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
+	"chorusvm/internal/obs"
 )
 
 // Store is an in-memory backing store: a sparse array of pages standing in
@@ -106,6 +107,9 @@ type Segment struct {
 	pullIns  atomic.Uint64
 	pushOuts atomic.Uint64
 	upgrades atomic.Uint64
+
+	// tr observes mapper-side service time (set before use; nil-safe).
+	tr *obs.Tracer
 }
 
 var _ gmi.Segment = (*Segment)(nil)
@@ -118,19 +122,29 @@ func NewSegment(name string, pageSize int, clock *cost.Clock) *Segment {
 // Store exposes the backing store (tests preload content through it).
 func (s *Segment) Store() *Store { return s.store }
 
+// SetTracer attaches an observability tracer. Call before the segment
+// starts serving upcalls; a nil tracer (the default) disables the probes.
+func (s *Segment) SetTracer(t *obs.Tracer) { s.tr = t }
+
 // Name returns the segment's name.
 func (s *Segment) Name() string { return s.name }
 
-// PullIn implements gmi.Segment.
+// PullIn implements gmi.Segment. The KindSegPull span is the mapper-side
+// service time: store read plus fillUp answer (the simulated device cost
+// is charged to the clock by the store; any wall-clock device latency a
+// wrapper adds shows up in the MM-side pullin span, not here).
 func (s *Segment) PullIn(c gmi.Cache, off, size int64, mode gmi.Prot) error {
 	s.pullIns.Add(1)
+	start := s.tr.Clock()
 	buf := make([]byte, size)
 	s.store.ReadAt(off, buf)
 	grant := s.Grant
 	if grant == 0 {
 		grant = gmi.ProtRWX
 	}
-	return c.FillUp(off, buf, grant)
+	err := c.FillUp(off, buf, grant)
+	s.tr.Span(obs.KindSegPull, obs.OpSegPull, off, size, start)
+	return err
 }
 
 // GetWriteAccess implements gmi.Segment.
@@ -142,11 +156,13 @@ func (s *Segment) GetWriteAccess(c gmi.Cache, off, size int64) error {
 // PushOut implements gmi.Segment.
 func (s *Segment) PushOut(c gmi.Cache, off, size int64) error {
 	s.pushOuts.Add(1)
+	start := s.tr.Clock()
 	buf := make([]byte, size)
 	if err := c.CopyBack(off, buf); err != nil {
 		return err
 	}
 	s.store.WriteAt(off, buf)
+	s.tr.Span(obs.KindSegPush, obs.OpSegPush, off, size, start)
 	return nil
 }
 
