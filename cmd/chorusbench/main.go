@@ -15,6 +15,10 @@
 //	chorusbench -iters 64      # more averaging
 //	chorusbench -parallel -hist          # + fault-stage latency breakdown
 //	chorusbench -parallel -trace=out.json -trace-format=chrome
+//	chorusbench -parallel -store file -store-dir /tmp/pages
+//	                           # measure against real page files on disk
+//	chorusbench -parallel -store flate -store-faults 0.05
+//	                           # compressing store under injected faults
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"chorusvm/internal/core"
 	"chorusvm/internal/machvm"
 	"chorusvm/internal/obs"
+	"chorusvm/internal/store"
 )
 
 func main() {
@@ -39,6 +44,9 @@ func main() {
 	hist := flag.Bool("hist", false, "print latency histograms and the fault-stage breakdown (wall-clock; implies tracing the -parallel runs)")
 	traceFile := flag.String("trace", "", "write the captured event trace to this file")
 	traceFormat := flag.String("trace-format", obs.FormatChrome, "trace encoding: text, jsonl or chrome (chrome://tracing / Perfetto)")
+	storeKind := flag.String("store", "mem", "backing store for the -parallel worker segments: mem, file or flate")
+	storeDir := flag.String("store-dir", "", "directory for -store file page files (default: a fresh temp dir)")
+	storeFaults := flag.Float64("store-faults", 0, "per-op probability of injected transient store faults (0 disables)")
 	flag.Parse()
 
 	chorus := bench.PVM(core.Options{Frames: *frames, SmallCopyPages: -1})
@@ -85,12 +93,34 @@ func main() {
 		if *hist || *traceFile != "" {
 			tracer = obs.New(obs.Options{})
 		}
-		fmt.Println("=== Parallel fault throughput (sharded global map) ===")
+		cfg := store.Config{Kind: *storeKind, Dir: *storeDir, FaultProb: *storeFaults, Seed: 1}
+		if cfg.Kind == "file" && cfg.Dir == "" {
+			dir, err := os.MkdirTemp("", "chorusbench-store-")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chorusbench:", err)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(dir)
+			cfg.Dir = dir
+		}
+		fmt.Printf("=== Parallel fault throughput (sharded global map, %s store) ===\n", storeLabel(cfg))
 		var rs []bench.ParallelResult
 		for _, w := range []int{1, 2, 4, 8} {
-			rs = append(rs, bench.ParallelFaultThroughput(w, 64, 200*time.Microsecond, tracer))
+			rs = append(rs, bench.ParallelFaultThroughputOpts(bench.ParallelOptions{
+				Workers:        w,
+				PagesPerWorker: 64,
+				PullLatency:    200 * time.Microsecond,
+				Tracer:         tracer,
+				Store:          cfg,
+				// Real backends should serve real content: preload gives
+				// "file" actual disk reads and "flate" actual inflates.
+				Preload: cfg.Kind != "" && cfg.Kind != "mem",
+			}))
 		}
 		fmt.Println(bench.FormatParallel(rs))
+		if cfg.Kind != "mem" || cfg.FaultProb > 0 {
+			fmt.Println(bench.FormatParallelStore(rs))
+		}
 		if tracer != nil {
 			snap := tracer.Snapshot()
 			if *hist {
@@ -104,7 +134,18 @@ func main() {
 			}
 		}
 	}
-	os.Exit(0)
+}
+
+// storeLabel names the backend configuration in the section header.
+func storeLabel(cfg store.Config) string {
+	l := cfg.Kind
+	if l == "" {
+		l = "mem"
+	}
+	if cfg.FaultProb > 0 {
+		l += fmt.Sprintf(" + %.1f%% faults", cfg.FaultProb*100)
+	}
+	return l
 }
 
 // writeTrace dumps the tracer's event ring to path (no-op when path is

@@ -10,6 +10,8 @@
 //	vmtrace -demo -trace=out.json -trace-format=chrome
 //	                       # + capture an event trace for chrome://tracing
 //	vmtrace -demo -hist    # + print latency histograms at exit
+//	vmtrace -store file -store-dir /tmp/pages file.vt
+//	                       # preloaded caches + swap on real page files
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"chorusvm/internal/core"
 	"chorusvm/internal/obs"
 	"chorusvm/internal/script"
+	"chorusvm/internal/store"
 )
 
 const demoScript = `# fork-style deferred copy, narrated
@@ -44,6 +47,9 @@ func main() {
 	traceFile := flag.String("trace", "", "write the captured event trace to this file (enables tracing)")
 	traceFormat := flag.String("trace-format", obs.FormatChrome, "trace encoding: text, jsonl or chrome (chrome://tracing / Perfetto)")
 	hist := flag.Bool("hist", false, "print latency histograms after the script (enables tracing)")
+	storeKind := flag.String("store", "mem", "backing store for script-created segments: mem, file or flate (scripts can override with the `store` statement)")
+	storeDir := flag.String("store-dir", "", "directory for -store file page files (default: a fresh temp dir)")
+	storeFaults := flag.Float64("store-faults", 0, "per-op probability of injected transient store faults (0 disables)")
 	flag.Parse()
 
 	opts := core.Options{Frames: *frames}
@@ -57,6 +63,22 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vmtrace:", err)
 		os.Exit(1)
+	}
+	if *storeKind != "mem" || *storeFaults > 0 {
+		cfg := store.Config{Kind: *storeKind, Dir: *storeDir, FaultProb: *storeFaults, Seed: 1}
+		if cfg.Kind == "file" && cfg.Dir == "" {
+			dir, derr := os.MkdirTemp("", "vmtrace-store-")
+			if derr != nil {
+				fmt.Fprintln(os.Stderr, "vmtrace:", derr)
+				os.Exit(1)
+			}
+			defer os.RemoveAll(dir)
+			cfg.Dir = dir
+		}
+		if serr := in.SetStore(cfg); serr != nil {
+			fmt.Fprintln(os.Stderr, "vmtrace:", serr)
+			os.Exit(1)
+		}
 	}
 	switch {
 	case *runDemo:

@@ -11,6 +11,7 @@ import (
 	"chorusvm/internal/gmi"
 	"chorusvm/internal/obs"
 	"chorusvm/internal/seg"
+	"chorusvm/internal/store"
 )
 
 // This file measures parallel fault throughput: how many page faults per
@@ -45,43 +46,101 @@ type ParallelResult struct {
 	// the measured interval; the run starts from a fresh PVM, so it is
 	// the whole run's activity).
 	Stats core.Stats
+	// Store aggregates the store-engine counters of every worker segment:
+	// reads and writeback batches issued against the selected backend,
+	// prefetch activity, and — under fault injection — retries.
+	Store store.Stats
+}
+
+// ParallelOptions configures a parallel fault-throughput run. The zero
+// value of Store selects the in-memory backend with no fault injection,
+// which is the classic benchmark.
+type ParallelOptions struct {
+	Workers        int
+	PagesPerWorker int
+	// PullLatency is the simulated per-pullIn device wait.
+	PullLatency time.Duration
+	// Tracer may be nil (the uninstrumented baseline); when non-nil it is
+	// wired into the PVM and every worker segment.
+	Tracer *obs.Tracer
+	// Store selects the backend behind every worker segment (and the swap
+	// allocator, though the frame budget is sized so eviction never runs).
+	Store store.Config
+	// Preload, when true, writes a pattern into every page of each
+	// worker's segment and syncs it to the backend before the measured
+	// interval, so pullIns read real backend content — actual disk reads
+	// for "file", decompression for "flate" — instead of zero-fill.
+	Preload bool
 }
 
 // ParallelFaultThroughput runs `workers` goroutines, each with a private
-// context and a private cache backed by its own segment with pullLatency
-// of simulated device time, and measures wall-clock faults per second
-// while every worker demand-pulls pagesPerWorker pages. Frames are sized
-// so no eviction occurs; the measurement isolates the fault path itself.
-// tracer may be nil (the uninstrumented baseline); when non-nil it is
-// wired into the PVM and every worker segment, so the run populates the
-// fault-stage histograms and the event ring.
+// context and a private cache backed by its own in-memory segment with
+// pullLatency of simulated device time, and measures wall-clock faults
+// per second while every worker demand-pulls pagesPerWorker pages. It is
+// the classic form of ParallelFaultThroughputOpts.
 func ParallelFaultThroughput(workers, pagesPerWorker int, pullLatency time.Duration, tracer *obs.Tracer) ParallelResult {
+	return ParallelFaultThroughputOpts(ParallelOptions{
+		Workers:        workers,
+		PagesPerWorker: pagesPerWorker,
+		PullLatency:    pullLatency,
+		Tracer:         tracer,
+	})
+}
+
+// ParallelFaultThroughputOpts is the configurable benchmark: every
+// worker's segment sits on a backend built from o.Store, so the same
+// fault workload can be measured against the in-memory, file-backed and
+// compressing stores, with or without injected transient faults. Frames
+// are sized so no eviction occurs; the measurement isolates the fault
+// path itself.
+func ParallelFaultThroughputOpts(o ParallelOptions) ParallelResult {
 	clock := cost.New()
 	const pageSize = 8192
 	p := core.New(core.Options{
-		Frames:   workers*pagesPerWorker + 64,
+		Frames:   o.Workers*o.PagesPerWorker + 64,
 		PageSize: pageSize,
 		Clock:    clock,
-		SegAlloc: seg.NewSwapAllocator(pageSize, clock),
-		Tracer:   tracer,
+		SegAlloc: seg.NewSwapAllocatorOn(pageSize, clock, o.Store.Factory(pageSize)),
+		Tracer:   o.Tracer,
 	})
 
 	type worker struct {
 		ctx  gmi.Context
 		base gmi.VA
 	}
-	ws := make([]worker, workers)
-	size := int64(pagesPerWorker) * pageSize
+	ws := make([]worker, o.Workers)
+	segs := make([]*seg.Segment, o.Workers)
+	size := int64(o.PagesPerWorker) * pageSize
 	for i := range ws {
 		ctx, err := p.ContextCreate()
 		if err != nil {
 			panic(err)
 		}
-		s := &latencySegment{
-			Segment: seg.NewSegment(fmt.Sprintf("par-%d", i), pageSize, clock),
-			latency: pullLatency,
+		b, err := o.Store.New(fmt.Sprintf("par-%d", i), pageSize)
+		if err != nil {
+			panic(err)
 		}
-		s.SetTracer(tracer)
+		s := &latencySegment{
+			Segment: seg.NewSegmentOn(fmt.Sprintf("par-%d", i), b, clock),
+			latency: o.PullLatency,
+		}
+		s.SetTracer(o.Tracer)
+		segs[i] = s.Segment
+		if o.Preload {
+			st := s.Store()
+			buf := make([]byte, pageSize)
+			for pg := 0; pg < o.PagesPerWorker; pg++ {
+				for j := range buf {
+					buf[j] = byte(i+1) ^ byte(pg*7) ^ byte(j)
+				}
+				if err := st.WriteAt(int64(pg)*pageSize, buf); err != nil {
+					panic(err)
+				}
+			}
+			if err := st.Sync(); err != nil {
+				panic(err)
+			}
+		}
 		c := p.CacheCreate(s)
 		base := benchBase + gmi.VA(int64(i)*size*2)
 		if _, err := ctx.RegionCreate(base, size, gmi.ProtRW, c, 0); err != nil {
@@ -98,7 +157,7 @@ func ParallelFaultThroughput(workers, pagesPerWorker int, pullLatency time.Durat
 			defer wg.Done()
 			<-start
 			buf := []byte{0}
-			for pg := 0; pg < pagesPerWorker; pg++ {
+			for pg := 0; pg < o.PagesPerWorker; pg++ {
 				if err := w.ctx.Read(w.base+gmi.VA(int64(pg)*pageSize), buf); err != nil {
 					panic(err)
 				}
@@ -106,19 +165,37 @@ func ParallelFaultThroughput(workers, pagesPerWorker int, pullLatency time.Durat
 		}(ws[i])
 	}
 	before := p.Stats()
+	storeBefore := aggregateStoreStats(segs)
 	t0 := time.Now()
 	close(start)
 	wg.Wait()
 	elapsed := time.Since(t0)
 
-	faults := workers * pagesPerWorker
+	storeStats := aggregateStoreStats(segs)
+	for i := range segs {
+		if err := segs[i].Close(); err != nil {
+			panic(err)
+		}
+	}
+	faults := o.Workers * o.PagesPerWorker
 	return ParallelResult{
-		Workers:   workers,
+		Workers:   o.Workers,
 		Faults:    faults,
 		Elapsed:   elapsed,
 		FaultsSec: float64(faults) / elapsed.Seconds(),
 		Stats:     p.Stats().Delta(before),
+		// Measured interval only: the preload writes (and their batches)
+		// happened before t0.
+		Store: storeStats.Delta(storeBefore),
 	}
+}
+
+func aggregateStoreStats(segs []*seg.Segment) store.Stats {
+	var st store.Stats
+	for _, s := range segs {
+		st.Add(s.Store().Engine().StatsSnapshot())
+	}
+	return st
 }
 
 // FormatParallel renders the throughput table with speedups relative to
@@ -134,6 +211,22 @@ func FormatParallel(rs []ParallelResult) string {
 		}
 		fmt.Fprintf(&b, "%8d %10d %12s %14.0f %8.2fx\n",
 			r.Workers, r.Faults, r.Elapsed.Round(time.Millisecond), r.FaultsSec, speedup)
+	}
+	return b.String()
+}
+
+// FormatParallelStore renders the aggregated store-engine counters of
+// each run: backend reads, writeback batching, prefetch hits, and —
+// under fault injection — retries.
+func FormatParallelStore(rs []ParallelResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-run store-engine counters (all worker segments aggregated)\n")
+	fmt.Fprintf(&b, "%8s %8s %8s %9s %8s %8s %8s\n",
+		"workers", "reads", "batches", "coalesced", "pf-hits", "retries", "corrupt")
+	for _, r := range rs {
+		fmt.Fprintf(&b, "%8d %8d %8d %9d %8d %8d %8d\n",
+			r.Workers, r.Store.Reads, r.Store.Batches, r.Store.Coalesced,
+			r.Store.PrefetchHits, r.Store.Retries, r.Store.Corruptions)
 	}
 	return b.String()
 }

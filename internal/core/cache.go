@@ -42,9 +42,13 @@ type cache struct {
 	listMu sync.Mutex
 
 	// seg is the bound segment; nil for a temporary (zero-fill) cache
-	// until the first push-out assigns one via segmentCreate.
-	seg  gmi.Segment
-	temp bool
+	// until the first push-out assigns one via segmentCreate. segOwned
+	// marks a segment acquired that way: the cache is its only user, so
+	// cache destruction releases the segment's backing pages (the swap
+	// leak fix).
+	seg      gmi.Segment
+	segOwned bool
+	temp     bool
 
 	// history is this cache's history object: the single immediate
 	// descendant that receives the original version of pages modified in

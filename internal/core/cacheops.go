@@ -241,7 +241,7 @@ func (p *PVM) writeBack(c *cache, off, size int64, release bool) error {
 						return err
 					}
 					if c.seg == nil {
-						c.seg = seg
+						c.seg, c.segOwned = seg, true
 					}
 					continue
 				}

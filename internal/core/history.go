@@ -369,6 +369,17 @@ func (p *PVM) freeCache(c *cache) {
 	c.reaping = false
 
 	p.dropAllParents(c)
+
+	// A segment acquired unilaterally (via segmentCreate) dies with its
+	// cache: release its backing pages so swap does not leak. Best
+	// effort — the cache is gone either way.
+	if c.segOwned {
+		if r, ok := c.seg.(interface{ Release() error }); ok {
+			_ = r.Release()
+		}
+		c.segOwned = false
+	}
+
 	delete(p.caches, c)
 	p.clock.Charge(cost.EvCacheDestroy, 1)
 }

@@ -78,7 +78,7 @@ func (p *PVM) evictOne() (bool, error) {
 				return false, err
 			}
 			if c.seg == nil {
-				c.seg = seg
+				c.seg, c.segOwned = seg, true
 			}
 			return true, nil // progress; the next pass pushes
 		}
@@ -94,6 +94,98 @@ func (p *PVM) evictOne() (bool, error) {
 		return true, nil
 	}
 	return false, nil
+}
+
+// evictBatchAsync reclaims up to max frames in one LRU pass, issuing the
+// dirty victims' pushOut upcalls concurrently instead of one at a time:
+// the store engine underneath coalesces the resulting writes into
+// batches, so the daemon's reclaim throughput is no longer bounded by
+// one device round-trip per page. Clean victims are dropped inline.
+// Dirty pages in caches that still need a swap segment are skipped (the
+// synchronous fallback issues segmentCreate). p.mu held exclusively;
+// released while the pushes are in flight — every in-flight page is
+// marked busy first, so concurrent faulters block on the page, not on
+// stale state.
+func (p *PVM) evictBatchAsync(max int) (int, error) {
+	type victim struct {
+		pg  *page
+		c   *cache
+		off int64
+		seg gmi.Segment
+	}
+	evicted := 0
+	var victims []victim
+	var next *page
+	for pg := p.lru.tail; pg != nil && evicted+len(victims) < max; pg = next {
+		next = pg.lruPrev // capture before a drop unlinks pg
+		if pg.pin > 0 || pg.busy {
+			continue
+		}
+		c := pg.cache
+		if !pg.dirty {
+			p.moveStubsToRemote(pg)
+			p.dropPage(pg)
+			atomic.AddUint64(&p.stats.Evictions, 1)
+			p.obs.Emit(obs.KindEvict, int64(c.id), pg.off)
+			evicted++
+			continue
+		}
+		if c.seg == nil {
+			continue // needs segmentCreate; the sync path handles it
+		}
+		pg.busy = true
+		pg.busyDone = make(chan struct{})
+		p.protectMappings(pg, gmi.ProtRead|gmi.ProtExec|gmi.ProtSystem)
+		atomic.AddUint64(&p.stats.PushOuts, 1)
+		p.clock.Charge(cost.EvPushOut, 1)
+		victims = append(victims, victim{pg, c, pg.off, c.seg})
+	}
+	if len(victims) == 0 {
+		return evicted, nil
+	}
+	atomic.AddUint64(&p.stats.AsyncBatches, 1)
+
+	errs := make([]error, len(victims))
+	p.mu.Unlock()
+	var wg sync.WaitGroup
+	for i, v := range victims {
+		wg.Add(1)
+		go func(i int, v victim) {
+			defer wg.Done()
+			start := p.obs.Clock()
+			errs[i] = v.seg.PushOut(v.c, v.off, p.pageSize)
+			p.obs.Span(obs.KindPushOut, obs.OpPushOut, int64(v.c.id), v.off, start)
+		}(i, v)
+	}
+	wg.Wait()
+	p.mu.Lock()
+
+	var firstErr error
+	for i, v := range victims {
+		pg := v.pg
+		pg.busy = false
+		close(pg.busyDone)
+		pg.busyDone = nil
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+			continue // stays dirty and resident; retried next pass
+		}
+		if pg.frame != nil {
+			// copyBack path: the frame stayed; the content is now clean.
+			pg.dirty = false
+		}
+		p.supersedeParent(v.c, v.off)
+		if pg.frame != nil {
+			p.moveStubsToRemote(pg)
+			p.dropPage(pg)
+		}
+		atomic.AddUint64(&p.stats.Evictions, 1)
+		p.obs.Emit(obs.KindEvict, int64(v.c.id), v.off)
+		evicted++
+	}
+	return evicted, firstErr
 }
 
 // pushPage writes one dirty page back through its segment's pushOut
@@ -213,12 +305,17 @@ func (p *PVM) StartPageoutDaemon(low, high int, interval time.Duration) (stop fu
 			if budget < 1 {
 				budget = 1
 			}
-			for evicted := 0; evicted < budget && p.mem.FreeFrames() < high; {
+			// Batch first: dirty victims push out concurrently and the
+			// store engine coalesces their writeback. Zero progress means
+			// the batchable victims ran out (e.g. dirty caches awaiting
+			// swap assignment) — fall back to the synchronous single-page
+			// path, which can issue segmentCreate.
+			evicted, _ := p.evictBatchAsync(budget)
+			for ; evicted < budget && p.mem.FreeFrames() < high; evicted++ {
 				progress, err := p.evictOne()
 				if err != nil || !progress {
 					break
 				}
-				evicted++
 			}
 			p.mu.Unlock()
 		}

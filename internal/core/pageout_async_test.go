@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"chorusvm/internal/gmi"
+)
+
+// TestSwapReleasedOnCacheDestroy is the regression test for the swap
+// leak: pages pushed to a unilaterally created swap segment used to
+// survive the destruction of their cache forever. Destroying the cache
+// must now release the segment's backing pages, so the allocator's page
+// count returns to baseline.
+func TestSwapReleasedOnCacheDestroy(t *testing.T) {
+	p, swap := newTestPVM(t, 8)
+	ctx, _ := p.ContextCreate()
+	c := p.TempCacheCreate()
+	const npages = 6
+	r := mustRegion(t, ctx, base, npages*pg, gmi.ProtRW, c, 0)
+	for i := 0; i < npages; i++ {
+		mustWrite(t, ctx, base+gmi.VA(i*pg), pattern(byte(i+1), 64))
+	}
+	// Force the dirty pages out: the first reclaim assigns a swap segment
+	// via segmentCreate, the rest push through it.
+	if n := p.PageOut(npages + 1); n == 0 {
+		t.Fatal("PageOut reclaimed nothing")
+	}
+	if swap.Created() == 0 {
+		t.Fatal("no swap segment was created")
+	}
+	if swap.Pages() == 0 {
+		t.Fatal("no pages reached the swap segment")
+	}
+
+	if err := r.Destroy(); err != nil {
+		t.Fatalf("region Destroy: %v", err)
+	}
+	if err := c.Destroy(); err != nil {
+		t.Fatalf("cache Destroy: %v", err)
+	}
+	if got := swap.Pages(); got != 0 {
+		t.Fatalf("swap still holds %d pages after cache destruction (leak)", got)
+	}
+	check(t, p)
+}
+
+// TestDaemonAsyncBatchEviction drives the daemon hard enough that the
+// batch path issues concurrent pushOuts, then verifies content integrity
+// and that the batch path actually ran.
+func TestDaemonAsyncBatchEviction(t *testing.T) {
+	p, _ := newTestPVM(t, 32)
+	stop := p.StartPageoutDaemon(8, 24, 200*time.Microsecond)
+	defer stop()
+
+	ctx, _ := p.ContextCreate()
+	c := p.TempCacheCreate()
+	const npages = 96 // 3x physical
+	mustRegion(t, ctx, base, npages*pg, gmi.ProtRW, c, 0)
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < npages; i++ {
+			mustWrite(t, ctx, base+gmi.VA(i*pg), pattern(byte(i+1), 64))
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Memory().FreeFrames() >= 8 && p.Stats().AsyncBatches > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := p.Stats()
+	if st.AsyncBatches == 0 {
+		t.Fatal("daemon never used the async batch path")
+	}
+	// Everything still reads back after concurrent pushes and re-pulls.
+	for i := 0; i < npages; i++ {
+		got := mustRead(t, ctx, base+gmi.VA(i*pg), 64)
+		want := pattern(byte(i+1), 64)
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("page %d corrupted under async batch eviction", i)
+			}
+		}
+	}
+	check(t, p)
+}

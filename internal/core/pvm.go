@@ -125,6 +125,7 @@ type Stats struct {
 	StubBreaks    uint64 // per-page stubs resolved by copying
 	PullIns       uint64 // pullIn upcalls issued
 	PushOuts      uint64 // pushOut upcalls issued
+	AsyncBatches  uint64 // concurrent pushOut batches issued by the daemon
 	Evictions     uint64 // frames reclaimed by page-out
 	Collapses     uint64 // working objects collapsed
 	Zombies       uint64 // caches kept as zombies for their descendants
@@ -223,6 +224,15 @@ func New(o Options) *PVM {
 // Name implements gmi.MemoryManager.
 func (p *PVM) Name() string { return "pvm" }
 
+// SetSegmentAllocator installs (or replaces) the default mapper that
+// services segmentCreate upcalls. Tools use it to pick the swap backend
+// (in-memory, page file, compressing) after constructing the PVM.
+func (p *PVM) SetSegmentAllocator(a gmi.SegmentAllocator) {
+	p.mu.Lock()
+	p.segalloc = a
+	p.mu.Unlock()
+}
+
 // PageSize implements gmi.MemoryManager.
 func (p *PVM) PageSize() int { return int(p.pageSize) }
 
@@ -253,6 +263,7 @@ func (s Stats) Delta(prev Stats) Stats {
 		StubBreaks:    s.StubBreaks - prev.StubBreaks,
 		PullIns:       s.PullIns - prev.PullIns,
 		PushOuts:      s.PushOuts - prev.PushOuts,
+		AsyncBatches:  s.AsyncBatches - prev.AsyncBatches,
 		Evictions:     s.Evictions - prev.Evictions,
 		Collapses:     s.Collapses - prev.Collapses,
 		Zombies:       s.Zombies - prev.Zombies,
@@ -274,6 +285,7 @@ func (p *PVM) Stats() Stats {
 		StubBreaks:    atomic.LoadUint64(&s.StubBreaks),
 		PullIns:       atomic.LoadUint64(&s.PullIns),
 		PushOuts:      atomic.LoadUint64(&s.PushOuts),
+		AsyncBatches:  atomic.LoadUint64(&s.AsyncBatches),
 		Evictions:     atomic.LoadUint64(&s.Evictions),
 		Collapses:     atomic.LoadUint64(&s.Collapses),
 		Zombies:       atomic.LoadUint64(&s.Zombies),

@@ -35,4 +35,10 @@ var (
 	// ErrLocked flags an operation that cannot proceed because data is
 	// locked in memory (e.g. invalidating a pinned page).
 	ErrLocked = errors.New("gmi: data locked in memory")
+
+	// ErrIO is a permanent secondary-storage failure: a mapper upcall
+	// that exhausted its retry budget, hit corruption, or found its
+	// backing device gone. Transient device errors never reach the GMI —
+	// the segment managers absorb them with bounded retries.
+	ErrIO = errors.New("gmi: backing store I/O failure")
 )

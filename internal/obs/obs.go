@@ -55,6 +55,10 @@ const (
 	KindMove                        // core: cache.move
 	KindDSMInvalidate               // dsm: remote copy invalidated for a writer
 	KindDSMSync                     // dsm: remote writer synced + downgraded for a reader
+	KindStoreRead                   // store: engine read (queue/prefetch/backend)
+	KindStoreWrite                  // store: engine write enqueue or writeback batch
+	KindStoreCompress               // store: flate page (de)compression
+	KindStoreRetry                  // store: transient failure retried (arg1 = backoff ns)
 	NumKinds
 )
 
@@ -62,7 +66,8 @@ var kindNames = [NumKinds]string{
 	"fault", "zerofill", "cowbreak", "stubbreak", "historypush",
 	"historyinsert", "historycollapse", "evict", "pullin", "pushout",
 	"getwrite", "segcreate", "segpull", "segpush", "ipcsend", "ipcrecv",
-	"copy", "move", "dsminvalidate", "dsmsync",
+	"copy", "move", "dsminvalidate", "dsmsync", "storeread", "storewrite",
+	"storecompress", "storeretry",
 }
 
 func (k Kind) String() string {
@@ -94,6 +99,10 @@ const (
 	OpMove                    // cache.move latency
 	OpDSMInvalidate           // dsm invalidation transaction latency
 	OpDSMSync                 // dsm sync+downgrade transaction latency
+	OpStoreRead               // store-engine read latency
+	OpStoreWrite              // store-engine write latency (enqueue and batch)
+	OpStoreCompress           // flate page (de)compression latency
+	OpStoreRetry              // backoff taken per retried transient failure
 	NumOps
 )
 
@@ -101,7 +110,8 @@ var opNames = [NumOps]string{
 	"fault", "fault.lockwait", "fault.resolve", "fault.upcall",
 	"fault.content", "pullin", "pushout", "getwrite", "seg.pull",
 	"seg.push", "ipc.send", "ipc.recv", "copy", "move",
-	"dsm.invalidate", "dsm.sync",
+	"dsm.invalidate", "dsm.sync", "store.read", "store.write",
+	"store.compress", "store.retry",
 }
 
 func (o Op) String() string {

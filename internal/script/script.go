@@ -6,6 +6,11 @@
 //
 // Language (one statement per line, '#' comments):
 //
+//	store KIND [dir=PATH] [faults=P] [seed=N]
+//	                                    select the backing store (mem, file
+//	                                    or flate) for segments created from
+//	                                    now on; faults= injects transient
+//	                                    I/O failures with probability P
 //	cache NAME [pages=N preload=TAG]    create a cache; with preload=, a
 //	                                    segment-backed one holding a
 //	                                    pattern; otherwise a temporary
@@ -42,6 +47,7 @@ import (
 	"chorusvm/internal/gmi"
 	"chorusvm/internal/obs"
 	"chorusvm/internal/seg"
+	"chorusvm/internal/store"
 )
 
 // Interp is one interpreter instance: a PVM, one context, and the named
@@ -56,6 +62,10 @@ type Interp struct {
 	regions map[string]regionInfo
 	order   []string // creation order of caches, for stable tree output
 	line    int
+
+	// storeCfg selects the backend behind segments the interpreter
+	// creates (preloaded caches, swap segments). Zero value = in-memory.
+	storeCfg store.Config
 }
 
 type regionInfo struct {
@@ -107,6 +117,26 @@ func New(out io.Writer, opts core.Options) (*Interp, error) {
 // PVM exposes the interpreter's memory manager (tests inspect it).
 func (in *Interp) PVM() *core.PVM { return in.pvm }
 
+// SetStore selects the backing store for segments the interpreter
+// creates from now on — preloaded caches and the swap segments the
+// allocator hands out. It is the programmatic form of the `store`
+// statement; caches created earlier keep their old backends.
+func (in *Interp) SetStore(cfg store.Config) error {
+	switch cfg.Kind {
+	case "", "mem", "flate":
+	case "file":
+		if cfg.Dir == "" {
+			return fmt.Errorf("store file: need dir=PATH")
+		}
+	default:
+		return fmt.Errorf("unknown store kind %q (want mem, file or flate)", cfg.Kind)
+	}
+	in.storeCfg = cfg
+	ps := in.pvm.PageSize()
+	in.pvm.SetSegmentAllocator(seg.NewSwapAllocatorOn(ps, in.clock, cfg.Factory(ps)))
+	return nil
+}
+
 // Run executes a whole script, stopping at the first error.
 func (in *Interp) Run(r io.Reader) error {
 	sc := bufio.NewScanner(r)
@@ -130,6 +160,8 @@ func (in *Interp) exec(raw string) error {
 	f := strings.Fields(line)
 	cmd, args := f[0], f[1:]
 	switch cmd {
+	case "store":
+		return in.cmdStore(args)
 	case "cache":
 		return in.cmdCache(args)
 	case "region":
@@ -180,6 +212,34 @@ func (in *Interp) exec(raw string) error {
 	}
 }
 
+func (in *Interp) cmdStore(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("store: need KIND [dir=PATH] [faults=P] [seed=N]")
+	}
+	cfg := store.Config{Kind: args[0]}
+	for _, a := range args[1:] {
+		switch {
+		case strings.HasPrefix(a, "dir="):
+			cfg.Dir = strings.TrimPrefix(a, "dir=")
+		case strings.HasPrefix(a, "faults="):
+			p, err := strconv.ParseFloat(strings.TrimPrefix(a, "faults="), 64)
+			if err != nil || p < 0 || p > 1 {
+				return fmt.Errorf("store: faults= wants a probability in [0,1], got %q", a)
+			}
+			cfg.FaultProb = p
+		case strings.HasPrefix(a, "seed="):
+			v, err := parseNum(strings.TrimPrefix(a, "seed="))
+			if err != nil {
+				return err
+			}
+			cfg.Seed = v
+		default:
+			return fmt.Errorf("store: unknown option %q", a)
+		}
+	}
+	return in.SetStore(cfg)
+}
+
 func (in *Interp) cmdCache(args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("cache: need NAME")
@@ -211,11 +271,17 @@ func (in *Interp) cmdCache(args []string) error {
 		}
 	}
 	if preload {
-		sg := seg.NewSegment(name, in.pvm.PageSize(), in.clock)
+		b, err := in.storeCfg.New(name, in.pvm.PageSize())
+		if err != nil {
+			return err
+		}
+		sg := seg.NewSegmentOn(name, b, in.clock)
 		if pages == 0 {
 			pages = 4
 		}
-		sg.Store().WriteAt(0, patternBytes(tag, int(pages)*in.pvm.PageSize()))
+		if err := sg.Store().WriteAt(0, patternBytes(tag, int(pages)*in.pvm.PageSize())); err != nil {
+			return err
+		}
 		in.caches[name] = in.pvm.CacheCreate(sg)
 	} else {
 		in.caches[name] = in.pvm.TempCacheCreate()

@@ -1,6 +1,8 @@
 package script
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -176,6 +178,77 @@ func TestScriptTraceErrors(t *testing.T) {
 		}
 		if err := in.Run(strings.NewReader(src)); err == nil {
 			t.Errorf("script %q: want usage error, got nil", src)
+		}
+	}
+}
+
+// TestScriptStoreStatement drives the `store` statement through all
+// three backend kinds: preloaded content must survive eviction and read
+// back identically regardless of where the pages actually live, and the
+// file backend must leave real page files behind.
+func TestScriptStoreStatement(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"mem", "flate", "file"} {
+		t.Run(kind, func(t *testing.T) {
+			stmt := "store " + kind
+			if kind == "file" {
+				stmt += " dir=" + dir
+			}
+			in, _ := run(t, stmt+`
+cache src pages=4 preload=0x5a
+region r src 0x10000 4
+expect r 0x0 0x5a 0x1000
+write r 0x0 0x66 0x1000
+pageout 16
+expect r 0x0 0x66 0x1000
+expect r 0x2000 0x5a 0x100
+`)
+			if st := in.PVM().Stats(); st.PullIns == 0 {
+				t.Fatal("preloaded cache never pulled from its segment")
+			}
+		})
+	}
+	if _, err := os.Stat(filepath.Join(dir, "src.pages")); err != nil {
+		t.Fatalf("store file left no page file: %v", err)
+	}
+}
+
+// TestScriptStoreFaults runs a workload over a fault-injecting store:
+// transient failures must be retried below the GMI, so the script still
+// succeeds and the data survives.
+func TestScriptStoreFaults(t *testing.T) {
+	run(t, `
+store mem faults=0.5 seed=3
+cache src pages=4 preload=0x44
+region r src 0x10000 4
+expect r 0x0 0x44 0x4000
+write r 0x1000 0x77 0x1000
+pageout 16
+expect r 0x1000 0x77 0x1000
+`)
+}
+
+// TestScriptStoreErrors covers the statement's own error cases.
+func TestScriptStoreErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"store", "need KIND"},
+		{"store tape", "unknown store kind"},
+		{"store file", "need dir=PATH"},
+		{"store mem faults=2", "probability"},
+		{"store mem bogus=1", "unknown option"},
+	}
+	for _, c := range cases {
+		var out strings.Builder
+		in, err := New(&out, core.Options{Frames: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = in.Run(strings.NewReader(c.src))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("script %q: got %v, want error containing %q", c.src, err, c.want)
 		}
 	}
 }

@@ -4,98 +4,115 @@
 // actors reached by IPC; here they are in-process objects invoked through
 // the same upcall interface, with simulated device latency charged to the
 // clock (see DESIGN.md's substitution table).
+//
+// Since the internal/store subsystem landed, a segment's pages live in a
+// pluggable store.Backend (in-memory, persistent page file, or
+// compressing) behind a store.Engine that batches writeback and
+// prefetches reads. The mapper layer adds what the paper's mappers add:
+// the upcall protocol, simulated device cost, and the retry discipline —
+// transient device errors are absorbed here, and only permanent failures
+// travel up the GMI error path as gmi.ErrIO.
 package seg
 
 import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
 	"chorusvm/internal/obs"
+	"chorusvm/internal/store"
 )
 
-// Store is an in-memory backing store: a sparse array of pages standing in
-// for a disk. One Store can back many segments (it is the "disk"); each
-// Segment is a window into it.
+// Store is a backing store standing in for a disk: a store.Backend
+// driven through a store.Engine. One Store can back many segments (it is
+// the "disk"); each Segment is a window into it. The zero-dependency
+// default is the in-memory backend; NewStoreOn accepts any Backend (a
+// persistent page file, a compressing store, a Faulty wrapper...).
 type Store struct {
 	pageSize int
 	clock    *cost.Clock
-
-	mu    sync.Mutex
-	pages map[int64][]byte // keyed by page-aligned offset
+	eng      *store.Engine
 }
 
-// NewStore creates a backing store with the given page size.
+// NewStore creates an in-memory backing store with the given page size.
 func NewStore(pageSize int, clock *cost.Clock) *Store {
-	return &Store{pageSize: pageSize, clock: clock, pages: make(map[int64][]byte)}
+	return NewStoreOn(store.NewMem(pageSize), clock)
 }
 
-// ReadAt fills buf from the store, zero for never-written pages.
-func (s *Store) ReadAt(off int64, buf []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ps := int64(s.pageSize)
-	for done := int64(0); done < int64(len(buf)); {
-		po := (off + done) &^ (ps - 1)
-		b := off + done - po
-		n := ps - b
-		if rem := int64(len(buf)) - done; n > rem {
-			n = rem
-		}
-		if pg, ok := s.pages[po]; ok {
-			copy(buf[done:done+n], pg[b:b+n])
-		} else {
-			clear(buf[done : done+n])
-		}
-		done += n
+// NewStoreOn creates a backing store over an arbitrary backend. The
+// store owns the backend from here on (Close closes it).
+func NewStoreOn(b store.Backend, clock *cost.Clock) *Store {
+	return &Store{
+		pageSize: b.PageSize(),
+		clock:    clock,
+		eng:      store.NewEngine(b, store.Options{}),
 	}
+}
+
+// Engine exposes the async I/O engine (stats, prefetch, flush).
+func (s *Store) Engine() *store.Engine { return s.eng }
+
+// Backend exposes the wrapped backend.
+func (s *Store) Backend() store.Backend { return s.eng.Backend() }
+
+// SetTracer attaches an observability tracer to the I/O engine; call
+// before the store starts serving I/O (nil disables).
+func (s *Store) SetTracer(t *obs.Tracer) { s.eng.SetTracer(t) }
+
+// ReadAt fills buf from the store, zero for never-written pages. The
+// simulated device cost is charged per call, independent of how the
+// engine serves it (queue, prefetch cache, or backend).
+func (s *Store) ReadAt(off int64, buf []byte) error {
+	err := s.eng.Read(off, buf)
+	ps := int64(s.pageSize)
 	s.clock.Charge(cost.EvDiskSeek, 1)
 	s.clock.Charge(cost.EvDiskRead, int((int64(len(buf))+ps-1)/ps))
+	return err
 }
 
 // DebugWriteHook, when set, observes every store write (test diagnostics).
 var DebugWriteHook func(s *Store, off int64, data []byte)
 
-// WriteAt stores buf at off.
-func (s *Store) WriteAt(off int64, data []byte) {
+// WriteAt enqueues data for asynchronous writeback. A nil return means
+// accepted, not durable; a non-nil return is a previously latched
+// permanent writeback failure (see store.Engine's error model).
+func (s *Store) WriteAt(off int64, data []byte) error {
 	if DebugWriteHook != nil {
 		DebugWriteHook(s, off, data)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	err := s.eng.Write(off, data)
 	ps := int64(s.pageSize)
-	for done := int64(0); done < int64(len(data)); {
-		po := (off + done) &^ (ps - 1)
-		b := off + done - po
-		n := ps - b
-		if rem := int64(len(data)) - done; n > rem {
-			n = rem
-		}
-		pg, ok := s.pages[po]
-		if !ok {
-			pg = make([]byte, ps)
-			s.pages[po] = pg
-		}
-		copy(pg[b:b+n], data[done:done+n])
-		done += n
-	}
 	s.clock.Charge(cost.EvDiskSeek, 1)
 	s.clock.Charge(cost.EvDiskWrite, int((int64(len(data))+ps-1)/ps))
+	return err
 }
 
-// Pages returns how many distinct pages have been written.
+// Pages returns how many distinct pages the backend holds. Pending
+// writeback is drained first so the answer is exact.
 func (s *Store) Pages() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.pages)
+	s.eng.Barrier()
+	return s.eng.Backend().Pages()
 }
+
+// Truncate drains writeback and discards every page at or beyond size —
+// the destruction path that used to leak pages in the map-based store.
+func (s *Store) Truncate(size int64) error { return s.eng.Truncate(size) }
+
+// Sync drains writeback and syncs the backend (durability point).
+func (s *Store) Sync() error { return s.eng.Flush() }
+
+// Close drains, syncs, and closes the backend.
+func (s *Store) Close() error { return s.eng.Close() }
 
 // Segment is a mapper for one secondary-storage object held in a Store.
 // It answers pullIn by reading the store and calling fillUp, and pushOut
 // by calling copyBack and writing the store — the protocol of section
-// 5.1.2, minus the IPC transport.
+// 5.1.2, minus the IPC transport. Transient store failures are retried
+// here with bounded backoff; a failure that survives the retry budget is
+// wrapped in gmi.ErrIO and travels up to the faulting thread.
 type Segment struct {
 	store *Store
 	name  string
@@ -103,6 +120,8 @@ type Segment struct {
 	// A distributed-coherence mapper would grant read-only and upgrade
 	// in GetWriteAccess.
 	Grant gmi.Prot
+
+	retry store.Policy
 
 	pullIns  atomic.Uint64
 	pushOuts atomic.Uint64
@@ -114,17 +133,47 @@ type Segment struct {
 
 var _ gmi.Segment = (*Segment)(nil)
 
-// NewSegment creates a mapper over its own fresh store.
+// NewSegment creates a mapper over its own fresh in-memory store.
 func NewSegment(name string, pageSize int, clock *cost.Clock) *Segment {
-	return &Segment{store: NewStore(pageSize, clock), name: name, Grant: gmi.ProtRWX}
+	return NewSegmentOn(name, store.NewMem(pageSize), clock)
+}
+
+// NewSegmentOn creates a mapper over its own Store wrapping the given
+// backend. The segment owns the backend (Release/Close reach it).
+func NewSegmentOn(name string, b store.Backend, clock *cost.Clock) *Segment {
+	s := &Segment{store: NewStoreOn(b, clock), name: name, Grant: gmi.ProtRWX}
+	s.retry = store.DefaultPolicy()
+	eng := s.store.Engine()
+	s.retry.OnRetry = func(attempt int, backoff time.Duration, err error) {
+		eng.NoteRetry(backoff)
+	}
+	return s
 }
 
 // Store exposes the backing store (tests preload content through it).
 func (s *Segment) Store() *Store { return s.store }
 
-// SetTracer attaches an observability tracer. Call before the segment
-// starts serving upcalls; a nil tracer (the default) disables the probes.
-func (s *Segment) SetTracer(t *obs.Tracer) { s.tr = t }
+// SetTracer attaches an observability tracer to the segment and its
+// store engine. Call before the segment starts serving upcalls; a nil
+// tracer (the default) disables the probes.
+func (s *Segment) SetTracer(t *obs.Tracer) {
+	s.tr = t
+	s.store.SetTracer(t)
+}
+
+// SetRetry replaces the upcall retry schedule (tests shrink it). The
+// engine's retry bookkeeping stays wired in.
+func (s *Segment) SetRetry(p store.Policy) {
+	eng := s.store.Engine()
+	prev := p.OnRetry
+	p.OnRetry = func(attempt int, backoff time.Duration, err error) {
+		eng.NoteRetry(backoff)
+		if prev != nil {
+			prev(attempt, backoff, err)
+		}
+	}
+	s.retry = p
+}
 
 // Name returns the segment's name.
 func (s *Segment) Name() string { return s.name }
@@ -132,12 +181,16 @@ func (s *Segment) Name() string { return s.name }
 // PullIn implements gmi.Segment. The KindSegPull span is the mapper-side
 // service time: store read plus fillUp answer (the simulated device cost
 // is charged to the clock by the store; any wall-clock device latency a
-// wrapper adds shows up in the MM-side pullin span, not here).
+// wrapper adds shows up in the MM-side pullin span, not here). Transient
+// read failures are retried; corruption and exhausted retries come back
+// as gmi.ErrIO.
 func (s *Segment) PullIn(c gmi.Cache, off, size int64, mode gmi.Prot) error {
 	s.pullIns.Add(1)
 	start := s.tr.Clock()
 	buf := make([]byte, size)
-	s.store.ReadAt(off, buf)
+	if err := s.retry.Do(func() error { return s.store.ReadAt(off, buf) }); err != nil {
+		return fmt.Errorf("%w: segment %q pullIn at %#x: %w", gmi.ErrIO, s.name, off, err)
+	}
 	grant := s.Grant
 	if grant == 0 {
 		grant = gmi.ProtRWX
@@ -153,7 +206,10 @@ func (s *Segment) GetWriteAccess(c gmi.Cache, off, size int64) error {
 	return nil
 }
 
-// PushOut implements gmi.Segment.
+// PushOut implements gmi.Segment. The write enqueues into the store's
+// async engine, so the error returned here is a previously latched
+// permanent writeback failure — the fsync model, surfaced through the
+// GMI so the pageout path learns the device is gone.
 func (s *Segment) PushOut(c gmi.Cache, off, size int64) error {
 	s.pushOuts.Add(1)
 	start := s.tr.Clock()
@@ -161,7 +217,9 @@ func (s *Segment) PushOut(c gmi.Cache, off, size int64) error {
 	if err := c.CopyBack(off, buf); err != nil {
 		return err
 	}
-	s.store.WriteAt(off, buf)
+	if err := s.store.WriteAt(off, buf); err != nil {
+		return fmt.Errorf("%w: segment %q pushOut at %#x: %w", gmi.ErrIO, s.name, off, err)
+	}
 	s.tr.Span(obs.KindSegPush, obs.OpSegPush, off, size, start)
 	return nil
 }
@@ -175,31 +233,66 @@ func (s *Segment) PushOuts() uint64 { return s.pushOuts.Load() }
 // Upgrades returns how many getWriteAccess upcalls the segment served.
 func (s *Segment) Upgrades() uint64 { return s.upgrades.Load() }
 
+// Retries returns how many transient store failures were retried on this
+// segment's behalf (upcall retries and the engine's own writeback
+// retries — one number for the whole storage tier).
+func (s *Segment) Retries() uint64 { return s.store.Engine().StatsSnapshot().Retries }
+
+// Release frees every page backing the segment: the destruction path.
+// The memory manager calls this (via the cache teardown) when a cache
+// whose segment was unilaterally created is destroyed, so swap pages
+// stop leaking.
+func (s *Segment) Release() error { return s.store.Truncate(0) }
+
+// Close releases the segment's store and closes its backend.
+func (s *Segment) Close() error { return s.store.Close() }
+
 // SwapAllocator services segmentCreate upcalls by handing each
 // unilaterally created cache (temporaries, history objects) a fresh swap
-// segment — the default-mapper role of section 5.1.2.
+// segment — the default-mapper role of section 5.1.2. The backend each
+// swap segment sits on comes from a factory, so swap can live in memory
+// (default), in page files, or compressed.
 type SwapAllocator struct {
 	pageSize int
 	clock    *cost.Clock
+	factory  func(name string) (store.Backend, error)
 
 	mu      sync.Mutex
 	created int
+	segs    []*Segment
 }
 
 var _ gmi.SegmentAllocator = (*SwapAllocator)(nil)
 
-// NewSwapAllocator creates the default mapper.
+// NewSwapAllocator creates the default mapper with in-memory swap.
 func NewSwapAllocator(pageSize int, clock *cost.Clock) *SwapAllocator {
-	return &SwapAllocator{pageSize: pageSize, clock: clock}
+	return NewSwapAllocatorOn(pageSize, clock, nil)
+}
+
+// NewSwapAllocatorOn creates the default mapper with swap segments built
+// on backends from factory (nil means in-memory).
+func NewSwapAllocatorOn(pageSize int, clock *cost.Clock, factory func(name string) (store.Backend, error)) *SwapAllocator {
+	if factory == nil {
+		factory = func(string) (store.Backend, error) { return store.NewMem(pageSize), nil }
+	}
+	return &SwapAllocator{pageSize: pageSize, clock: clock, factory: factory}
 }
 
 // SegmentCreate implements gmi.SegmentAllocator.
 func (a *SwapAllocator) SegmentCreate(c gmi.Cache) (gmi.Segment, error) {
 	a.mu.Lock()
 	a.created++
-	n := a.created
+	name := fmt.Sprintf("swap-%d", a.created)
 	a.mu.Unlock()
-	return NewSegment(fmt.Sprintf("swap-%d", n), a.pageSize, a.clock), nil
+	b, err := a.factory(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: segmentCreate %q: %w", gmi.ErrIO, name, err)
+	}
+	sg := NewSegmentOn(name, b, a.clock)
+	a.mu.Lock()
+	a.segs = append(a.segs, sg)
+	a.mu.Unlock()
+	return sg, nil
 }
 
 // Created returns how many swap segments have been allocated.
@@ -209,15 +302,33 @@ func (a *SwapAllocator) Created() int {
 	return a.created
 }
 
+// Pages sums the backing pages across every swap segment ever created.
+// A destroyed cache whose segment was released contributes zero, which
+// is what the leak regression test asserts.
+func (a *SwapAllocator) Pages() int {
+	a.mu.Lock()
+	segs := append([]*Segment(nil), a.segs...)
+	a.mu.Unlock()
+	total := 0
+	for _, sg := range segs {
+		total += sg.Store().Pages()
+	}
+	return total
+}
+
 // ErrInjected is returned by failing test segments.
 var ErrInjected = fmt.Errorf("seg: injected failure")
 
-// FlakySegment wraps a segment, failing the first FailPullIns pull-ins
-// and FailPushOuts push-outs; for failure-injection tests.
+// FlakySegment wraps a segment, failing the first FailPullIns pull-ins,
+// FailPushOuts push-outs, and FailGetWrites write-access upgrades; for
+// failure-injection tests. (For probabilistic, retryable device faults
+// use store.Faulty under a real segment instead — this wrapper's errors
+// are permanent, not transient.)
 type FlakySegment struct {
 	gmi.Segment
-	FailPullIns  atomic.Int64
-	FailPushOuts atomic.Int64
+	FailPullIns   atomic.Int64
+	FailPushOuts  atomic.Int64
+	FailGetWrites atomic.Int64
 }
 
 // PullIn implements gmi.Segment.
@@ -234,4 +345,28 @@ func (f *FlakySegment) PushOut(c gmi.Cache, off, size int64) error {
 		return ErrInjected
 	}
 	return f.Segment.PushOut(c, off, size)
+}
+
+// GetWriteAccess implements gmi.Segment.
+func (f *FlakySegment) GetWriteAccess(c gmi.Cache, off, size int64) error {
+	if f.FailGetWrites.Add(-1) >= 0 {
+		return ErrInjected
+	}
+	return f.Segment.GetWriteAccess(c, off, size)
+}
+
+// FlakyAllocator wraps a segment allocator, failing the first
+// FailCreates segmentCreate upcalls; for failure-injection tests of the
+// swap-assignment path.
+type FlakyAllocator struct {
+	gmi.SegmentAllocator
+	FailCreates atomic.Int64
+}
+
+// SegmentCreate implements gmi.SegmentAllocator.
+func (f *FlakyAllocator) SegmentCreate(c gmi.Cache) (gmi.Segment, error) {
+	if f.FailCreates.Add(-1) >= 0 {
+		return nil, ErrInjected
+	}
+	return f.SegmentAllocator.SegmentCreate(c)
 }

@@ -9,6 +9,7 @@ import (
 
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
+	"chorusvm/internal/store"
 )
 
 const pg = 8192
@@ -143,6 +144,140 @@ func TestSwapAllocatorDistinctSegments(t *testing.T) {
 	}
 	if a.Created() != 2 {
 		t.Fatalf("created = %d", a.Created())
+	}
+}
+
+func TestSegmentRetriesTransientFaults(t *testing.T) {
+	// A faulty backend with Prob=1 but a consecutive cap below the retry
+	// budget: every upcall sees injected transient failures yet succeeds.
+	clock := cost.New()
+	f := store.NewFaulty(store.NewMem(pg), store.FaultConfig{Seed: 11, Prob: 1, MaxConsecutive: 3})
+	sg := NewSegmentOn("flaky-dev", f, clock)
+	if err := sg.Store().WriteAt(0, []byte("survives the weather")); err != nil {
+		t.Fatalf("preload: %v", err)
+	}
+
+	fc := &fakeCache{}
+	if err := sg.PullIn(fc, 0, pg, gmi.ProtRead); err != nil {
+		t.Fatalf("PullIn through transient faults: %v", err)
+	}
+	if string(fc.filled[:20]) != "survives the weather" {
+		t.Fatal("pullIn content wrong after retries")
+	}
+	fc.data = make([]byte, pg)
+	if err := sg.PushOut(fc, 0, pg); err != nil {
+		t.Fatalf("PushOut through transient faults: %v", err)
+	}
+	if err := sg.Store().Sync(); err != nil {
+		t.Fatalf("Sync through transient faults: %v", err)
+	}
+	if sg.Retries() == 0 {
+		t.Fatal("no retries recorded under Prob=1 injection")
+	}
+	if f.Injected() == 0 {
+		t.Fatal("faulty wrapper injected nothing")
+	}
+}
+
+// deadBackend permanently fails every read.
+type deadBackend struct{ store.Backend }
+
+var errDead = errors.New("drive is a brick")
+
+func (d *deadBackend) ReadAt(off int64, buf []byte) error { return errDead }
+
+func TestSegmentPermanentFailureIsErrIO(t *testing.T) {
+	sg := NewSegmentOn("dead-dev", &deadBackend{store.NewMem(pg)}, cost.New())
+	err := sg.PullIn(&fakeCache{}, 0, pg, gmi.ProtRead)
+	if !errors.Is(err, gmi.ErrIO) {
+		t.Fatalf("PullIn on dead device = %v, want gmi.ErrIO", err)
+	}
+	if !errors.Is(err, errDead) {
+		t.Fatalf("PullIn error %v does not wrap the device error", err)
+	}
+	if sg.Retries() != 0 {
+		t.Fatalf("Retries = %d for a permanent error, want 0", sg.Retries())
+	}
+}
+
+func TestSegmentReleaseFreesPages(t *testing.T) {
+	sg := NewSegment("temp", pg, cost.New())
+	if err := sg.Store().WriteAt(0, make([]byte, 4*pg)); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if got := sg.Store().Pages(); got != 4 {
+		t.Fatalf("Pages = %d before release, want 4", got)
+	}
+	if err := sg.Release(); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if got := sg.Store().Pages(); got != 0 {
+		t.Fatalf("Pages = %d after release, want 0", got)
+	}
+}
+
+func TestSwapAllocatorPagesAndFactory(t *testing.T) {
+	var made []string
+	a := NewSwapAllocatorOn(pg, cost.New(), func(name string) (store.Backend, error) {
+		made = append(made, name)
+		return store.NewMem(pg), nil
+	})
+	s1, err := a.SegmentCreate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := a.SegmentCreate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(made) != 2 || made[0] != "swap-1" || made[1] != "swap-2" {
+		t.Fatalf("factory calls = %v", made)
+	}
+	s1.(*Segment).Store().WriteAt(0, make([]byte, 2*pg))
+	s2.(*Segment).Store().WriteAt(0, make([]byte, pg))
+	if a.Pages() != 3 {
+		t.Fatalf("allocator Pages = %d, want 3", a.Pages())
+	}
+	if err := s1.(*Segment).Release(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Pages() != 1 {
+		t.Fatalf("allocator Pages = %d after release, want 1", a.Pages())
+	}
+}
+
+func TestSwapAllocatorFactoryErrorIsErrIO(t *testing.T) {
+	boom := errors.New("no space on swap device")
+	a := NewSwapAllocatorOn(pg, cost.New(), func(string) (store.Backend, error) { return nil, boom })
+	_, err := a.SegmentCreate(nil)
+	if !errors.Is(err, gmi.ErrIO) || !errors.Is(err, boom) {
+		t.Fatalf("SegmentCreate = %v, want gmi.ErrIO wrapping the factory error", err)
+	}
+}
+
+func TestFlakySegmentGetWriteAccess(t *testing.T) {
+	sg := NewSegment("s", pg, cost.New())
+	fl := &FlakySegment{Segment: sg}
+	fl.FailGetWrites.Store(1)
+	if err := fl.GetWriteAccess(nil, 0, pg); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first upgrade = %v, want ErrInjected", err)
+	}
+	if err := fl.GetWriteAccess(nil, 0, pg); err != nil {
+		t.Fatalf("second upgrade should succeed: %v", err)
+	}
+	if sg.Upgrades() != 1 {
+		t.Fatalf("Upgrades = %d, want 1 (injected failure must not reach the segment)", sg.Upgrades())
+	}
+}
+
+func TestFlakyAllocator(t *testing.T) {
+	fa := &FlakyAllocator{SegmentAllocator: NewSwapAllocator(pg, cost.New())}
+	fa.FailCreates.Store(1)
+	if _, err := fa.SegmentCreate(nil); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first create = %v, want ErrInjected", err)
+	}
+	if _, err := fa.SegmentCreate(nil); err != nil {
+		t.Fatalf("second create should succeed: %v", err)
 	}
 }
 

@@ -1,0 +1,330 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gateBackend wraps a Backend so a test can hold the first WriteAt open
+// (forcing dirty pages to pile up behind it) and observe when the worker
+// has entered the backend.
+type gateBackend struct {
+	Backend
+	entered chan struct{} // closed when the first WriteAt starts
+	release chan struct{} // WriteAt blocks until this is closed
+	once    sync.Once
+}
+
+func (g *gateBackend) WriteAt(off int64, data []byte) error {
+	g.once.Do(func() { close(g.entered) })
+	<-g.release
+	return g.Backend.WriteAt(off, data)
+}
+
+func TestEngineCoalescesAdjacentWriteback(t *testing.T) {
+	g := &gateBackend{
+		Backend: NewMem(psTest),
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+	e := NewEngine(g, Options{Workers: 1, MaxBatchPages: 8})
+
+	// First write: the single worker takes a batch of {page 0} and blocks
+	// inside the backend.
+	if err := e.Write(0, pattern(1, psTest)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	select {
+	case <-g.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never reached the backend")
+	}
+
+	// Eight adjacent pages accumulate behind the stalled batch.
+	for i := 1; i <= 8; i++ {
+		if err := e.Write(int64(i)*psTest, pattern(byte(i+1), psTest)); err != nil {
+			t.Fatalf("Write page %d: %v", i, err)
+		}
+	}
+	close(g.release)
+	e.Barrier()
+
+	st := e.StatsSnapshot()
+	if st.Batches != 2 {
+		t.Fatalf("Batches = %d, want 2 (1-page batch + 8-page coalesced batch)", st.Batches)
+	}
+	if st.BatchPages != 9 {
+		t.Fatalf("BatchPages = %d, want 9", st.BatchPages)
+	}
+	if st.Coalesced != 7 {
+		t.Fatalf("Coalesced = %d, want 7", st.Coalesced)
+	}
+	// And the coalesced content must be correct in the backend.
+	for i := 0; i <= 8; i++ {
+		got := make([]byte, psTest)
+		if err := g.Backend.ReadAt(int64(i)*psTest, got); err != nil {
+			t.Fatalf("backend ReadAt: %v", err)
+		}
+		if !bytes.Equal(got, pattern(byte(i+1), psTest)) {
+			t.Fatalf("page %d content mismatch after coalesced writeback", i)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestEngineSequentialReadahead(t *testing.T) {
+	b := NewMem(psTest)
+	e := NewEngine(b, Options{ReadAhead: 4})
+	defer e.Close()
+
+	for i := 0; i < 16; i++ {
+		if err := e.Write(int64(i)*psTest, pattern(byte(i+1), psTest)); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	// Two back-to-back sequential reads arm the prefetcher for the next
+	// four pages.
+	buf := make([]byte, psTest)
+	if err := e.Read(0, buf); err != nil {
+		t.Fatalf("Read 0: %v", err)
+	}
+	if err := e.Read(psTest, buf); err != nil {
+		t.Fatalf("Read 1: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for e.StatsSnapshot().Prefetches < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("prefetcher pulled %d pages, want 4", e.StatsSnapshot().Prefetches)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := e.Read(2*psTest, buf); err != nil {
+		t.Fatalf("Read 2: %v", err)
+	}
+	if !bytes.Equal(buf, pattern(3, psTest)) {
+		t.Fatalf("prefetched page content mismatch")
+	}
+	if st := e.StatsSnapshot(); st.PrefetchHits < 1 {
+		t.Fatalf("PrefetchHits = %d, want >= 1", st.PrefetchHits)
+	}
+}
+
+func TestEngineDetectsCorruption(t *testing.T) {
+	b := NewMem(psTest)
+	e := NewEngine(b, Options{})
+	defer e.Close()
+
+	if err := e.Write(0, pattern(0x5A, psTest)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	// Corrupt the page behind the engine's back: its recorded checksum no
+	// longer matches what the backend returns.
+	evil := pattern(0x5A, psTest)
+	evil[17] ^= 0xFF
+	if err := b.WriteAt(0, evil); err != nil {
+		t.Fatalf("backend WriteAt: %v", err)
+	}
+	err := e.Read(0, make([]byte, psTest))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Read of corrupted page = %v, want ErrCorrupt", err)
+	}
+	if st := e.StatsSnapshot(); st.Corruptions != 1 {
+		t.Fatalf("Corruptions = %d, want 1", st.Corruptions)
+	}
+}
+
+// brokenBackend fails every WriteAt with a permanent (non-transient)
+// error; Sync and reads still work.
+type brokenBackend struct{ Backend }
+
+var errDeviceGone = errors.New("device gone")
+
+func (b *brokenBackend) WriteAt(off int64, data []byte) error { return errDeviceGone }
+
+func TestEngineLatchesPermanentWriteError(t *testing.T) {
+	e := NewEngine(&brokenBackend{NewMem(psTest)}, Options{})
+	if err := e.Write(0, pattern(1, psTest)); err != nil {
+		t.Fatalf("first Write: %v (enqueue must not fail)", err)
+	}
+	if err := e.Flush(); !errors.Is(err, errDeviceGone) {
+		t.Fatalf("Flush = %v, want the latched device error", err)
+	}
+	if err := e.Err(); !errors.Is(err, errDeviceGone) {
+		t.Fatalf("Err = %v, want the latched device error", err)
+	}
+	// The error stays latched: later writes keep reporting it.
+	if err := e.Write(psTest, pattern(2, psTest)); !errors.Is(err, errDeviceGone) {
+		t.Fatalf("Write after latch = %v, want the latched device error", err)
+	}
+	st := e.StatsSnapshot()
+	if st.WriteErrors == 0 {
+		t.Fatalf("WriteErrors = 0, want > 0")
+	}
+	if st.Retries != 0 {
+		t.Fatalf("Retries = %d, want 0 (permanent errors must not be retried)", st.Retries)
+	}
+	// The abandoned write must not poison reads: the engine forgets the
+	// enqueue-time checksum and serves the backend's old content (zeros
+	// here — nothing ever landed), rather than reporting corruption.
+	got := make([]byte, psTest)
+	if err := e.Read(0, got); err != nil {
+		t.Fatalf("Read after abandoned write: %v", err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("byte %d = %#x after abandoned write, want backend content (0)", i, v)
+		}
+	}
+}
+
+func TestEngineRetriesTransientWriteback(t *testing.T) {
+	m := NewMem(psTest)
+	f := NewFaulty(m, FaultConfig{Seed: 42, Prob: 0.5})
+	e := NewEngine(f, Options{})
+	for i := 0; i < 32; i++ {
+		if err := e.Write(int64(i)*psTest, pattern(byte(i), psTest)); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatalf("Flush: %v (transient faults must be absorbed)", err)
+	}
+	st := e.StatsSnapshot()
+	if st.Retries == 0 {
+		t.Fatalf("Retries = 0, want > 0 under Prob=0.5 injection")
+	}
+	if st.WriteErrors != 0 {
+		t.Fatalf("WriteErrors = %d, want 0", st.WriteErrors)
+	}
+	// Everything must have landed intact. Verify via the inner backend:
+	// Engine.Read deliberately does not retry (the seg layer owns read
+	// retries), so reading through the Faulty wrapper here would flake.
+	for i := 0; i < 32; i++ {
+		got := make([]byte, psTest)
+		if err := m.ReadAt(int64(i)*psTest, got); err != nil {
+			t.Fatalf("ReadAt: %v", err)
+		}
+		if !bytes.Equal(got, pattern(byte(i), psTest)) {
+			t.Fatalf("page %d mismatch after faulty writeback", i)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestEngineWriteInvalidatesPrefetch(t *testing.T) {
+	b := NewMem(psTest)
+	e := NewEngine(b, Options{})
+	defer e.Close()
+	if err := e.Write(0, pattern(1, psTest)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	// Park the page in the prefetch cache...
+	e.Prefetch(0, 1)
+	deadline := time.Now().Add(5 * time.Second)
+	for e.StatsSnapshot().Prefetches < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("prefetch never completed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...then overwrite it and drain. The read after the drain must see
+	// the new content, not the stale parked copy.
+	if err := e.Write(0, pattern(2, psTest)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	got := make([]byte, psTest)
+	if err := e.Read(0, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, pattern(2, psTest)) {
+		t.Fatal("read served stale prefetched content after overwrite")
+	}
+}
+
+func TestEngineTruncateDropsState(t *testing.T) {
+	b := NewMem(psTest)
+	e := NewEngine(b, Options{})
+	defer e.Close()
+	if err := e.Write(0, pattern(9, 4*psTest)); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := e.Truncate(0); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if got := b.Pages(); got != 0 {
+		t.Fatalf("backend Pages() = %d after Truncate(0), want 0", got)
+	}
+	// Checksums for the dropped pages must be gone: a re-read sees clean
+	// zeros, not a stale-sum corruption report.
+	got := make([]byte, 4*psTest)
+	if err := e.Read(0, got); err != nil {
+		t.Fatalf("Read after Truncate: %v", err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("byte %d = %#x after Truncate, want 0", i, v)
+		}
+	}
+}
+
+func TestEngineConcurrentWritersReaders(t *testing.T) {
+	e := NewEngine(NewMem(psTest), Options{Workers: 4})
+	defer e.Close()
+	const pages = 64
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < pages; i += 4 {
+				if err := e.Write(int64(i)*psTest, pattern(byte(i+1), psTest)); err != nil {
+					t.Errorf("Write page %d: %v", i, err)
+					return
+				}
+				got := make([]byte, psTest)
+				if err := e.Read(int64(i)*psTest, got); err != nil {
+					t.Errorf("Read page %d: %v", i, err)
+					return
+				}
+				if !bytes.Equal(got, pattern(byte(i+1), psTest)) {
+					t.Errorf("page %d incoherent read-after-write", i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := e.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	for i := 0; i < pages; i++ {
+		got := make([]byte, psTest)
+		if err := e.Read(int64(i)*psTest, got); err != nil {
+			t.Fatalf("Read page %d: %v", i, err)
+		}
+		if !bytes.Equal(got, pattern(byte(i+1), psTest)) {
+			t.Fatalf("page %d mismatch after flush", i)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFilePersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg")
+	f, err := NewFile(path, psTest)
+	if err != nil {
+		t.Fatalf("NewFile: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := f.WriteAt(int64(i)*psTest, pattern(byte(i+1), psTest)); err != nil {
+			t.Fatalf("WriteAt: %v", err)
+		}
+	}
+	if err := f.WriteAt(10*psTest+7, pattern(0x77, 31)); err != nil {
+		t.Fatalf("partial WriteAt: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	g, err := NewFile(path, psTest)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer g.Close()
+	if g.Pages() != 6 {
+		t.Fatalf("Pages() = %d after reopen, want 6", g.Pages())
+	}
+	for i := 0; i < 5; i++ {
+		got := make([]byte, psTest)
+		if err := g.ReadAt(int64(i)*psTest, got); err != nil {
+			t.Fatalf("ReadAt page %d: %v", i, err)
+		}
+		if !bytes.Equal(got, pattern(byte(i+1), psTest)) {
+			t.Fatalf("page %d content lost across reopen", i)
+		}
+	}
+	got := make([]byte, 31)
+	if err := g.ReadAt(10*psTest+7, got); err != nil {
+		t.Fatalf("ReadAt partial: %v", err)
+	}
+	if !bytes.Equal(got, pattern(0x77, 31)) {
+		t.Fatalf("partial-page content lost across reopen")
+	}
+}
+
+func TestFileDetectsOnDiskCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg")
+	f, err := NewFile(path, psTest)
+	if err != nil {
+		t.Fatalf("NewFile: %v", err)
+	}
+	if err := f.WriteAt(0, pattern(0x5A, psTest)); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Flip one byte in the data file behind the index's back.
+	raw, err := os.ReadFile(path + ".pages")
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	raw[13] ^= 0x01
+	if err := os.WriteFile(path+".pages", raw, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	g, err := NewFile(path, psTest)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer g.Close()
+	rerr := g.ReadAt(0, make([]byte, psTest))
+	if !errors.Is(rerr, ErrCorrupt) {
+		t.Fatalf("ReadAt of flipped page = %v, want ErrCorrupt", rerr)
+	}
+}
+
+func TestFileFreeExtentCoalescing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg")
+	f, err := NewFile(path, psTest)
+	if err != nil {
+		t.Fatalf("NewFile: %v", err)
+	}
+	defer f.Close()
+	// Pages written in order get slots 0..4.
+	for i := 0; i < 5; i++ {
+		if err := f.WriteAt(int64(i)*psTest, pattern(byte(i+1), psTest)); err != nil {
+			t.Fatalf("WriteAt: %v", err)
+		}
+	}
+	// Freeing pages 2..4 releases slots 2..4 in arbitrary map order; the
+	// allocator must coalesce them into the single extent [2,5).
+	if err := f.Truncate(2 * psTest); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	ext := f.FreeExtents()
+	if len(ext) != 1 || ext[0] != [2]int64{2, 3} {
+		t.Fatalf("FreeExtents = %v, want [[2 3]]", ext)
+	}
+	// New pages reuse the hole lowest-first instead of growing the file.
+	for i := 0; i < 3; i++ {
+		if err := f.WriteAt(int64(10+i)*psTest, pattern(byte(0x40+i), psTest)); err != nil {
+			t.Fatalf("WriteAt reuse: %v", err)
+		}
+	}
+	if ext := f.FreeExtents(); len(ext) != 0 {
+		t.Fatalf("FreeExtents = %v after refill, want empty", ext)
+	}
+	st, err := os.Stat(path + ".pages")
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if st.Size() > 5*psTest {
+		t.Fatalf("data file grew to %d bytes; want slot reuse within %d", st.Size(), 5*psTest)
+	}
+}
+
+func TestFileTruncateToZeroShrinksFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg")
+	f, err := NewFile(path, psTest)
+	if err != nil {
+		t.Fatalf("NewFile: %v", err)
+	}
+	defer f.Close()
+	if err := f.WriteAt(0, pattern(1, 8*psTest)); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if err := f.Truncate(0); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	st, err := os.Stat(path + ".pages")
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if st.Size() != 0 {
+		t.Fatalf("data file is %d bytes after Truncate(0), want 0", st.Size())
+	}
+	// The allocator restarts from slot 0.
+	if err := f.WriteAt(0, pattern(2, psTest)); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	st, _ = os.Stat(path + ".pages")
+	if st.Size() != psTest {
+		t.Fatalf("data file is %d bytes after one page, want %d", st.Size(), psTest)
+	}
+}
+
+func TestFileRejectsPageSizeMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg")
+	f, err := NewFile(path, 256)
+	if err != nil {
+		t.Fatalf("NewFile: %v", err)
+	}
+	if err := f.WriteAt(0, pattern(1, 256)); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := NewFile(path, 512); err == nil || !strings.Contains(err.Error(), "page size") {
+		t.Fatalf("reopen with wrong page size = %v, want page-size error", err)
+	}
+}
+
+func TestFileRejectsBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg")
+	if err := os.WriteFile(path+".idx", []byte("NOTANIDX----------------"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := NewFile(path, psTest); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("open with bad magic = %v, want magic error", err)
+	}
+}
+
+func TestFileSyncBeforeCloseIsDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg")
+	f, err := NewFile(path, psTest)
+	if err != nil {
+		t.Fatalf("NewFile: %v", err)
+	}
+	if err := f.WriteAt(0, pattern(3, psTest)); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	// The index exists on disk already — a second handle opened now (the
+	// crash-recovery view) sees the synced page without f ever closing.
+	g, err := NewFile(path, psTest)
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	got := make([]byte, psTest)
+	if err := g.ReadAt(0, got); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, pattern(3, psTest)) {
+		t.Fatalf("synced page not visible to recovery open")
+	}
+	g.Close()
+	f.Close()
+}

@@ -1,0 +1,87 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestPolicyRetriesOnlyTransient(t *testing.T) {
+	perm := errors.New("permanent")
+	p := DefaultPolicy()
+	p.Sleep = func(time.Duration) {}
+	calls := 0
+	err := p.Do(func() error { calls++; return perm })
+	if !errors.Is(err, perm) {
+		t.Fatalf("Do = %v, want the permanent error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("permanent error attempted %d times, want 1", calls)
+	}
+
+	calls = 0
+	err = p.Do(func() error {
+		calls++
+		if calls < 3 {
+			return fmt.Errorf("flake %d: %w", calls, ErrTransient)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v, want success after transient flakes", err)
+	}
+	if calls != 3 {
+		t.Fatalf("attempted %d times, want 3", calls)
+	}
+}
+
+func TestPolicyExhaustionReturnsLastError(t *testing.T) {
+	p := Policy{Attempts: 4, Base: time.Microsecond, Max: time.Millisecond}
+	p.Sleep = func(time.Duration) {}
+	calls := 0
+	retries := 0
+	p.OnRetry = func(attempt int, backoff time.Duration, err error) { retries++ }
+	err := p.Do(func() error {
+		calls++
+		return fmt.Errorf("flake %d: %w", calls, ErrTransient)
+	})
+	if calls != 4 {
+		t.Fatalf("attempted %d times, want 4", calls)
+	}
+	if retries != 3 {
+		t.Fatalf("OnRetry fired %d times, want 3", retries)
+	}
+	if err == nil || !IsTransient(err) {
+		t.Fatalf("Do = %v, want the last transient error", err)
+	}
+	if got := err.Error(); got != "flake 4: "+ErrTransient.Error() {
+		t.Fatalf("Do returned %q, want the final attempt's error", got)
+	}
+}
+
+func TestPolicyBackoffGrowsAndCaps(t *testing.T) {
+	p := Policy{Attempts: 8, Base: time.Millisecond, Max: 4 * time.Millisecond}
+	var slept []time.Duration
+	p.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	_ = p.Do(func() error { return ErrTransient })
+	if len(slept) != 7 {
+		t.Fatalf("slept %d times, want 7", len(slept))
+	}
+	for i := 1; i < len(slept); i++ {
+		if slept[i] < slept[i-1] && slept[i-1] < 4*time.Millisecond {
+			t.Fatalf("backoff shrank before the cap: %v", slept)
+		}
+	}
+	for _, d := range slept {
+		if d > 4*time.Millisecond {
+			t.Fatalf("backoff %v exceeds Max", d)
+		}
+	}
+	if slept[0] != time.Millisecond {
+		t.Fatalf("first backoff = %v, want Base", slept[0])
+	}
+	if slept[len(slept)-1] != 4*time.Millisecond {
+		t.Fatalf("final backoff = %v, want Max", slept[len(slept)-1])
+	}
+}

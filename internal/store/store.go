@@ -1,0 +1,105 @@
+// Package store is the backing-store subsystem: the secondary-storage
+// tier the paper assigns to mappers ("the segment representation is the
+// mapper's business", section 3.1). Everything above it — segment
+// managers in internal/seg, and through them both memory managers — sees
+// only the page-granular Backend interface, so how pages are represented
+// (a RAM map, a page file on disk, compressed blobs) is invisible to the
+// VM layers, exactly the separation the paper draws between the memory
+// manager and the external mappers that own real devices.
+//
+// The package provides:
+//
+//   - Backend: the narrow interface (ReadAt/WriteAt/Truncate/Sync/Pages).
+//   - Mem, File, Flate: three implementations — the in-memory sparse page
+//     map, a persistent page file with a free-extent slot allocator, and
+//     a compressing store (compress/flate) tracking logical vs physical
+//     bytes.
+//   - Engine: an async I/O layer over any Backend — a bounded worker
+//     pool that coalesces adjacent writeback pages into batched WriteAts,
+//     a sequential readahead prefetcher, and per-page checksums verified
+//     on every read (corruption surfaces as ErrCorrupt, never as a
+//     silent wrong byte).
+//   - Faulty: a deterministic, seeded fault-injection wrapper (transient
+//     errors and latency spikes) for exercising the retry paths.
+//   - Policy: the bounded exponential retry/backoff used by the engine's
+//     writeback workers and by segment-manager upcalls.
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Backend is a page-granular secondary-storage object. Offsets and
+// lengths are byte counts; implementations accept arbitrary (unaligned,
+// page-straddling) ranges and present never-written bytes as zero.
+// All implementations in this package are safe for concurrent use.
+type Backend interface {
+	// PageSize returns the page size the backend allocates in.
+	PageSize() int
+
+	// ReadAt fills buf from [off, off+len(buf)), zero for holes.
+	ReadAt(off int64, buf []byte) error
+
+	// WriteAt stores data at [off, off+len(data)), materializing pages
+	// as needed.
+	WriteAt(off int64, data []byte) error
+
+	// Truncate discards all pages at or beyond size (Truncate(0) frees
+	// everything), releasing their storage.
+	Truncate(size int64) error
+
+	// Sync makes previously written data durable (a no-op for purely
+	// in-memory backends).
+	Sync() error
+
+	// Pages returns how many distinct pages are materialized.
+	Pages() int
+
+	// Close releases the backend; for durable backends it implies Sync.
+	Close() error
+}
+
+// Errors of the storage tier. ErrTransient classifies failures worth
+// retrying (see Policy); anything else is permanent and propagates up
+// the upcall chain as a gmi.ErrIO.
+var (
+	// ErrCorrupt is returned when a page's content does not match its
+	// recorded checksum: the read is refused rather than returning a
+	// silently wrong byte.
+	ErrCorrupt = errors.New("store: page checksum mismatch")
+
+	// ErrTransient classifies injected or environmental failures that a
+	// retry may clear; match with IsTransient / errors.Is.
+	ErrTransient = errors.New("store: transient I/O failure")
+
+	// ErrClosed flags use of a closed backend or engine.
+	ErrClosed = errors.New("store: closed")
+)
+
+// IsTransient reports whether err is worth retrying.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// corruptAt builds the canonical ErrCorrupt for a page offset.
+func corruptAt(what string, off int64) error {
+	return fmt.Errorf("%s page at %#x: %w", what, off, ErrCorrupt)
+}
+
+// forEachPage chunks [off, off+n) into per-page pieces: fn receives the
+// page-aligned page offset po, the intra-page byte offset b, and the
+// chunk's position/length within the caller's buffer.
+func forEachPage(pageSize, off, n int64, fn func(po, b, bufOff, length int64) error) error {
+	for done := int64(0); done < n; {
+		po := (off + done) &^ (pageSize - 1)
+		b := off + done - po
+		l := pageSize - b
+		if rem := n - done; l > rem {
+			l = rem
+		}
+		if err := fn(po, b, done, l); err != nil {
+			return err
+		}
+		done += l
+	}
+	return nil
+}
