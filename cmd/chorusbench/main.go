@@ -19,6 +19,8 @@
 //	                           # measure against real page files on disk
 //	chorusbench -parallel -store flate -store-faults 0.05
 //	                           # compressing store under injected faults
+//	chorusbench -framepool     # demand-zero faults at 1/2/4/8 workers,
+//	                           # pre-zeroed frame pool off vs on
 package main
 
 import (
@@ -39,6 +41,7 @@ func main() {
 	derive := flag.Bool("derive", true, "print the section 5.3.2 derived overheads")
 	ablations := flag.Bool("ablations", false, "run the ablation benchmarks")
 	parallel := flag.Bool("parallel", false, "run the parallel fault-throughput benchmark")
+	framepool := flag.Bool("framepool", false, "run the demand-zero frame-pool ablation (pre-zeroed pool off vs on at 1/2/4/8 workers)")
 	iters := flag.Int("iters", 32, "iterations per cell")
 	frames := flag.Int("frames", 2048, "physical frames per memory manager")
 	hist := flag.Bool("hist", false, "print latency histograms and the fault-stage breakdown (wall-clock; implies tracing the -parallel runs)")
@@ -85,6 +88,11 @@ func main() {
 		fmt.Println(bench.MakeWorkload(8, 16).Format())
 		fmt.Println(bench.CopyPolicy(32, *iters).Format())
 		fmt.Println(bench.FormatMMU(bench.MMUPortability(32, 32, *iters)))
+	}
+
+	if *framepool {
+		fmt.Println("=== Demand-zero fault throughput: frame-pool ablation ===")
+		fmt.Println(bench.FormatFramePool(bench.FramePoolAblation([]int{1, 2, 4, 8}, 256)))
 	}
 
 	if *parallel {

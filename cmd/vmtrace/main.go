@@ -50,6 +50,7 @@ func main() {
 	storeKind := flag.String("store", "mem", "backing store for script-created segments: mem, file or flate (scripts can override with the `store` statement)")
 	storeDir := flag.String("store-dir", "", "directory for -store file page files (default: a fresh temp dir)")
 	storeFaults := flag.Float64("store-faults", 0, "per-op probability of injected transient store faults (0 disables)")
+	framepool := flag.Bool("framepool", false, "start the background frame zeroer before the script (scripts can also toggle it with `framepool on|off`)")
 	flag.Parse()
 
 	opts := core.Options{Frames: *frames}
@@ -63,6 +64,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vmtrace:", err)
 		os.Exit(1)
+	}
+	defer in.Close()
+	if *framepool {
+		if ferr := in.Run(strings.NewReader("framepool on\n")); ferr != nil {
+			fmt.Fprintln(os.Stderr, "vmtrace:", ferr)
+			os.Exit(1)
+		}
 	}
 	if *storeKind != "mem" || *storeFaults > 0 {
 		cfg := store.Config{Kind: *storeKind, Dir: *storeDir, FaultProb: *storeFaults, Seed: 1}

@@ -71,6 +71,17 @@ type ParallelOptions struct {
 	// interval, so pullIns read real backend content — actual disk reads
 	// for "file", decompression for "flate" — instead of zero-fill.
 	Preload bool
+	// DemandZero switches the workload from segment pull-ins to pure
+	// demand-zero faults: every worker touches the pages of a private
+	// temporary cache, so each fault materializes a zeroed frame with no
+	// device wait. This is the allocation-bound (malloc/first-touch)
+	// workload where the frame allocator itself — not mapper latency — is
+	// the bottleneck. Store, Preload and PullLatency are ignored.
+	DemandZero bool
+	// FramePool, with DemandZero, starts the background frame zeroer and
+	// pre-warms the pre-zeroed pool before the measured interval, so the
+	// faults take the pool-hit path instead of zeroing synchronously.
+	FramePool bool
 }
 
 // ParallelFaultThroughput runs `workers` goroutines, each with a private
@@ -109,44 +120,73 @@ func ParallelFaultThroughputOpts(o ParallelOptions) ParallelResult {
 		base gmi.VA
 	}
 	ws := make([]worker, o.Workers)
-	segs := make([]*seg.Segment, o.Workers)
+	var segs []*seg.Segment
+	if !o.DemandZero {
+		segs = make([]*seg.Segment, o.Workers)
+	}
 	size := int64(o.PagesPerWorker) * pageSize
 	for i := range ws {
 		ctx, err := p.ContextCreate()
 		if err != nil {
 			panic(err)
 		}
-		b, err := o.Store.New(fmt.Sprintf("par-%d", i), pageSize)
-		if err != nil {
-			panic(err)
-		}
-		s := &latencySegment{
-			Segment: seg.NewSegmentOn(fmt.Sprintf("par-%d", i), b, clock),
-			latency: o.PullLatency,
-		}
-		s.SetTracer(o.Tracer)
-		segs[i] = s.Segment
-		if o.Preload {
-			st := s.Store()
-			buf := make([]byte, pageSize)
-			for pg := 0; pg < o.PagesPerWorker; pg++ {
-				for j := range buf {
-					buf[j] = byte(i+1) ^ byte(pg*7) ^ byte(j)
+		var c gmi.Cache
+		if o.DemandZero {
+			// Allocation-bound workload: a private temporary cache per
+			// worker; every fault is a demand-zero fill, no mapper at all.
+			c = p.TempCacheCreate()
+		} else {
+			b, err := o.Store.New(fmt.Sprintf("par-%d", i), pageSize)
+			if err != nil {
+				panic(err)
+			}
+			s := &latencySegment{
+				Segment: seg.NewSegmentOn(fmt.Sprintf("par-%d", i), b, clock),
+				latency: o.PullLatency,
+			}
+			s.SetTracer(o.Tracer)
+			segs[i] = s.Segment
+			if o.Preload {
+				st := s.Store()
+				buf := make([]byte, pageSize)
+				for pg := 0; pg < o.PagesPerWorker; pg++ {
+					for j := range buf {
+						buf[j] = byte(i+1) ^ byte(pg*7) ^ byte(j)
+					}
+					if err := st.WriteAt(int64(pg)*pageSize, buf); err != nil {
+						panic(err)
+					}
 				}
-				if err := st.WriteAt(int64(pg)*pageSize, buf); err != nil {
+				if err := st.Sync(); err != nil {
 					panic(err)
 				}
 			}
-			if err := st.Sync(); err != nil {
-				panic(err)
-			}
+			c = p.CacheCreate(s)
 		}
-		c := p.CacheCreate(s)
 		base := benchBase + gmi.VA(int64(i)*size*2)
 		if _, err := ctx.RegionCreate(base, size, gmi.ProtRW, c, 0); err != nil {
 			panic(err)
 		}
 		ws[i] = worker{ctx: ctx, base: base}
+	}
+
+	stopZeroer := func() {}
+	if o.FramePool {
+		// Keep the pool between faults-outstanding and the whole working
+		// set, and pre-warm it to the high mark (bounded wait: the zeroer
+		// fills at bzero speed) so the measured interval starts hot.
+		high := o.Workers * o.PagesPerWorker
+		if max := p.Memory().TotalFrames() - 8; high > max {
+			high = max
+		}
+		low := high / 4
+		if low < 1 {
+			low = 1
+		}
+		stopZeroer = p.StartFrameZeroer(low, high)
+		for deadline := time.Now().Add(3 * time.Second); p.Memory().ZeroPoolSize() < high && time.Now().Before(deadline); {
+			time.Sleep(time.Millisecond)
+		}
 	}
 
 	var wg sync.WaitGroup
@@ -170,6 +210,7 @@ func ParallelFaultThroughputOpts(o ParallelOptions) ParallelResult {
 	close(start)
 	wg.Wait()
 	elapsed := time.Since(t0)
+	stopZeroer()
 
 	storeStats := aggregateStoreStats(segs)
 	for i := range segs {
@@ -227,6 +268,50 @@ func FormatParallelStore(rs []ParallelResult) string {
 		fmt.Fprintf(&b, "%8d %8d %8d %9d %8d %8d %8d\n",
 			r.Workers, r.Store.Reads, r.Store.Batches, r.Store.Coalesced,
 			r.Store.PrefetchHits, r.Store.Retries, r.Store.Corruptions)
+	}
+	return b.String()
+}
+
+// FramePoolPoint is one frame-pool ablation row: the same demand-zero
+// workload measured with the pre-zeroed pool off (synchronous in-fault
+// bzero through the magazine allocator) and on (background zeroer,
+// pool-hit fast path).
+type FramePoolPoint struct {
+	Workers int
+	Off     ParallelResult
+	On      ParallelResult
+}
+
+// FramePoolAblation measures demand-zero fault throughput at each worker
+// count with the frame pool disabled and enabled. Unlike the pull-latency
+// benchmark this workload is CPU-bound, so the on/off gap is the in-fault
+// bzero cost the background zeroer absorbs.
+func FramePoolAblation(workerCounts []int, pagesPerWorker int) []FramePoolPoint {
+	pts := make([]FramePoolPoint, 0, len(workerCounts))
+	for _, w := range workerCounts {
+		o := ParallelOptions{Workers: w, PagesPerWorker: pagesPerWorker, DemandZero: true}
+		off := ParallelFaultThroughputOpts(o)
+		o.FramePool = true
+		on := ParallelFaultThroughputOpts(o)
+		pts = append(pts, FramePoolPoint{Workers: w, Off: off, On: on})
+	}
+	return pts
+}
+
+// FormatFramePool renders the frame-pool ablation table.
+func FormatFramePool(pts []FramePoolPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "demand-zero fault throughput: pre-zeroed frame pool ablation\n")
+	fmt.Fprintf(&b, "%8s %14s %14s %8s %9s %9s\n",
+		"workers", "off flt/s", "on flt/s", "on/off", "poolhits", "poolmiss")
+	for _, pt := range pts {
+		ratio := 0.0
+		if pt.Off.FaultsSec > 0 {
+			ratio = pt.On.FaultsSec / pt.Off.FaultsSec
+		}
+		fmt.Fprintf(&b, "%8d %14.0f %14.0f %7.2fx %9d %9d\n",
+			pt.Workers, pt.Off.FaultsSec, pt.On.FaultsSec, ratio,
+			pt.On.Stats.ZeroPoolHits, pt.On.Stats.ZeroPoolMisses)
 	}
 	return b.String()
 }

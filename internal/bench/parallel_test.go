@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"strings"
 	"testing"
 
 	"chorusvm/internal/store"
@@ -32,6 +33,40 @@ func TestParallelOptsBackends(t *testing.T) {
 				t.Fatal("no store read activity in the measured interval")
 			}
 		})
+	}
+}
+
+// TestFramePoolAblation smoke-runs the demand-zero pool-off/pool-on
+// ablation at small scale: both variants must complete every fault, the
+// pool-on run must actually hit the pre-zeroed pool, and the table must
+// render a row per worker count.
+func TestFramePoolAblation(t *testing.T) {
+	pts := FramePoolAblation([]int{1, 2}, 16)
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for _, pt := range pts {
+		want := pt.Workers * 16
+		if pt.Off.Faults != want || pt.On.Faults != want {
+			t.Fatalf("workers=%d: faults off=%d on=%d, want %d",
+				pt.Workers, pt.Off.Faults, pt.On.Faults, want)
+		}
+		if pt.Off.Stats.ZeroFills != uint64(want) || pt.On.Stats.ZeroFills != uint64(want) {
+			t.Fatalf("workers=%d: not a pure demand-zero run: off=%d on=%d zerofills",
+				pt.Workers, pt.Off.Stats.ZeroFills, pt.On.Stats.ZeroFills)
+		}
+		if pt.On.Stats.ZeroPoolHits == 0 {
+			t.Fatalf("workers=%d: pool-on run never hit the pre-zeroed pool", pt.Workers)
+		}
+		if pt.Off.Stats.ZeroPoolHits != 0 {
+			t.Fatalf("workers=%d: pool-off run hit a pool that should not exist", pt.Workers)
+		}
+	}
+	out := FormatFramePool(pts)
+	for _, want := range []string{"workers", "1", "2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
 	}
 }
 

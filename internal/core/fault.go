@@ -7,6 +7,7 @@ import (
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
 	"chorusvm/internal/obs"
+	"chorusvm/internal/phys"
 )
 
 // This file is the PVM's page-fault engine: the section 4.1.2 lookup
@@ -272,10 +273,13 @@ func (p *PVM) fastZeroFill(ctx *context, r *region, pva gmi.VA, c *cache, off in
 	p.clock.Charge(cost.EvGlobalMapOp, 1)
 	sh.mu.Unlock()
 
-	// Zero the private frame with no shard lock held. The RLock is
+	// Obtain a zeroed private frame with no shard lock held. The RLock is
 	// retained: no structural operation can run, so nothing can resolve
-	// or replace the stub meanwhile, and Alloc/Zero take no PVM locks.
-	f, err := p.mem.Alloc()
+	// or replace the stub meanwhile, and AllocZeroed takes no PVM locks.
+	// A pre-zeroed pool hit skips the in-fault bzero entirely; a miss
+	// zeroes synchronously, exactly the old Alloc-then-Zero path.
+	span.Mark(obs.StageResolve)
+	f, err := p.mem.AllocZeroed()
 	if err != nil {
 		sh.mu.Lock()
 		if sh.m[key] == mapEntry(stub) {
@@ -287,8 +291,6 @@ func (p *PVM) fastZeroFill(ctx *context, r *region, pva gmi.VA, c *cache, off in
 		p.mu.RUnlock()
 		return true, false, err
 	}
-	span.Mark(obs.StageResolve)
-	p.mem.Zero(f)
 	span.Mark(obs.StageContent)
 
 	pg := &page{frame: f, off: off, granted: gmi.ProtRWX, dirty: true}
@@ -591,13 +593,12 @@ func (p *PVM) bringIn(c *cache, off int64, access gmi.Prot, span *obs.FaultSpan)
 			return err
 		}
 		defer release()
-		f, err := p.mem.Alloc()
+		span.Mark(obs.StageResolve)
+		f, err := p.mem.AllocZeroed()
 		if err != nil {
 			settle()
 			return err
 		}
-		span.Mark(obs.StageResolve)
-		p.mem.Zero(f)
 		span.Mark(obs.StageContent)
 		pg := &page{frame: f, off: off, granted: gmi.ProtRWX, dirty: true}
 		p.gmapDelete(key)
@@ -747,6 +748,25 @@ func (p *PVM) breakOwnForWrite(c *cache, off int64, pg *page, span *obs.FaultSpa
 	return false, nil
 }
 
+// installOwnPage inserts a freshly materialized dirty page at (dst, off):
+// it clears whatever shadowing entry the global map still holds for the
+// key (a copy-on-write stub is unhooked from its source, anything else is
+// deleted), links the page into dst and runs the afterResident hooks.
+// Shared tail of zeroPageInto and clonePageInto. p.mu held exclusively.
+func (p *PVM) installOwnPage(dst *cache, off int64, f *phys.Frame) *page {
+	pg := &page{frame: f, off: off, granted: gmi.ProtRWX, dirty: true}
+	if old := p.gmapGet(pageKey{dst, off}); old != nil {
+		if st, isStub := old.(*cowStub); isStub {
+			p.removeStub(st)
+		} else {
+			p.gmapDelete(pageKey{dst, off})
+		}
+	}
+	p.addPage(dst, pg)
+	p.afterResident(dst, pg)
+	return pg
+}
+
 // zeroPageInto allocates a zero-filled dirty page at (dst, off); may
 // release the lock, so callers re-validate. Used when explicitly moved
 // zeros must shadow older segment content. p.mu held exclusively.
@@ -759,24 +779,13 @@ func (p *PVM) zeroPageInto(dst *cache, off int64, span *obs.FaultSpan) (*page, e
 	if pg := p.ownPage(dst, off); pg != nil {
 		return pg, nil
 	}
-	f, err := p.mem.Alloc()
+	span.Mark(obs.StageResolve)
+	f, err := p.mem.AllocZeroed()
 	if err != nil {
 		return nil, err
 	}
-	span.Mark(obs.StageResolve)
-	p.mem.Zero(f)
 	span.Mark(obs.StageContent)
-	pg := &page{frame: f, off: off, granted: gmi.ProtRWX, dirty: true}
-	if old := p.gmapGet(pageKey{dst, off}); old != nil {
-		if st, isStub := old.(*cowStub); isStub {
-			p.removeStub(st)
-		} else {
-			p.gmapDelete(pageKey{dst, off})
-		}
-	}
-	p.addPage(dst, pg)
-	p.afterResident(dst, pg)
-	return pg, nil
+	return p.installOwnPage(dst, off, f), nil
 }
 
 // clonePageInto allocates a page at (dst, off) initialized with src's
@@ -790,9 +799,9 @@ func (p *PVM) clonePageInto(dst *cache, off int64, src *page, span *obs.FaultSpa
 		return nil, err
 	}
 	defer release()
-	if p.ownPage(dst, off) != nil {
+	if pg := p.ownPage(dst, off); pg != nil {
 		// Someone else materialized it while the lock was out.
-		return p.ownPage(dst, off), nil
+		return pg, nil
 	}
 	f, err := p.mem.Alloc()
 	if err != nil {
@@ -801,15 +810,5 @@ func (p *PVM) clonePageInto(dst *cache, off int64, src *page, span *obs.FaultSpa
 	span.Mark(obs.StageResolve)
 	p.mem.CopyFrame(f, src.frame)
 	span.Mark(obs.StageContent)
-	pg := &page{frame: f, off: off, granted: gmi.ProtRWX, dirty: true}
-	if old := p.gmapGet(pageKey{dst, off}); old != nil {
-		if st, isStub := old.(*cowStub); isStub {
-			p.removeStub(st)
-		} else {
-			p.gmapDelete(pageKey{dst, off})
-		}
-	}
-	p.addPage(dst, pg)
-	p.afterResident(dst, pg)
-	return pg, nil
+	return p.installOwnPage(dst, off, f), nil
 }

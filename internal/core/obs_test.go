@@ -30,6 +30,16 @@ func TestStatsDelta(t *testing.T) {
 		}
 	}
 
+	// Counters the frame allocator mirrors into Stats must stay present by
+	// name — the generic loop above would not notice one being deleted.
+	for _, name := range []string{
+		"ZeroPoolHits", "ZeroPoolMisses", "MagazineRefills", "BatchFrees",
+	} {
+		if _, ok := dv.Type().FieldByName(name); !ok {
+			t.Errorf("Stats.%s dropped — frame-allocator counter no longer reported", name)
+		}
+	}
+
 	// And once end-to-end against a live PVM.
 	p, _ := newTestPVM(t, 64)
 	ctx, err := p.ContextCreate()

@@ -8,6 +8,7 @@ import (
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
 	"chorusvm/internal/obs"
+	"chorusvm/internal/phys"
 )
 
 // This file implements physical-memory reclaim: the data-management policy
@@ -115,6 +116,7 @@ func (p *PVM) evictBatchAsync(max int) (int, error) {
 	}
 	evicted := 0
 	var victims []victim
+	var frames []*phys.Frame // freed in whole-batch depot transactions
 	var next *page
 	for pg := p.lru.tail; pg != nil && evicted+len(victims) < max; pg = next {
 		next = pg.lruPrev // capture before a drop unlinks pg
@@ -124,7 +126,7 @@ func (p *PVM) evictBatchAsync(max int) (int, error) {
 		c := pg.cache
 		if !pg.dirty {
 			p.moveStubsToRemote(pg)
-			p.dropPage(pg)
+			p.dropPageInto(pg, &frames)
 			atomic.AddUint64(&p.stats.Evictions, 1)
 			p.obs.Emit(obs.KindEvict, int64(c.id), pg.off)
 			evicted++
@@ -140,6 +142,10 @@ func (p *PVM) evictBatchAsync(max int) (int, error) {
 		p.clock.Charge(cost.EvPushOut, 1)
 		victims = append(victims, victim{pg, c, pg.off, c.seg})
 	}
+	// Return the clean victims' frames before (possibly) blocking on the
+	// pushes: allocators waiting on FreeFrames see them immediately.
+	p.mem.FreeBatch(frames)
+	frames = frames[:0]
 	if len(victims) == 0 {
 		return evicted, nil
 	}
@@ -179,13 +185,28 @@ func (p *PVM) evictBatchAsync(max int) (int, error) {
 		p.supersedeParent(v.c, v.off)
 		if pg.frame != nil {
 			p.moveStubsToRemote(pg)
-			p.dropPage(pg)
+			p.dropPageInto(pg, &frames)
 		}
 		atomic.AddUint64(&p.stats.Evictions, 1)
 		p.obs.Emit(obs.KindEvict, int64(v.c.id), v.off)
 		evicted++
 	}
+	p.mem.FreeBatch(frames)
 	return evicted, firstErr
+}
+
+// dropPageInto unlinks a resident page exactly like dropPage but hands
+// the frame to the caller instead of freeing it, so batch eviction can
+// return a whole pass's frames in one phys.FreeBatch depot transaction.
+// p.mu held.
+func (p *PVM) dropPageInto(pg *page, frames *[]*phys.Frame) {
+	for pg.busy {
+		p.waitBusy(pg, nil)
+	}
+	p.invalidateMappings(pg)
+	p.unlinkPage(pg)
+	*frames = append(*frames, pg.frame)
+	pg.frame = nil
 }
 
 // pushPage writes one dirty page back through its segment's pushOut

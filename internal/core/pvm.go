@@ -129,6 +129,13 @@ type Stats struct {
 	Evictions     uint64 // frames reclaimed by page-out
 	Collapses     uint64 // working objects collapsed
 	Zombies       uint64 // caches kept as zombies for their descendants
+
+	// Frame-allocator counters, mirrored from phys.Memory.AllocStats:
+	// the two-level magazine allocator and the pre-zeroed frame pool.
+	ZeroPoolHits    uint64 // demand-zero faults served a pre-zeroed frame
+	ZeroPoolMisses  uint64 // demand-zero faults that zeroed synchronously
+	MagazineRefills uint64 // magazine batch refills from the depot
+	BatchFrees      uint64 // batched frame-free depot transactions
 }
 
 // PVM is a Paged Virtual memory Manager. It implements
@@ -205,6 +212,7 @@ func New(o Options) *PVM {
 		p.shards[i].m = make(map[pageKey]mapEntry)
 	}
 	p.mem = phys.NewMemory(o.Frames, o.PageSize, o.Clock)
+	p.mem.SetTracer(o.Tracer)
 	switch o.MMU {
 	case "sun3":
 		p.hw = mmu.NewTwoLevel(o.PageSize, o.Clock)
@@ -245,6 +253,17 @@ func (p *PVM) Tracer() *obs.Tracer { return p.obs }
 // Memory returns the physical memory pool (for tests and tools).
 func (p *PVM) Memory() *phys.Memory { return p.mem }
 
+// StartFrameZeroer starts the background frame zeroer that keeps the
+// physical pool's pre-zeroed cache between the given water marks, so
+// demand-zero faults can skip their in-fault bzero (phys.StartZeroer).
+// Optional, like the pageout daemon: without it AllocZeroed simply zeroes
+// synchronously, which is deterministic and is what the simulated-cost
+// tables use. The returned stop function is idempotent and waits for the
+// goroutine to exit.
+func (p *PVM) StartFrameZeroer(low, high int) (stop func()) {
+	return p.mem.StartZeroer(low, high)
+}
+
 // MMU returns the machine-dependent layer in use.
 func (p *PVM) MMU() mmu.MMU { return p.hw }
 
@@ -267,6 +286,11 @@ func (s Stats) Delta(prev Stats) Stats {
 		Evictions:     s.Evictions - prev.Evictions,
 		Collapses:     s.Collapses - prev.Collapses,
 		Zombies:       s.Zombies - prev.Zombies,
+
+		ZeroPoolHits:    s.ZeroPoolHits - prev.ZeroPoolHits,
+		ZeroPoolMisses:  s.ZeroPoolMisses - prev.ZeroPoolMisses,
+		MagazineRefills: s.MagazineRefills - prev.MagazineRefills,
+		BatchFrees:      s.BatchFrees - prev.BatchFrees,
 	}
 }
 
@@ -275,6 +299,7 @@ func (s Stats) Delta(prev Stats) Stats {
 // field-by-field and is not one consistent cut while the PVM is active.
 func (p *PVM) Stats() Stats {
 	s := &p.stats
+	as := p.mem.AllocStats()
 	return Stats{
 		Faults:        atomic.LoadUint64(&s.Faults),
 		SegvFaults:    atomic.LoadUint64(&s.SegvFaults),
@@ -289,6 +314,11 @@ func (p *PVM) Stats() Stats {
 		Evictions:     atomic.LoadUint64(&s.Evictions),
 		Collapses:     atomic.LoadUint64(&s.Collapses),
 		Zombies:       atomic.LoadUint64(&s.Zombies),
+
+		ZeroPoolHits:    as.ZeroPoolHits,
+		ZeroPoolMisses:  as.ZeroPoolMisses,
+		MagazineRefills: as.MagazineRefills,
+		BatchFrees:      as.BatchFrees,
 	}
 }
 

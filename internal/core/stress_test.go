@@ -186,10 +186,29 @@ func TestConcurrentSharedReaders(t *testing.T) {
 // them. Run with -race. Invariants (DESIGN.md section 6) are checked only
 // at quiescence: the frame-accounting invariant is allowed to be
 // transiently unobservable mid-fault, never at rest.
+//
+// The framepool variant additionally runs the background frame zeroer, so
+// demand-zero faults recycle frames through the pre-zeroed pool while the
+// pageout daemon is stealing them — the full three-way custody fight. The
+// oracle then doubles as the stale-bytes check: a pool frame carrying a
+// previous owner's bytes shows up as content divergence.
 func TestConcurrentOracleStress(t *testing.T) {
+	t.Run("baseline", func(t *testing.T) { runOracleStress(t, false) })
+	t.Run("framepool", func(t *testing.T) { runOracleStress(t, true) })
+}
+
+func runOracleStress(t *testing.T, framepool bool) {
 	p, _ := newTestPVM(t, 96)
 	stopDaemon := p.StartPageoutDaemon(16, 32, 500*time.Microsecond)
 	defer stopDaemon()
+	if framepool {
+		stopZeroer := p.StartFrameZeroer(8, 24)
+		defer stopZeroer()
+		deadline := time.Now().Add(3 * time.Second)
+		for p.Memory().ZeroPoolSize() < 8 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
 
 	const (
 		workers = 6
@@ -314,4 +333,63 @@ func TestConcurrentOracleStress(t *testing.T) {
 	if p.Memory().FreeFrames() != p.Memory().TotalFrames() {
 		t.Fatalf("frames leaked: %d/%d free", p.Memory().FreeFrames(), p.Memory().TotalFrames())
 	}
+	if framepool {
+		if st := p.Stats(); st.ZeroPoolHits == 0 {
+			t.Fatal("zero pool never served a demand-zero fault")
+		}
+	}
+}
+
+// TestDemandZeroPoolStaleBytes recycles every frame through dirty caches
+// and the pre-zeroed pool in a tight loop: each round scribbles over a
+// whole region, tears it down (returning dirty frames), then demand-zero
+// faults a fresh region and requires every byte to read zero. With the
+// zeroer racing the teardown this is the end-to-end version of the phys
+// stale-bytes regression. Run with -race.
+func TestDemandZeroPoolStaleBytes(t *testing.T) {
+	p, _ := newTestPVM(t, 32)
+	stopZeroer := p.StartFrameZeroer(8, 16)
+	defer stopZeroer()
+	for deadline := time.Now().Add(3 * time.Second); p.Memory().ZeroPoolSize() < 8 && time.Now().Before(deadline); {
+		time.Sleep(time.Millisecond)
+	}
+
+	const pages = 8
+	junk := bytes.Repeat([]byte{0xAB}, pages*pg)
+	zero := make([]byte, pages*pg)
+	got := make([]byte, pages*pg)
+	ctx, err := p.ContextCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 50; round++ {
+		dirty := p.TempCacheCreate()
+		r := mustRegion(t, ctx, base, pages*pg, gmi.ProtRW, dirty, 0)
+		mustWrite(t, ctx, base, junk)
+		if err := r.Destroy(); err != nil {
+			t.Fatal(err)
+		}
+		if err := dirty.Destroy(); err != nil {
+			t.Fatal(err)
+		}
+
+		fresh := p.TempCacheCreate()
+		r = mustRegion(t, ctx, base, pages*pg, gmi.ProtRW, fresh, 0)
+		if err := ctx.Read(base, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, zero) {
+			t.Fatalf("round %d: demand-zero fault returned stale bytes", round)
+		}
+		if err := r.Destroy(); err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.Destroy(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := p.Stats(); st.ZeroPoolHits == 0 {
+		t.Fatal("pool never hit: the regression path was not exercised")
+	}
+	check(t, p)
 }

@@ -59,6 +59,9 @@ const (
 	KindStoreWrite                  // store: engine write enqueue or writeback batch
 	KindStoreCompress               // store: flate page (de)compression
 	KindStoreRetry                  // store: transient failure retried (arg1 = backoff ns)
+	KindFrameZero                   // phys: background zeroer pre-zeroed a frame (arg1 = frame)
+	KindFramePoolHit                // phys: AllocZeroed served from the pre-zeroed pool
+	KindFramePoolMiss               // phys: AllocZeroed fell back to a synchronous bzero
 	NumKinds
 )
 
@@ -67,7 +70,8 @@ var kindNames = [NumKinds]string{
 	"historyinsert", "historycollapse", "evict", "pullin", "pushout",
 	"getwrite", "segcreate", "segpull", "segpush", "ipcsend", "ipcrecv",
 	"copy", "move", "dsminvalidate", "dsmsync", "storeread", "storewrite",
-	"storecompress", "storeretry",
+	"storecompress", "storeretry", "framezero", "framepoolhit",
+	"framepoolmiss",
 }
 
 func (k Kind) String() string {
@@ -103,6 +107,7 @@ const (
 	OpStoreWrite              // store-engine write latency (enqueue and batch)
 	OpStoreCompress           // flate page (de)compression latency
 	OpStoreRetry              // backoff taken per retried transient failure
+	OpFrameZero               // phys: background zeroer per-frame bzero latency
 	NumOps
 )
 
@@ -111,7 +116,7 @@ var opNames = [NumOps]string{
 	"fault.content", "pullin", "pushout", "getwrite", "seg.pull",
 	"seg.push", "ipc.send", "ipc.recv", "copy", "move",
 	"dsm.invalidate", "dsm.sync", "store.read", "store.write",
-	"store.compress", "store.retry",
+	"store.compress", "store.retry", "frame.zero",
 }
 
 func (o Op) String() string {
