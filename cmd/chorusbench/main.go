@@ -17,6 +17,8 @@
 //	chorusbench -parallel -trace=out.json -trace-format=chrome
 //	chorusbench -parallel -store file -store-dir /tmp/pages
 //	                           # measure against real page files on disk
+//	chorusbench -parallel -sync-pager
+//	                           # synchronous pullIn baseline (protocol ablation)
 //	chorusbench -parallel -store flate -store-faults 0.05
 //	                           # compressing store under injected faults
 //	chorusbench -framepool     # demand-zero faults at 1/2/4/8 workers,
@@ -48,9 +50,31 @@ func main() {
 	traceFile := flag.String("trace", "", "write the captured event trace to this file")
 	traceFormat := flag.String("trace-format", obs.FormatChrome, "trace encoding: text, jsonl or chrome (chrome://tracing / Perfetto)")
 	storeKind := flag.String("store", "mem", "backing store for the -parallel worker segments: mem, file or flate")
-	storeDir := flag.String("store-dir", "", "directory for -store file page files (default: a fresh temp dir)")
+	storeDir := flag.String("store-dir", "", "directory for -store file page files (required with -store file)")
 	storeFaults := flag.Float64("store-faults", 0, "per-op probability of injected transient store faults (0 disables)")
+	syncPager := flag.Bool("sync-pager", false, "force the synchronous pullIn upcall path in -parallel (protocol ablation baseline)")
+	readAhead := flag.Int("readahead", 1, "cluster -parallel fills over up to this many contiguous pages")
+	pages := flag.Int("pages", 64, "pages each -parallel worker faults (larger runs average out timer noise)")
 	flag.Parse()
+
+	// Validate the flag combination before any work: a bad combination is
+	// a usage error, not a mid-run failure.
+	storeCfg := store.Config{Kind: *storeKind, Dir: *storeDir, FaultProb: *storeFaults, Seed: 1}
+	if err := storeCfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "chorusbench: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *readAhead < 1 {
+		fmt.Fprintf(os.Stderr, "chorusbench: -readahead %d out of range (want >= 1)\n\n", *readAhead)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *pages < 1 {
+		fmt.Fprintf(os.Stderr, "chorusbench: -pages %d out of range (want >= 1)\n\n", *pages)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	chorus := bench.PVM(core.Options{Frames: *frames, SmallCopyPages: -1})
 	mach := bench.Mach(machvm.Options{Frames: *frames})
@@ -101,28 +125,21 @@ func main() {
 		if *hist || *traceFile != "" {
 			tracer = obs.New(obs.Options{})
 		}
-		cfg := store.Config{Kind: *storeKind, Dir: *storeDir, FaultProb: *storeFaults, Seed: 1}
-		if cfg.Kind == "file" && cfg.Dir == "" {
-			dir, err := os.MkdirTemp("", "chorusbench-store-")
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "chorusbench:", err)
-				os.Exit(1)
-			}
-			defer os.RemoveAll(dir)
-			cfg.Dir = dir
-		}
+		cfg := storeCfg
 		fmt.Printf("=== Parallel fault throughput (sharded global map, %s store) ===\n", storeLabel(cfg))
 		var rs []bench.ParallelResult
 		for _, w := range []int{1, 2, 4, 8} {
 			rs = append(rs, bench.ParallelFaultThroughputOpts(bench.ParallelOptions{
 				Workers:        w,
-				PagesPerWorker: 64,
+				PagesPerWorker: *pages,
 				PullLatency:    200 * time.Microsecond,
 				Tracer:         tracer,
 				Store:          cfg,
 				// Real backends should serve real content: preload gives
 				// "file" actual disk reads and "flate" actual inflates.
-				Preload: cfg.Kind != "" && cfg.Kind != "mem",
+				Preload:   cfg.Kind != "" && cfg.Kind != "mem",
+				SyncPager: *syncPager,
+				ReadAhead: *readAhead,
 			}))
 		}
 		fmt.Println(bench.FormatParallel(rs))

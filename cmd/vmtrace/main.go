@@ -48,10 +48,19 @@ func main() {
 	traceFormat := flag.String("trace-format", obs.FormatChrome, "trace encoding: text, jsonl or chrome (chrome://tracing / Perfetto)")
 	hist := flag.Bool("hist", false, "print latency histograms after the script (enables tracing)")
 	storeKind := flag.String("store", "mem", "backing store for script-created segments: mem, file or flate (scripts can override with the `store` statement)")
-	storeDir := flag.String("store-dir", "", "directory for -store file page files (default: a fresh temp dir)")
+	storeDir := flag.String("store-dir", "", "directory for -store file page files (required with -store file)")
 	storeFaults := flag.Float64("store-faults", 0, "per-op probability of injected transient store faults (0 disables)")
 	framepool := flag.Bool("framepool", false, "start the background frame zeroer before the script (scripts can also toggle it with `framepool on|off`)")
 	flag.Parse()
+
+	// Validate the flag combination before building anything: a bad
+	// combination is a usage error, not a mid-run failure.
+	storeCfg := store.Config{Kind: *storeKind, Dir: *storeDir, FaultProb: *storeFaults, Seed: 1}
+	if err := storeCfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "vmtrace: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	opts := core.Options{Frames: *frames}
 	if *traceFile != "" || *hist {
@@ -73,17 +82,7 @@ func main() {
 		}
 	}
 	if *storeKind != "mem" || *storeFaults > 0 {
-		cfg := store.Config{Kind: *storeKind, Dir: *storeDir, FaultProb: *storeFaults, Seed: 1}
-		if cfg.Kind == "file" && cfg.Dir == "" {
-			dir, derr := os.MkdirTemp("", "vmtrace-store-")
-			if derr != nil {
-				fmt.Fprintln(os.Stderr, "vmtrace:", derr)
-				os.Exit(1)
-			}
-			defer os.RemoveAll(dir)
-			cfg.Dir = dir
-		}
-		if serr := in.SetStore(cfg); serr != nil {
+		if serr := in.SetStore(storeCfg); serr != nil {
 			fmt.Fprintln(os.Stderr, "vmtrace:", serr)
 			os.Exit(1)
 		}

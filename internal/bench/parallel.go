@@ -36,6 +36,17 @@ func (l *latencySegment) PullIn(c gmi.Cache, off, size int64, mode gmi.Prot) err
 	return l.Segment.PullIn(c, off, size, mode)
 }
 
+// SubmitPull must be overridden alongside PullIn: the promoted method from
+// the embedded *seg.Segment would skip the simulated device latency
+// entirely. The sleep happens on a private goroutine — SubmitPull must not
+// block on the device — and then the request is handed to the real driver.
+func (l *latencySegment) SubmitPull(r *gmi.PageRequest) {
+	go func() {
+		time.Sleep(l.latency)
+		l.Segment.SubmitPull(r)
+	}()
+}
+
 // ParallelResult is one row of the parallel fault-throughput table.
 type ParallelResult struct {
 	Workers   int
@@ -82,6 +93,12 @@ type ParallelOptions struct {
 	// pre-warms the pre-zeroed pool before the measured interval, so the
 	// faults take the pool-hit path instead of zeroing synchronously.
 	FramePool bool
+	// SyncPager forces every fill through the synchronous PullIn upcall —
+	// the pre-submit/complete baseline, kept for the protocol ablation.
+	SyncPager bool
+	// ReadAhead clusters each fill over up to this many contiguous pages
+	// (0 or 1 disables clustering).
+	ReadAhead int
 }
 
 // ParallelFaultThroughput runs `workers` goroutines, each with a private
@@ -108,11 +125,13 @@ func ParallelFaultThroughputOpts(o ParallelOptions) ParallelResult {
 	clock := cost.New()
 	const pageSize = 8192
 	p := core.New(core.Options{
-		Frames:   o.Workers*o.PagesPerWorker + 64,
-		PageSize: pageSize,
-		Clock:    clock,
-		SegAlloc: seg.NewSwapAllocatorOn(pageSize, clock, o.Store.Factory(pageSize)),
-		Tracer:   o.Tracer,
+		Frames:         o.Workers*o.PagesPerWorker + 64,
+		PageSize:       pageSize,
+		Clock:          clock,
+		SegAlloc:       seg.NewSwapAllocatorOn(pageSize, clock, o.Store.Factory(pageSize)),
+		Tracer:         o.Tracer,
+		SyncPagers:     o.SyncPager,
+		ReadAheadPages: o.ReadAhead,
 	})
 
 	type worker struct {

@@ -186,6 +186,7 @@ func (ctx *context) access(va gmi.VA, buf []byte, mode gmi.Prot) error {
 // multiprocessor.
 func (ctx *context) accessPage(va gmi.VA, chunk []byte, mode gmi.Prot) error {
 	p := ctx.pvm
+	faulted := false
 	for attempt := 0; attempt < 64; attempt++ {
 		p.mu.RLock()
 		if ctx.destroyed {
@@ -207,9 +208,13 @@ func (ctx *context) accessPage(va gmi.VA, chunk []byte, mode gmi.Prot) error {
 		}
 		ctx.spaceMu.Unlock()
 		p.mu.RUnlock()
-		if ferr := p.HandleFault(ctx, va, mode); ferr != nil {
+		// A retry after a successful fault means a racing writer
+		// invalidated the translation we just installed — the same
+		// logical fault, re-trapped. Resolve it without re-counting.
+		if ferr := p.handleFault(ctx, va, mode, faulted); ferr != nil {
 			return ferr
 		}
+		faulted = true
 	}
 	atomic.AddUint64(&p.stats.ProtFaults, 1)
 	return gmi.ErrProtection

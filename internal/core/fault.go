@@ -71,9 +71,22 @@ import (
 // marks. With no tracer configured the span is the zero value and every
 // probe is a single branch (see TestHandleFaultDisabledTracerAllocs).
 func (p *PVM) HandleFault(ctx *context, va gmi.VA, access gmi.Prot) error {
+	return p.handleFault(ctx, va, access, false)
+}
+
+// handleFault is HandleFault with the refault flag: a retry of an access
+// that already counted this logical fault (the simulated CPU re-faults
+// when a racing writer invalidated its fresh translation). The resolution
+// work runs in full and the simulated clock still charges the trap, but
+// the fault counter and the latency histograms are not double-charged —
+// one logical fault, one count, one span.
+func (p *PVM) handleFault(ctx *context, va gmi.VA, access gmi.Prot, refault bool) error {
 	p.clock.Charge(cost.EvFault, 1)
-	atomic.AddUint64(&p.stats.Faults, 1)
-	span := p.obs.FaultBegin()
+	var span obs.FaultSpan
+	if !refault {
+		atomic.AddUint64(&p.stats.Faults, 1)
+		span = p.obs.FaultBegin()
+	}
 	err, handled := p.fastFault(ctx, va, access, &span)
 	if !handled {
 		err = p.slowFault(ctx, va, access, &span)
@@ -216,6 +229,14 @@ func (p *PVM) fastFaultOnce(ctx *context, va gmi.VA, access gmi.Prot, span *obs.
 		span.Mark(obs.StageResolve)
 		<-ch
 		span.Mark(obs.StageLockWait)
+		if e.err != nil {
+			// The fill this stub guarded failed. Deliver the outcome of
+			// the one round-trip to every parked context rather than have
+			// each waiter wake, resubmit the same doomed pull, and fail
+			// one device round-trip at a time. (err is written before the
+			// stub settles; the channel close publishes it.)
+			return true, false, e.err
+		}
 		return false, true, nil
 
 	case *cowStub:
@@ -241,8 +262,16 @@ func (p *PVM) fastFaultOnce(ctx *context, va gmi.VA, access gmi.Prot, span *obs.
 		if c.seg == nil {
 			return p.fastZeroFill(ctx, r, pva, c, off, key, sh, access, span)
 		}
+		if pager, ok := c.seg.(gmi.Pager); ok && !p.syncPagers {
+			// Submit/complete protocol: park on the stub, a completion
+			// publishes the cluster (submit.go). Read-ahead stays on the
+			// fast path here — each neighbour key is stubbed under its
+			// own shard mutex.
+			return p.fastSubmitPull(c, off, key, sh, pager, access, span)
+		}
 		if p.readAhead > 1 {
-			// Clustered pulls touch neighbouring keys: slow path.
+			// Clustered synchronous pulls touch neighbouring keys under
+			// one lock: slow path.
 			sh.mu.Unlock()
 			p.mu.RUnlock()
 			return false, false, nil
@@ -334,7 +363,7 @@ func (p *PVM) fastPullIn(c *cache, off int64, key pageKey, sh *gmapShard, access
 	start := p.obs.Clock()
 	err := seg.PullIn(c, off, p.pageSize, access|gmi.ProtRead)
 	p.obs.Span(obs.KindPullIn, obs.OpPullIn, int64(c.id), off, start)
-	span.Mark(obs.StageUpcall)
+	span.Mark(obs.StageSubmit)
 
 	// Settle: whatever the fill did not replace is removed and woken.
 	filled := true
@@ -405,6 +434,11 @@ func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off in
 
 		case *syncStub:
 			p.waitStub(e, span)
+			if e.err != nil {
+				// A failed fill settled the stub: report the round-trip's
+				// outcome instead of resubmitting the same doomed pull.
+				return e.err
+			}
 			continue
 
 		case *cowStub:
@@ -546,6 +580,9 @@ func (p *PVM) ensureResident(c *cache, off int64, access gmi.Prot, span *obs.Fau
 			return e, nil
 		case *syncStub:
 			p.waitStub(e, span)
+			if e.err != nil {
+				return nil, e.err
+			}
 			continue
 		case *cowStub:
 			if e.src != nil && !e.src.busy {
@@ -631,6 +668,39 @@ func (p *PVM) bringIn(c *cache, off int64, access gmi.Prot, span *obs.FaultSpan)
 	p.clock.Charge(cost.EvGlobalMapOp, count)
 
 	seg := c.seg
+	if pager, ok := seg.(gmi.Pager); ok && !p.syncPagers {
+		// Submit/complete protocol from the exclusive tier: the
+		// completion installs through the FillUp machinery (no frame
+		// reservation travels with it), we just park on the primary stub
+		// with the lock released and let resolveFault re-resolve.
+		mode := access | gmi.ProtRead
+		fc := &fillCompletion{c: c, off: off, count: count, stubs: stubs}
+		req := gmi.NewPageRequest(c, off, int64(count)*p.pageSize, mode,
+			func(data []byte, granted gmi.Prot, err error) {
+				fc.data, fc.err = data, err
+				fc.mode = mode
+				if granted != gmi.ProtNone {
+					fc.mode = granted
+				}
+				p.enqueueCompletion(fc)
+			})
+		atomic.AddUint64(&p.stats.PullIns, 1)
+		atomic.AddUint64(&p.stats.FillSubmits, 1)
+		p.clock.Charge(cost.EvPullIn, 1)
+		span.Mark(obs.StageResolve)
+		p.mu.Unlock()
+		p.obs.Emit(obs.KindFillSubmit, int64(c.id), off)
+		start := p.obs.Clock()
+		pager.SubmitPull(req)
+		span.Mark(obs.StageSubmit)
+		<-stubs[0].done
+		p.obs.Span(obs.KindPullIn, obs.OpPullIn, int64(c.id), off, start)
+		span.Mark(obs.StageComplete)
+		p.mu.Lock()
+		span.Mark(obs.StageLockWait)
+		return stubs[0].err
+	}
+
 	atomic.AddUint64(&p.stats.PullIns, 1)
 	p.clock.Charge(cost.EvPullIn, 1)
 	span.Mark(obs.StageResolve)
@@ -639,7 +709,7 @@ func (p *PVM) bringIn(c *cache, off int64, access gmi.Prot, span *obs.FaultSpan)
 	err := seg.PullIn(c, off, int64(count)*p.pageSize, access|gmi.ProtRead)
 	p.obs.Span(obs.KindPullIn, obs.OpPullIn, int64(c.id), off, start)
 	p.mu.Lock()
-	span.Mark(obs.StageUpcall)
+	span.Mark(obs.StageSubmit)
 
 	// Settle whatever the fill did not replace (everything, on error).
 	firstFilled := true
@@ -709,7 +779,7 @@ func (p *PVM) breakOwnForWrite(c *cache, off int64, pg *page, span *obs.FaultSpa
 			err := seg.GetWriteAccess(c, off, p.pageSize)
 			p.obs.Span(obs.KindGetWrite, obs.OpGetWrite, int64(c.id), off, start)
 			p.mu.Lock()
-			span.Mark(obs.StageUpcall)
+			span.Mark(obs.StageSubmit)
 			pg.pin--
 			if err != nil {
 				return true, err

@@ -86,6 +86,11 @@ type syncStub struct {
 	// out, when non-nil, is the page being pushed out: copyBack finds
 	// the data here while the key is detached from normal access.
 	out *page
+	// err carries a failed fill's outcome to parked waiters. It is
+	// written (under the same locking discipline as closed) strictly
+	// before the stub settles and read only after <-done, so the channel
+	// close publishes it.
+	err error
 }
 
 func (*syncStub) isMapEntry() {}

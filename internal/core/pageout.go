@@ -49,52 +49,78 @@ func (p *PVM) reserveFrames(k int) (release func(), err error) {
 
 // evictOne makes one unit of reclaim progress: freeing a clean victim,
 // pushing out a dirty one, or assigning a swap segment to a cache that
-// needs one. Returns false when nothing can be reclaimed. p.mu held; may
-// be released around upcalls.
+// needs one. A victim whose pushOut fails is requeued at the MRU end and
+// the scan restarts, so one page with a broken backing store cannot wedge
+// reclaim while other candidates remain; the first such error is reported
+// only when a whole pass makes no progress. Returns false when nothing
+// can be reclaimed. p.mu held; may be released around upcalls.
 func (p *PVM) evictOne() (bool, error) {
-	for pg := p.lru.tail; pg != nil; pg = pg.lruPrev {
-		if pg.pin > 0 || pg.busy {
-			continue
-		}
-		c := pg.cache
-		if !pg.dirty {
-			p.moveStubsToRemote(pg)
-			p.dropPage(pg)
+	var firstErr error
+	// Each failed push moves its victim off the tail, so the number of
+	// restarts is bounded by the queue length at entry (plus churn from
+	// the released lock, hence the slack).
+	fails, limit := 0, p.lru.n+1
+	for fails <= limit {
+		restarted := false
+		for pg := p.lru.tail; pg != nil; pg = pg.lruPrev {
+			if pg.pin > 0 || pg.busy {
+				continue
+			}
+			c := pg.cache
+			if !pg.dirty {
+				p.moveStubsToRemote(pg)
+				p.dropPage(pg)
+				atomic.AddUint64(&p.stats.Evictions, 1)
+				p.obs.Emit(obs.KindEvict, int64(c.id), pg.off)
+				return true, nil
+			}
+			if c.seg == nil {
+				if p.segalloc == nil {
+					continue // nowhere to push; try another victim
+				}
+				// segmentCreate upcall: declare the unilaterally created
+				// cache to the upper layer so it can be swapped out.
+				p.mu.Unlock()
+				start := p.obs.Clock()
+				seg, err := p.segalloc.SegmentCreate(c)
+				p.obs.Span(obs.KindSegCreate, obs.OpPushOut, int64(c.id), 0, start)
+				p.mu.Lock()
+				if err != nil {
+					return false, err
+				}
+				if c.seg == nil {
+					c.seg, c.segOwned = seg, true
+				}
+				return true, nil // progress; the next pass pushes
+			}
+			if err := p.pushPage(pg); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				fails++
+				if pg.frame != nil {
+					// Still resident and dirty: requeue at MRU so the other
+					// candidates get their turn before this one is retried.
+					p.lruTouch(pg)
+				}
+				// pushPage dropped p.mu; the list may have changed under
+				// us — restart the scan from the current tail.
+				restarted = true
+				break
+			}
+			if pg.frame != nil {
+				p.moveStubsToRemote(pg)
+				p.dropPage(pg)
+			}
 			atomic.AddUint64(&p.stats.Evictions, 1)
 			p.obs.Emit(obs.KindEvict, int64(c.id), pg.off)
 			return true, nil
 		}
-		if c.seg == nil {
-			if p.segalloc == nil {
-				continue // nowhere to push; try another victim
-			}
-			// segmentCreate upcall: declare the unilaterally created
-			// cache to the upper layer so it can be swapped out.
-			p.mu.Unlock()
-			start := p.obs.Clock()
-			seg, err := p.segalloc.SegmentCreate(c)
-			p.obs.Span(obs.KindSegCreate, obs.OpPushOut, int64(c.id), 0, start)
-			p.mu.Lock()
-			if err != nil {
-				return false, err
-			}
-			if c.seg == nil {
-				c.seg, c.segOwned = seg, true
-			}
-			return true, nil // progress; the next pass pushes
+		if !restarted {
+			break
 		}
-		if err := p.pushPage(pg); err != nil {
-			return false, err
-		}
-		if pg.frame != nil {
-			p.moveStubsToRemote(pg)
-			p.dropPage(pg)
-		}
-		atomic.AddUint64(&p.stats.Evictions, 1)
-		p.obs.Emit(obs.KindEvict, int64(c.id), pg.off)
-		return true, nil
 	}
-	return false, nil
+	return false, firstErr
 }
 
 // evictBatchAsync reclaims up to max frames in one LRU pass, issuing the
@@ -176,7 +202,13 @@ func (p *PVM) evictBatchAsync(max int) (int, error) {
 			if firstErr == nil {
 				firstErr = errs[i]
 			}
-			continue // stays dirty and resident; retried next pass
+			if pg.frame != nil {
+				// Stays dirty and resident; requeue at MRU so the next
+				// pass picks other candidates instead of re-selecting a
+				// victim whose backing store keeps failing.
+				p.lruTouch(pg)
+			}
+			continue
 		}
 		if pg.frame != nil {
 			// copyBack path: the frame stayed; the content is now clean.

@@ -28,6 +28,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -74,6 +75,10 @@ type Options struct {
 	// DisableCollapse turns off the working-object collapse garbage
 	// collection (the section 4.2.5 extension), for ablation.
 	DisableCollapse bool
+	// SyncPagers forces every fill through the synchronous PullIn upcall
+	// even when a segment implements gmi.Pager, for ablation of the
+	// submit/complete protocol against the blocking baseline.
+	SyncPagers bool
 	// Tracer, when non-nil, receives trace events and latency
 	// observations from every layer (see internal/obs). The nil default
 	// costs one predictable branch per probe site and zero allocations.
@@ -123,7 +128,9 @@ type Stats struct {
 	CowBreaks     uint64 // private pages materialized by deferred copies
 	HistoryPushes uint64 // original pages preserved into history objects
 	StubBreaks    uint64 // per-page stubs resolved by copying
-	PullIns       uint64 // pullIn upcalls issued
+	PullIns       uint64 // pullIn upcalls issued (sync calls + async submissions)
+	FillSubmits   uint64 // async fill requests submitted to pagers
+	FillCompletes uint64 // pager completions processed by the completion queue
 	PushOuts      uint64 // pushOut upcalls issued
 	AsyncBatches  uint64 // concurrent pushOut batches issued by the daemon
 	Evictions     uint64 // frames reclaimed by page-out
@@ -142,16 +149,17 @@ type Stats struct {
 // gmi.MemoryManager; its caches, contexts and regions implement the
 // corresponding GMI interfaces.
 type PVM struct {
-	clock     *cost.Clock
-	mem       *phys.Memory
-	hw        mmu.MMU
-	segalloc  gmi.SegmentAllocator
-	pageSize  int64
-	pageMask  int64
-	smallMax  int64 // byte threshold for the per-page-stub copy path
-	readAhead int   // pullIn cluster size in pages
-	copyOnRef bool
-	collapse  bool
+	clock      *cost.Clock
+	mem        *phys.Memory
+	hw         mmu.MMU
+	segalloc   gmi.SegmentAllocator
+	pageSize   int64
+	pageMask   int64
+	smallMax   int64 // byte threshold for the per-page-stub copy path
+	readAhead  int   // pullIn cluster size in pages
+	copyOnRef  bool
+	collapse   bool
+	syncPagers bool // ablation: ignore gmi.Pager, always block in PullIn
 
 	// mu is the structural lock. Held exclusively (mu.Lock) it is the
 	// paper's "simple synchronization interface provided by the host
@@ -185,6 +193,17 @@ type PVM struct {
 	inFlightFrames int64
 	stats          Stats
 
+	// Completion queue for the async pager protocol (submit.go): compMu
+	// guards the FIFO and the drainer count. It is a leaf lock —
+	// enqueuers hold no PVM lock when they append (completions arrive
+	// from pager goroutines), and drainers acquire p.mu only after
+	// releasing it. Up to compMax drainers run concurrently; each
+	// completion is processed whole by one drainer.
+	compMu      sync.Mutex
+	compQ       []*fillCompletion
+	compWorkers int
+	compMax     int
+
 	// obs receives trace events and latency observations; nil when the
 	// PVM is not instrumented (every probe is nil-safe).
 	obs *obs.Tracer
@@ -196,20 +215,28 @@ var _ gmi.MemoryManager = (*PVM)(nil)
 func New(o Options) *PVM {
 	o.fill()
 	p := &PVM{
-		clock:     o.Clock,
-		segalloc:  o.SegAlloc,
-		pageSize:  int64(o.PageSize),
-		pageMask:  int64(o.PageSize) - 1,
-		smallMax:  int64(o.SmallCopyPages) * int64(o.PageSize),
-		readAhead: o.ReadAheadPages,
-		copyOnRef: o.CopyOnReference,
-		collapse:  !o.DisableCollapse,
-		caches:    make(map[*cache]struct{}),
-		contexts:  make(map[*context]struct{}),
-		obs:       o.Tracer,
+		clock:      o.Clock,
+		segalloc:   o.SegAlloc,
+		pageSize:   int64(o.PageSize),
+		pageMask:   int64(o.PageSize) - 1,
+		smallMax:   int64(o.SmallCopyPages) * int64(o.PageSize),
+		readAhead:  o.ReadAheadPages,
+		copyOnRef:  o.CopyOnReference,
+		collapse:   !o.DisableCollapse,
+		syncPagers: o.SyncPagers,
+		caches:     make(map[*cache]struct{}),
+		contexts:   make(map[*context]struct{}),
+		obs:        o.Tracer,
 	}
 	for i := range p.shards {
 		p.shards[i].m = make(map[pageKey]mapEntry)
+	}
+	// Completion drainers are CPU-bound (page copies + wakeups); scale
+	// them with the machine but keep the pool small — each one that runs
+	// dry exits immediately.
+	p.compMax = runtime.GOMAXPROCS(0)
+	if p.compMax > 8 {
+		p.compMax = 8
 	}
 	p.mem = phys.NewMemory(o.Frames, o.PageSize, o.Clock)
 	p.mem.SetTracer(o.Tracer)
@@ -281,6 +308,8 @@ func (s Stats) Delta(prev Stats) Stats {
 		HistoryPushes: s.HistoryPushes - prev.HistoryPushes,
 		StubBreaks:    s.StubBreaks - prev.StubBreaks,
 		PullIns:       s.PullIns - prev.PullIns,
+		FillSubmits:   s.FillSubmits - prev.FillSubmits,
+		FillCompletes: s.FillCompletes - prev.FillCompletes,
 		PushOuts:      s.PushOuts - prev.PushOuts,
 		AsyncBatches:  s.AsyncBatches - prev.AsyncBatches,
 		Evictions:     s.Evictions - prev.Evictions,
@@ -309,6 +338,8 @@ func (p *PVM) Stats() Stats {
 		HistoryPushes: atomic.LoadUint64(&s.HistoryPushes),
 		StubBreaks:    atomic.LoadUint64(&s.StubBreaks),
 		PullIns:       atomic.LoadUint64(&s.PullIns),
+		FillSubmits:   atomic.LoadUint64(&s.FillSubmits),
+		FillCompletes: atomic.LoadUint64(&s.FillCompletes),
 		PushOuts:      atomic.LoadUint64(&s.PushOuts),
 		AsyncBatches:  atomic.LoadUint64(&s.AsyncBatches),
 		Evictions:     atomic.LoadUint64(&s.Evictions),

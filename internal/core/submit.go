@@ -1,0 +1,395 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"chorusvm/internal/cost"
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/obs"
+)
+
+// This file is the PVM side of the asynchronous pager protocol. A fault
+// on a segment whose driver implements gmi.Pager does not block inside a
+// PullIn upcall: it installs synchronization stubs, submits one
+// gmi.PageRequest covering the whole read-ahead cluster, and parks on the
+// primary stub's channel. The driver completes the request from whatever
+// goroutine its device finishes on; the completion is enqueued here and a
+// drainer publishes the pages, settles the stubs and wakes every context
+// that faulted on them — one device round-trip serves all waiters, and
+// read-ahead pages install without any faulting thread. Each submitted
+// fill also speculates the next cluster with a second, fire-and-forget
+// request that nobody waits on, pipelining sequential reads.
+//
+// # Completion-queue ordering rules
+//
+//   - Completions are dequeued FIFO in arrival order and each one is
+//     processed whole by a single drainer goroutine. Up to p.compMax
+//     drainers run concurrently (spawned on demand, each exits when the
+//     queue runs dry), so completions for independent clusters overlap —
+//     one drainer cannot become the publication bottleneck when many
+//     devices finish at once. Concurrency across completions is safe
+//     because two completions never share a stub or a page key: a stub
+//     is installed once per key by exactly one submission, and every
+//     publish or settle is guarded by that key's shard mutex — the same
+//     argument that lets fastZeroFill run on many faulting goroutines.
+//   - Within one completion, pages publish in reverse cluster order: the
+//     primary (faulted) stub settles last, so when its waiters wake the
+//     whole cluster is already resident. No ordering is promised between
+//     completions; none is needed, since they are key-disjoint.
+//   - A drainer holds no PVM lock while dequeuing and acquires p.mu
+//     (shared or exclusive) only afterwards; enqueuers (pager goroutines)
+//     take only the compMu leaf. Neither direction can deadlock against
+//     fault or pageout paths.
+//
+// # Why publishing under RLock is sound
+//
+// The fast completion path installs pages holding p.mu.RLock plus one
+// shard mutex per key, exactly like fastZeroFill: a foreign syncStub is
+// never replaced by other RLock holders (they park on it), and every
+// exclusive-lock mutator is excluded for as long as the RLock is held, so
+// the check "is the map entry still our stub" decides ownership of the
+// key with no further coordination. The frame allocated for the page is
+// private until the shard-locked publish, and the frame-accounting
+// invariant is only checked under p.mu exclusive, which the retained
+// RLock excludes for the whole Alloc-to-publish window.
+
+// fillCompletion carries one completed (or failed) fill from a pager
+// driver to the completion drainer. stubs[i] guards the page at
+// off + i*pageSize; release, when non-nil, returns the cluster's
+// non-evicting frame reservation (its presence marks a fast-path
+// submission whose pages may publish under the shared lock).
+type fillCompletion struct {
+	c       *cache
+	off     int64
+	count   int
+	mode    gmi.Prot
+	stubs   []*syncStub
+	data    []byte
+	err     error
+	release func()
+}
+
+// enqueueCompletion appends fc to the completion queue and ensures enough
+// drainers are running: one more is spawned whenever the backlog exceeds
+// the drainers already working it, up to p.compMax. Called from pager
+// goroutines with no PVM lock held.
+func (p *PVM) enqueueCompletion(fc *fillCompletion) {
+	p.compMu.Lock()
+	p.compQ = append(p.compQ, fc)
+	spawn := p.compWorkers < p.compMax && len(p.compQ) > p.compWorkers
+	if spawn {
+		p.compWorkers++
+	}
+	p.compMu.Unlock()
+	if spawn {
+		go p.completionWorker()
+	}
+}
+
+// completionWorker drains the queue FIFO and exits when it empties. Exit
+// and enqueue both happen under compMu, so a completion enqueued
+// concurrently is either seen by a live drainer's next loop or starts a
+// fresh one.
+func (p *PVM) completionWorker() {
+	for {
+		p.compMu.Lock()
+		if len(p.compQ) == 0 {
+			p.compWorkers--
+			p.compMu.Unlock()
+			return
+		}
+		fc := p.compQ[0]
+		p.compQ = p.compQ[1:]
+		p.compMu.Unlock()
+		p.completeFill(fc)
+	}
+}
+
+// completeFill dispatches one completion: failures settle every stub with
+// the error; successful fast-path completions publish under the shared
+// lock when the cache is still in the simple state the submission
+// required (own content only, no history, no parents, no remote stub
+// readers — all identity fields stable under RLock); anything else goes
+// through the exclusive FillUp machinery.
+func (p *PVM) completeFill(fc *fillCompletion) {
+	atomic.AddUint64(&p.stats.FillCompletes, 1)
+	p.obs.Emit(obs.KindFillComplete, int64(fc.c.id), fc.off)
+	if fc.err != nil {
+		p.failFill(fc)
+		return
+	}
+	if fc.release != nil {
+		p.mu.RLock()
+		c := fc.c
+		if !c.freed && !c.destroyed && c.history == nil &&
+			len(c.parents) == 0 && len(c.remoteStubs) == 0 {
+			p.completeFillFast(fc)
+			p.mu.RUnlock()
+			fc.release()
+			return
+		}
+		p.mu.RUnlock()
+	}
+	p.completeFillSlow(fc)
+}
+
+// failFill settles every stub of a failed fill, stamping the error so the
+// parked submitter reports it; waiters that merely blocked on a stub
+// retry their fault and re-derive the outcome. Runs under RLock plus one
+// shard mutex per key — valid for stubs installed by either tier, since
+// a shard mutex guards its keys in both locking modes.
+func (p *PVM) failFill(fc *fillCompletion) {
+	if fc.release != nil {
+		fc.release()
+	}
+	p.mu.RLock()
+	for i, stub := range fc.stubs {
+		key := pageKey{fc.c, fc.off + int64(i)*p.pageSize}
+		sh := p.shardOf(key)
+		sh.mu.Lock()
+		if sh.m[key] == mapEntry(stub) {
+			delete(sh.m, key)
+			p.clock.Charge(cost.EvGlobalMapOp, 1)
+		}
+		if !stub.closed {
+			stub.err = fc.err
+		}
+		p.settleStub(stub)
+		sh.mu.Unlock()
+	}
+	p.mu.RUnlock()
+}
+
+// completeFillFast publishes a successful cluster under p.mu.RLock, one
+// shard mutex at a time, in reverse order so the primary stub settles
+// last (waiters wake to a fully resident cluster). The submission's
+// reservation guarantees the allocations; afterResident would be a no-op
+// in the state completeFill verified, so it is skipped, exactly as in
+// fastZeroFill.
+func (p *PVM) completeFillFast(fc *fillCompletion) {
+	c := fc.c
+	for i := fc.count - 1; i >= 0; i-- {
+		off := fc.off + int64(i)*p.pageSize
+		stub := fc.stubs[i]
+		key := pageKey{c, off}
+		sh := p.shardOf(key)
+		f, err := p.mem.Alloc()
+		if err != nil {
+			// Reserved frames make this unreachable; never strand waiters.
+			sh.mu.Lock()
+			if sh.m[key] == mapEntry(stub) {
+				delete(sh.m, key)
+				p.clock.Charge(cost.EvGlobalMapOp, 1)
+			}
+			if !stub.closed {
+				stub.err = err
+			}
+			p.settleStub(stub)
+			sh.mu.Unlock()
+			continue
+		}
+		chunk := fillChunk(fc.data, i, p.pageSize)
+		if int64(len(chunk)) < p.pageSize {
+			p.mem.Zero(f)
+		}
+		copy(f.Data, chunk)
+		p.clock.Charge(cost.EvBcopyPage, 1)
+		pg := &page{frame: f, off: off, granted: fc.mode}
+		sh.mu.Lock()
+		if sh.m[key] == mapEntry(stub) {
+			delete(sh.m, key)
+			p.addPage(c, pg)
+			p.settleStub(stub)
+			sh.mu.Unlock()
+		} else {
+			// The key changed hands while the fill was in flight (cache
+			// teardown, an explicit FillUp): whoever replaced the stub
+			// owns the content now.
+			p.settleStub(stub)
+			sh.mu.Unlock()
+			p.mem.Free(f)
+		}
+	}
+}
+
+// completeFillSlow installs a successful fill through the exclusive-lock
+// FillUp machinery (handles parents, history protection, remote-stub
+// rethreading, competing fills), then settles anything the fill did not
+// replace.
+func (p *PVM) completeFillSlow(fc *fillCompletion) {
+	if fc.release != nil {
+		// installFilled reserves per page itself; give the cluster
+		// reservation back first, or reserveFrames could double-count the
+		// same frames and evict needlessly.
+		fc.release()
+		fc.release = nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c := fc.c
+	var firstErr error
+	if c.freed && !c.reaping {
+		firstErr = gmi.ErrDestroyed
+	} else {
+		for i := fc.count - 1; i >= 0; i-- {
+			off := fc.off + int64(i)*p.pageSize
+			if err := p.fillPage(c, off, fillChunk(fc.data, i, p.pageSize), fc.mode); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	for i, stub := range fc.stubs {
+		key := pageKey{c, fc.off + int64(i)*p.pageSize}
+		if cur := p.gmapGet(key); cur == mapEntry(stub) {
+			p.gmapDelete(key)
+			p.clock.Charge(cost.EvGlobalMapOp, 1)
+		}
+		if !stub.closed {
+			err := firstErr
+			if err == nil {
+				err = fmt.Errorf("core: pager completion did not fill (cache %p, off %#x)", c, key.off)
+			}
+			stub.err = err
+			p.settleStub(stub)
+		}
+	}
+}
+
+// fillChunk returns the slice of data covering page i of a clustered
+// fill; short data zero-fills the remainder (the zero-fill-beyond-EOF
+// convention of FillUp).
+func fillChunk(data []byte, i int, ps int64) []byte {
+	lo := int64(i) * ps
+	if lo >= int64(len(data)) {
+		return nil
+	}
+	return data[lo:min64(lo+ps, int64(len(data)))]
+}
+
+// installStubRun installs fresh syncStubs, each with its own non-evicting
+// frame reservation, over up to max contiguous pages starting at off. The
+// run stops at the first page that is already occupied, covered by a
+// parent fragment, or out of reservations. Called with p.mu.RLock held;
+// each stub is installed under its own shard mutex, one at a time.
+func (p *PVM) installStubRun(c *cache, off int64, max int) ([]*syncStub, []func()) {
+	var stubs []*syncStub
+	var releases []func()
+	for len(stubs) < max {
+		o := off + int64(len(stubs))*p.pageSize
+		if c.findParent(o) != nil {
+			break
+		}
+		rel, ok := p.tryReserveFrames(1)
+		if !ok {
+			break
+		}
+		k := pageKey{c, o}
+		sh := p.shardOf(k)
+		sh.mu.Lock()
+		if sh.m[k] != nil {
+			sh.mu.Unlock()
+			rel()
+			break
+		}
+		s := &syncStub{done: make(chan struct{})}
+		sh.m[k] = s
+		p.clock.Charge(cost.EvGlobalMapOp, 1)
+		sh.mu.Unlock()
+		stubs = append(stubs, s)
+		releases = append(releases, rel)
+	}
+	return stubs, releases
+}
+
+// newFillRequest builds the PageRequest for a stub run: its completion
+// callback stamps the fillCompletion and hands it to the queue, from
+// whatever goroutine the driver finishes on.
+func (p *PVM) newFillRequest(c *cache, off int64, mode gmi.Prot, stubs []*syncStub, releases []func()) *gmi.PageRequest {
+	fc := &fillCompletion{c: c, off: off, count: len(stubs), stubs: stubs,
+		release: func() {
+			for _, r := range releases {
+				r()
+			}
+		}}
+	return gmi.NewPageRequest(c, off, int64(len(stubs))*p.pageSize, mode,
+		func(data []byte, granted gmi.Prot, err error) {
+			fc.data, fc.err = data, err
+			fc.mode = mode
+			if granted != gmi.ProtNone {
+				fc.mode = granted
+			}
+			p.enqueueCompletion(fc)
+		})
+}
+
+// fastSubmitPull is the fast path's submit/complete fill: entered from
+// fastFaultOnce holding p.mu.RLock and the primary key's shard mutex,
+// with the key empty and the cache in the simple state (own content only).
+// It installs stubs over the read-ahead cluster, submits one PageRequest,
+// releases the RLock and parks on the primary stub. On success the caller
+// retries the fast path, which finds the published page and maps it.
+//
+// With clustering enabled it also submits one speculative request for the
+// next cluster, fire-and-forget: no context parks on those stubs, so the
+// completion installs the pages without any faulting thread, and a
+// sequential reader overlaps the next device round-trip with consuming
+// the current cluster. The synchronous PullIn upcall cannot pipeline this
+// way without dedicating a blocked thread to every speculation — it is
+// the capability the submit/complete protocol buys.
+func (p *PVM) fastSubmitPull(c *cache, off int64, key pageKey, sh *gmapShard, pager gmi.Pager, access gmi.Prot, span *obs.FaultSpan) (bool, bool, error) {
+	release, ok := p.tryReserveFrames(1)
+	if !ok {
+		// Needs eviction: slow path.
+		sh.mu.Unlock()
+		p.mu.RUnlock()
+		return false, false, nil
+	}
+	stub := &syncStub{done: make(chan struct{})}
+	sh.m[key] = stub
+	p.clock.Charge(cost.EvGlobalMapOp, 1)
+	sh.mu.Unlock()
+
+	stubs := []*syncStub{stub}
+	releases := []func(){release}
+	more, moreRel := p.installStubRun(c, off+p.pageSize, p.readAhead-1)
+	stubs = append(stubs, more...)
+	releases = append(releases, moreRel...)
+
+	count := len(stubs)
+	mode := access | gmi.ProtRead
+	req := p.newFillRequest(c, off, mode, stubs, releases)
+
+	var spec *gmi.PageRequest
+	var specOff int64
+	if p.readAhead > 1 {
+		specOff = off + int64(count)*p.pageSize
+		if sstubs, srel := p.installStubRun(c, specOff, p.readAhead); len(sstubs) > 0 {
+			spec = p.newFillRequest(c, specOff, gmi.ProtRead, sstubs, srel)
+		}
+	}
+	p.mu.RUnlock()
+
+	atomic.AddUint64(&p.stats.PullIns, 1)
+	atomic.AddUint64(&p.stats.FillSubmits, 1)
+	p.clock.Charge(cost.EvPullIn, 1)
+	span.Mark(obs.StageResolve)
+	p.obs.Emit(obs.KindFillSubmit, int64(c.id), off)
+	start := p.obs.Clock()
+	pager.SubmitPull(req)
+	if spec != nil {
+		atomic.AddUint64(&p.stats.PullIns, 1)
+		atomic.AddUint64(&p.stats.FillSubmits, 1)
+		p.clock.Charge(cost.EvPullIn, 1)
+		p.obs.Emit(obs.KindFillSubmit, int64(c.id), specOff)
+		pager.SubmitPull(spec)
+	}
+	span.Mark(obs.StageSubmit)
+	<-stub.done
+	p.obs.Span(obs.KindPullIn, obs.OpPullIn, int64(c.id), off, start)
+	span.Mark(obs.StageComplete)
+	if stub.err != nil {
+		return true, false, stub.err
+	}
+	return false, true, nil
+}

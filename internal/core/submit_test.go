@@ -1,0 +1,332 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/leakcheck"
+	"chorusvm/internal/seg"
+)
+
+// manualPager wraps a real segment driver but holds every SubmitPull
+// request for the test to complete by hand, so the test controls exactly
+// when the device "finishes" and how many submissions happened.
+type manualPager struct {
+	gmi.Pager
+	submits atomic.Int64
+
+	mu   sync.Mutex
+	reqs []*gmi.PageRequest
+	// arrived is signalled (non-blockingly) on every submission.
+	arrived chan struct{}
+}
+
+func newManualPager(inner gmi.Pager) *manualPager {
+	return &manualPager{Pager: inner, arrived: make(chan struct{}, 16)}
+}
+
+func (m *manualPager) SubmitPull(r *gmi.PageRequest) {
+	m.submits.Add(1)
+	m.mu.Lock()
+	m.reqs = append(m.reqs, r)
+	m.mu.Unlock()
+	select {
+	case m.arrived <- struct{}{}:
+	default:
+	}
+}
+
+func (m *manualPager) take() []*gmi.PageRequest {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.reqs
+	m.reqs = nil
+	return rs
+}
+
+// slowSegment embeds the gmi.Segment interface (not *seg.Segment), so its
+// method set has no SubmitPull and the PVM takes the synchronous PullIn
+// path — the pre-pager baseline, with a wall-clock device wait.
+type slowSegment struct {
+	gmi.Segment
+	delay time.Duration
+}
+
+func (s *slowSegment) PullIn(c gmi.Cache, off, size int64, mode gmi.Prot) error {
+	time.Sleep(s.delay)
+	return s.Segment.PullIn(c, off, size, mode)
+}
+
+// TestAsyncSingleSubmissionManyFaulters is the submit/complete protocol's
+// core guarantee: N contexts faulting the same non-resident page produce
+// exactly one SubmitPull, and the one completion wakes every parked
+// waiter with the published bytes.
+func TestAsyncSingleSubmissionManyFaulters(t *testing.T) {
+	leakcheck.Check(t)
+	p, _ := newTestPVM(t, 64)
+	inner := seg.NewSegment("file", pg, p.Clock())
+	want := pattern(0x5A, pg)
+	if err := inner.Store().WriteAt(0, want); err != nil {
+		t.Fatal(err)
+	}
+	mp := newManualPager(inner)
+	c := p.CacheCreate(mp)
+
+	const n = 12
+	ctxs := make([]gmi.Context, n)
+	for i := range ctxs {
+		ctx, err := p.ContextCreate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustRegion(t, ctx, base, pg, gmi.ProtRW, c, 0)
+		ctxs[i] = ctx
+	}
+
+	before := p.Stats()
+	got := make([][]byte, n)
+	errs := make([]error, n)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range ctxs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			buf := make([]byte, 64)
+			errs[i] = ctxs[i].Read(base, buf)
+			got[i] = buf
+		}(i)
+	}
+	close(start)
+
+	// One faulter wins the stub race and submits; everyone else parks on
+	// the stub. Give the stragglers a moment to arrive, then complete.
+	select {
+	case <-mp.arrived:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no SubmitPull arrived")
+	}
+	time.Sleep(20 * time.Millisecond)
+	reqs := mp.take()
+	if len(reqs) != 1 {
+		t.Fatalf("got %d submissions before completion, want 1", len(reqs))
+	}
+	if !reqs[0].Complete(want, gmi.ProtRWX, nil) {
+		t.Fatal("Complete reported the request already completed")
+	}
+	wg.Wait()
+
+	for i := range ctxs {
+		if errs[i] != nil {
+			t.Fatalf("faulter %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(got[i], want[:64]) {
+			t.Fatalf("faulter %d read wrong bytes: %v", i, got[i][:8])
+		}
+	}
+	d := p.Stats().Delta(before)
+	if s := mp.submits.Load(); s != 1 {
+		t.Fatalf("SubmitPull called %d times, want exactly 1", s)
+	}
+	if d.FillSubmits != 1 || d.FillCompletes != 1 {
+		t.Fatalf("FillSubmits=%d FillCompletes=%d, want 1/1", d.FillSubmits, d.FillCompletes)
+	}
+	// Satellite guarantee: one logical fault per faulting context, no
+	// re-counting when a waiter loses the stub race and retries.
+	if d.Faults != n {
+		t.Fatalf("Faults=%d, want exactly %d (one per racing context)", d.Faults, n)
+	}
+	check(t, p)
+}
+
+// TestAsyncFailedFillWakesAllWaiters: a completion carrying an error must
+// settle every stub, and every parked faulter must see the error rather
+// than hang or crash.
+func TestAsyncFailedFillWakesAllWaiters(t *testing.T) {
+	leakcheck.Check(t)
+	p, _ := newTestPVM(t, 64)
+	inner := seg.NewSegment("file", pg, p.Clock())
+	mp := newManualPager(inner)
+	c := p.CacheCreate(mp)
+
+	const n = 8
+	errsCh := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		ctx, err := p.ContextCreate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustRegion(t, ctx, base, pg, gmi.ProtRW, c, 0)
+		wg.Add(1)
+		go func(ctx gmi.Context) {
+			defer wg.Done()
+			errsCh <- ctx.Read(base, make([]byte, 8))
+		}(ctx)
+	}
+	select {
+	case <-mp.arrived:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no SubmitPull arrived")
+	}
+	time.Sleep(10 * time.Millisecond)
+	reqs := mp.take()
+	if len(reqs) != 1 {
+		t.Fatalf("got %d submissions, want 1", len(reqs))
+	}
+	reqs[0].Complete(nil, gmi.ProtNone, gmi.ErrIO)
+	wg.Wait()
+	close(errsCh)
+	for err := range errsCh {
+		if !errors.Is(err, gmi.ErrIO) {
+			t.Fatalf("faulter error = %v, want ErrIO", err)
+		}
+	}
+	// The failed fill must leave the page absent, so the next access
+	// resubmits and can succeed.
+	want := pattern(0x77, pg)
+	if err := inner.Store().WriteAt(0, want); err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := p.ContextCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRegion(t, ctx, base, pg, gmi.ProtRW, c, 0)
+	done := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 32)
+		if err := ctx.Read(base, buf); err != nil {
+			t.Errorf("retry after failed fill: %v", err)
+		}
+		done <- buf
+	}()
+	select {
+	case <-mp.arrived:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no resubmission after failed fill")
+	}
+	reqs = mp.take()
+	if len(reqs) != 1 {
+		t.Fatalf("got %d resubmissions, want 1", len(reqs))
+	}
+	reqs[0].Complete(want, gmi.ProtRWX, nil)
+	if got := <-done; !bytes.Equal(got, want[:32]) {
+		t.Fatalf("retry read wrong bytes: %v", got[:8])
+	}
+	check(t, p)
+}
+
+// TestAsyncReadaheadInstallsWithoutFaulter: with clustering enabled, one
+// fault submits a request covering its cluster plus one speculative
+// request for the next cluster. The completions publish the neighbour and
+// speculative pages with no thread ever faulting on them — the primary
+// stub settles last, so by the time the faulter's read returns its whole
+// cluster is resident, and the following cluster arrives on its own.
+// Reading all eight pages therefore costs exactly two device round-trips,
+// both issued by the single fault on page 0.
+func TestAsyncReadaheadInstallsWithoutFaulter(t *testing.T) {
+	leakcheck.Check(t)
+	p, _ := newTestPVM(t, 64, func(o *Options) { o.ReadAheadPages = 4 })
+	sg := seg.NewSegment("file", pg, p.Clock())
+	want := pattern(0xC3, 8*pg)
+	if err := sg.Store().WriteAt(0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := sg.Store().Sync(); err != nil {
+		t.Fatal(err)
+	}
+	c := p.CacheCreate(sg)
+	ctx, err := p.ContextCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRegion(t, ctx, base, 8*pg, gmi.ProtRW, c, 0)
+
+	before := p.Stats()
+	got := mustRead(t, ctx, base, 64)
+	if !bytes.Equal(got, want[:64]) {
+		t.Fatalf("primary page wrong bytes: %v", got[:8])
+	}
+	d := p.Stats().Delta(before)
+	if d.FillSubmits != 2 {
+		t.Fatalf("FillSubmits=%d, want 2 (waited cluster + speculative next)", d.FillSubmits)
+	}
+	// Pages 1-3 are already resident; pages 4-7 are resident or in
+	// flight, and a read that meets the in-flight stub parks on it — no
+	// path below issues another pull.
+	for i := 1; i < 8; i++ {
+		got := mustRead(t, ctx, base+gmi.VA(i*pg), 64)
+		if !bytes.Equal(got, want[i*pg:i*pg+64]) {
+			t.Fatalf("readahead page %d wrong bytes: %v", i, got[:8])
+		}
+	}
+	d = p.Stats().Delta(before)
+	if d.PullIns != 2 || d.FillSubmits != 2 {
+		t.Fatalf("PullIns=%d FillSubmits=%d after touching both clusters, want 2/2",
+			d.PullIns, d.FillSubmits)
+	}
+	if got := sg.PullIns(); got != 2 {
+		t.Fatalf("segment served %d pullIns, want 2", got)
+	}
+	check(t, p)
+}
+
+// TestFaultCountExactOnSyncPath covers the stat fix on the synchronous
+// upcall path: a waiter that loses the stub race, blocks, and retries
+// used to re-increment Stats.Faults on every pass through the access
+// loop. N racing contexts are exactly N logical faults.
+func TestFaultCountExactOnSyncPath(t *testing.T) {
+	leakcheck.Check(t)
+	p, _ := newTestPVM(t, 64)
+	inner := seg.NewSegment("file", pg, p.Clock())
+	want := pattern(0x42, pg)
+	if err := inner.Store().WriteAt(0, want); err != nil {
+		t.Fatal(err)
+	}
+	sg := &slowSegment{Segment: inner, delay: 10 * time.Millisecond}
+	c := p.CacheCreate(sg)
+
+	const n = 8
+	ctxs := make([]gmi.Context, n)
+	for i := range ctxs {
+		ctx, err := p.ContextCreate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustRegion(t, ctx, base, pg, gmi.ProtRW, c, 0)
+		ctxs[i] = ctx
+	}
+	before := p.Stats()
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range ctxs {
+		wg.Add(1)
+		go func(ctx gmi.Context) {
+			defer wg.Done()
+			<-start
+			buf := make([]byte, 16)
+			if err := ctx.Read(base, buf); err != nil {
+				t.Errorf("Read: %v", err)
+			} else if !bytes.Equal(buf, want[:16]) {
+				t.Errorf("wrong bytes: %v", buf[:8])
+			}
+		}(ctxs[i])
+	}
+	close(start)
+	wg.Wait()
+	d := p.Stats().Delta(before)
+	if d.Faults != n {
+		t.Fatalf("Faults=%d, want exactly %d (stub-race retries must not re-count)", d.Faults, n)
+	}
+	if d.PullIns != 1 {
+		t.Fatalf("PullIns=%d, want 1", d.PullIns)
+	}
+	check(t, p)
+}

@@ -1,0 +1,76 @@
+package gmi
+
+import "sync/atomic"
+
+// PageRequest is one asynchronous fill request flowing from a memory
+// manager down to a pager driver. The manager builds it with
+// NewPageRequest, hands it to Pager.SubmitPull and parks the faulting
+// context; the driver fills the bytes on whatever goroutine its device
+// completes on and calls Complete exactly once. Complete is idempotent
+// and race-safe: the first caller wins, later calls are dropped, so a
+// driver may wire both a success path and a timeout/cancel path to the
+// same request without coordinating them.
+type PageRequest struct {
+	// Cache is the cache the fill is destined for, same as the first
+	// parameter of Segment.PullIn.
+	Cache Cache
+	// Off and Size delimit the requested run of bytes (page-aligned,
+	// Size a multiple of the page size; more than one page when the
+	// manager clusters read-ahead into the request).
+	Off, Size int64
+	// Mode is the access the faulting context needs, as in PullIn. The
+	// driver may grant more (via the granted argument of Complete) but
+	// never less.
+	Mode Prot
+
+	done     atomic.Bool
+	complete func(data []byte, granted Prot, err error)
+}
+
+// NewPageRequest builds a request whose completion invokes fn exactly
+// once. fn runs on the completing goroutine — drivers call Complete from
+// device workers — so it must not block for long and must not assume any
+// manager lock is held.
+func NewPageRequest(c Cache, off, size int64, mode Prot, fn func(data []byte, granted Prot, err error)) *PageRequest {
+	return &PageRequest{Cache: c, Off: off, Size: size, Mode: mode, complete: fn}
+}
+
+// Complete delivers the outcome of the fill. On success data holds the
+// bytes for [Off, Off+Size) — short data is zero-extended by the manager,
+// matching the zero-fill-beyond-EOF convention of FillUp — and granted is
+// the protection actually granted (ProtNone means "use the requested
+// mode"). On failure err is non-nil and data is ignored. Only the first
+// call has any effect; Complete reports whether this call was the one
+// that completed the request.
+func (r *PageRequest) Complete(data []byte, granted Prot, err error) bool {
+	if !r.done.CompareAndSwap(false, true) {
+		return false
+	}
+	r.complete(data, granted, err)
+	return true
+}
+
+// Done reports whether the request has already been completed.
+func (r *PageRequest) Done() bool { return r.done.Load() }
+
+// Pager is the asynchronous mapper protocol: a segment that can accept
+// fill requests and complete them later, from its own goroutines, instead
+// of blocking the faulting context inside PullIn. Managers probe for it
+// with a type assertion — any Segment that does not implement Pager is
+// driven through the synchronous PullIn path exactly as before, so
+// wrappers that only forward the Segment interface (fault injectors,
+// decorators) transparently opt their segment out of the async path.
+//
+// Contract:
+//   - SubmitPull must not block on the device; it queues the request and
+//     returns. Quick validation (and immediate Complete on malformed
+//     requests) is fine.
+//   - Every submitted request must eventually be Completed, even on
+//     driver shutdown — a lost completion parks faulting contexts
+//     forever.
+//   - Completions may be delivered from any goroutine and in any order
+//     relative to submission.
+type Pager interface {
+	Segment
+	SubmitPull(r *PageRequest)
+}

@@ -1,0 +1,51 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// helper gives the spawned goroutine a module frame so count sees it.
+//
+//go:noinline
+func helper(stop chan struct{}) { <-stop }
+
+func TestCountSeesModuleGoroutines(t *testing.T) {
+	before, _ := count()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		helper(stop)
+	}()
+	// The new goroutine parks inside helper, a module frame; wait until
+	// the dump shows it there and the count includes it.
+	dl := time.Now().Add(2 * time.Second)
+	for {
+		cur, dump := count()
+		if cur >= before+1 && strings.Contains(string(dump), "leakcheck.helper") {
+			break
+		}
+		if time.Now().After(dl) {
+			t.Fatalf("count never saw the parked helper (%d -> %d):\n%s", before, cur, dump)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+}
+
+func TestCheckPassesWhenBalanced(t *testing.T) {
+	Check(t)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		helper(stop)
+	}()
+	// Wind the goroutine down before the test ends; Check's cleanup then
+	// observes the baseline count again.
+	close(stop)
+	<-done
+}

@@ -310,7 +310,29 @@ type mapperSegment struct {
 	cap Capability
 }
 
-var _ gmi.Segment = (*mapperSegment)(nil)
+var (
+	_ gmi.Segment = (*mapperSegment)(nil)
+	_ gmi.Pager   = (*mapperSegment)(nil)
+)
+
+// SubmitPull implements gmi.Pager: the IPC round-trip to the mapper moves
+// onto its own goroutine, so the faulting thread parks on the page stub
+// instead of inside Port.Call, and one reply completes every context
+// waiting on the cluster.
+func (ms *mapperSegment) SubmitPull(r *gmi.PageRequest) {
+	off, size := r.Off, r.Size
+	go func() {
+		resp, err := ms.cap.Port.Call(encodeReq(mapOpRead, ms.cap.Key, off, size, nil))
+		if err == nil && int64(len(resp)) != size {
+			err = fmt.Errorf("%w: short read (%d of %d bytes)", ErrMapperFailed, len(resp), size)
+		}
+		if err != nil {
+			r.Complete(nil, gmi.ProtNone, err)
+			return
+		}
+		r.Complete(resp, gmi.ProtRWX, nil)
+	}()
+}
 
 // PullIn implements gmi.Segment.
 func (ms *mapperSegment) PullIn(c gmi.Cache, off, size int64, mode gmi.Prot) error {

@@ -150,7 +150,7 @@ func (s Snapshot) FaultBreakdown() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fault-service breakdown (%d faults):\n", s.Ops[OpFault].Count)
 	fmt.Fprintf(&b, histHeader, "stage", "count", "mean", "p50", "p95", "p99")
-	for _, op := range []Op{OpFault, OpLockWait, OpResolve, OpUpcall, OpContent} {
+	for _, op := range []Op{OpFault, OpLockWait, OpResolve, OpSubmit, OpComplete, OpContent} {
 		histRow(&b, op.String(), s.Ops[op])
 	}
 	return b.String()

@@ -8,7 +8,9 @@
 // played for the paper (section 5.2): the lens through which the cost of
 // every memory-management operation is seen. The fault path in particular
 // is broken down into the stages the paper's Tables 6/7 derive costs for:
-// lock acquisition, resolution work under the locks, mapper upcalls, and
+// lock acquisition, resolution work under the locks, the submit and
+// complete halves of the mapper protocol (issuing a fill to the pager
+// versus waiting for its completion to publish the page), and
 // page-content work (bzero/bcopy).
 //
 // Design rules:
@@ -62,6 +64,8 @@ const (
 	KindFrameZero                   // phys: background zeroer pre-zeroed a frame (arg1 = frame)
 	KindFramePoolHit                // phys: AllocZeroed served from the pre-zeroed pool
 	KindFramePoolMiss               // phys: AllocZeroed fell back to a synchronous bzero
+	KindFillSubmit                  // core: async fill request submitted to a pager
+	KindFillComplete                // core: pager completion published pages + settled stubs
 	NumKinds
 )
 
@@ -71,7 +75,7 @@ var kindNames = [NumKinds]string{
 	"getwrite", "segcreate", "segpull", "segpush", "ipcsend", "ipcrecv",
 	"copy", "move", "dsminvalidate", "dsmsync", "storeread", "storewrite",
 	"storecompress", "storeretry", "framezero", "framepoolhit",
-	"framepoolmiss",
+	"framepoolmiss", "fillsubmit", "fillcomplete",
 }
 
 func (k Kind) String() string {
@@ -84,13 +88,14 @@ func (k Kind) String() string {
 // Op identifies a latency histogram.
 type Op uint8
 
-// Histogram operations. The first five are the fault-service breakdown:
-// total plus the four stages every fault's time is attributed to.
+// Histogram operations. The first six are the fault-service breakdown:
+// total plus the five stages every fault's time is attributed to.
 const (
 	OpFault         Op = iota // whole fault, entry to return
 	OpLockWait                // waiting for p.mu / shard mutexes / in-transit fragments
 	OpResolve                 // resolution work under the locks (map lookups, bookkeeping)
-	OpUpcall                  // mapper upcalls issued while servicing the fault
+	OpSubmit                  // issuing fill/write requests to the mapper (sync upcalls land here whole)
+	OpComplete                // parked on a pager completion (device wait + publish)
 	OpContent                 // page-content work (bzero of fresh frames, bcopy of originals)
 	OpPullIn                  // pullIn upcall latency (MM side, any caller)
 	OpPushOut                 // pushOut upcall latency (MM side)
@@ -112,8 +117,8 @@ const (
 )
 
 var opNames = [NumOps]string{
-	"fault", "fault.lockwait", "fault.resolve", "fault.upcall",
-	"fault.content", "pullin", "pushout", "getwrite", "seg.pull",
+	"fault", "fault.lockwait", "fault.resolve", "fault.submit",
+	"fault.complete", "fault.content", "pullin", "pushout", "getwrite", "seg.pull",
 	"seg.push", "ipc.send", "ipc.recv", "copy", "move",
 	"dsm.invalidate", "dsm.sync", "store.read", "store.write",
 	"store.compress", "store.retry", "frame.zero",
@@ -134,13 +139,14 @@ type Stage uint8
 const (
 	StageLockWait Stage = iota // lock and in-transit-fragment waits
 	StageResolve               // work under the locks
-	StageUpcall                // mapper upcalls (includes lock reacquisition after)
+	StageSubmit                // issuing mapper requests (a sync upcall is attributed here whole)
+	StageComplete              // parked on a pager completion (device wait through wakeup)
 	StageContent               // page zeroing / copying
 	NumStages
 )
 
 // stageOps maps each stage to its histogram.
-var stageOps = [NumStages]Op{OpLockWait, OpResolve, OpUpcall, OpContent}
+var stageOps = [NumStages]Op{OpLockWait, OpResolve, OpSubmit, OpComplete, OpContent}
 
 // Event is one decoded trace event. TS and Dur are nanoseconds; TS is
 // measured from the tracer's creation. Stages is populated for KindFault

@@ -45,7 +45,7 @@ func TestNilTracerIsInert(t *testing.T) {
 	span.Mark(StageLockWait)
 	span.End(1, 2)
 	var nilSpan *FaultSpan
-	nilSpan.Mark(StageUpcall) // shared helpers outside a fault pass nil
+	nilSpan.Mark(StageSubmit) // shared helpers outside a fault pass nil
 	nilSpan.End(0, 0)
 }
 
@@ -119,7 +119,7 @@ func TestFaultSpanStagesAndIdempotentEnd(t *testing.T) {
 	time.Sleep(200 * time.Microsecond)
 	span.Mark(StageLockWait)
 	time.Sleep(200 * time.Microsecond)
-	span.Mark(StageUpcall)
+	span.Mark(StageSubmit)
 	span.End(0x1000, 0)
 	span.End(0x1000, 0) // second End must be a no-op
 
@@ -138,8 +138,8 @@ func TestFaultSpanStagesAndIdempotentEnd(t *testing.T) {
 	if e.Stages[StageLockWait] < int64(100*time.Microsecond) {
 		t.Fatalf("lockwait stage too small: %v", e.Stages)
 	}
-	if e.Stages[StageUpcall] < int64(100*time.Microsecond) {
-		t.Fatalf("upcall stage too small: %v", e.Stages)
+	if e.Stages[StageSubmit] < int64(100*time.Microsecond) {
+		t.Fatalf("submit stage too small: %v", e.Stages)
 	}
 	// Every nanosecond of the fault is attributed to exactly one stage.
 	var sum int64
@@ -205,7 +205,7 @@ func TestSat32Saturation(t *testing.T) {
 	// ring encoding saturates rather than wrapping into a garbage value.
 	huge := int64(10 * time.Second)
 	tr.ring.put(Event{TS: 1, Dur: huge, Kind: KindFault,
-		Stages: [NumStages]int64{huge, 5, 0, 3}})
+		Stages: [NumStages]int64{huge, 5, 0, 3, 9}})
 	evs := tr.Events()
 	if len(evs) != 1 {
 		t.Fatalf("got %d events", len(evs))
@@ -213,7 +213,7 @@ func TestSat32Saturation(t *testing.T) {
 	if got := evs[0].Stages[0]; got != (1<<32)-1 {
 		t.Fatalf("stage not saturated: %d", got)
 	}
-	if evs[0].Stages[1] != 5 || evs[0].Stages[3] != 3 {
+	if evs[0].Stages[1] != 5 || evs[0].Stages[3] != 3 || evs[0].Stages[4] != 9 {
 		t.Fatalf("stage packing corrupted neighbours: %v", evs[0].Stages)
 	}
 	if evs[0].Dur != huge {
@@ -277,7 +277,8 @@ func TestSnapshotRendering(t *testing.T) {
 	}
 	fb := s.FaultBreakdown()
 	for _, want := range []string{"fault-service breakdown (1 faults)",
-		"fault.lockwait", "fault.resolve", "fault.upcall", "fault.content"} {
+		"fault.lockwait", "fault.resolve", "fault.submit", "fault.complete",
+		"fault.content"} {
 		if !strings.Contains(fb, want) {
 			t.Fatalf("FaultBreakdown() missing %q:\n%s", want, fb)
 		}

@@ -26,7 +26,7 @@ func TestConcurrentWritersAndReaders(t *testing.T) {
 			for i := 0; i < perG; i++ {
 				span := tr.FaultBegin()
 				span.Mark(StageLockWait)
-				span.Mark(StageUpcall)
+				span.Mark(StageSubmit)
 				span.End(id, int64(i))
 				tr.Emit(KindEvict, id, int64(i))
 				tr.Span(KindCopy, OpCopy, id, int64(i), tr.Clock())

@@ -27,12 +27,12 @@ const (
 // slot is one published event, flattened to atomic words:
 //
 //	w0 TS  w1 Dur  w2 Kind  w3 Arg1  w4 Arg2
-//	w5 stages[0]<<32|stages[1]  w6 stages[2]<<32|stages[3]
+//	w5 stages[0]<<32|stages[1]  w6 stages[2]<<32|stages[3]  w7 stages[4]
 //
 // Stage values saturate at ~4.29s each (uint32 nanoseconds).
 type slot struct {
 	seq atomic.Uint64 // 0 while being written, else slot index + 1
-	w   [7]atomic.Int64
+	w   [8]atomic.Int64
 }
 
 type stripe struct {
@@ -94,6 +94,7 @@ func (r *ring) put(e Event) {
 	s.w[4].Store(e.Arg2)
 	s.w[5].Store(int64(sat32(e.Stages[0])<<32 | sat32(e.Stages[1])))
 	s.w[6].Store(int64(sat32(e.Stages[2])<<32 | sat32(e.Stages[3])))
+	s.w[7].Store(int64(sat32(e.Stages[4])))
 	s.seq.Store(idx + 1)
 }
 
@@ -125,6 +126,7 @@ func (r *ring) events() []Event {
 			e.Stages[1] = int64(p01 & 0xFFFFFFFF)
 			e.Stages[2] = int64(p23 >> 32)
 			e.Stages[3] = int64(p23 & 0xFFFFFFFF)
+			e.Stages[4] = int64(uint64(s.w[7].Load()) & 0xFFFFFFFF)
 			if s.seq.Load() != idx+1 {
 				continue
 			}

@@ -44,10 +44,11 @@ func WriteText(w io.Writer, evs []Event) error {
 		}
 		fmt.Fprintf(bw, " arg1=%#x arg2=%#x", e.Arg1, e.Arg2)
 		if e.Kind == KindFault {
-			fmt.Fprintf(bw, " lockwait=%s resolve=%s upcall=%s content=%s",
+			fmt.Fprintf(bw, " lockwait=%s resolve=%s submit=%s complete=%s content=%s",
 				fmtDur(time.Duration(e.Stages[StageLockWait])),
 				fmtDur(time.Duration(e.Stages[StageResolve])),
-				fmtDur(time.Duration(e.Stages[StageUpcall])),
+				fmtDur(time.Duration(e.Stages[StageSubmit])),
+				fmtDur(time.Duration(e.Stages[StageComplete])),
 				fmtDur(time.Duration(e.Stages[StageContent])))
 		}
 		fmt.Fprintln(bw)
@@ -76,7 +77,8 @@ func WriteJSONL(w io.Writer, evs []Event) error {
 			je.Stages = map[string]int64{
 				"lockwait": e.Stages[StageLockWait],
 				"resolve":  e.Stages[StageResolve],
-				"upcall":   e.Stages[StageUpcall],
+				"submit":   e.Stages[StageSubmit],
+				"complete": e.Stages[StageComplete],
 				"content":  e.Stages[StageContent],
 			}
 		}
@@ -125,7 +127,7 @@ func WriteChrome(w io.Writer, evs []Event) error {
 		return id
 	}
 	us := func(ns int64) float64 { return float64(ns) / 1e3 }
-	stageNames := [NumStages]string{"lockwait", "resolve", "upcall", "content"}
+	stageNames := [NumStages]string{"lockwait", "resolve", "submit", "complete", "content"}
 	for _, e := range evs {
 		dur := e.Dur
 		if dur <= 0 {

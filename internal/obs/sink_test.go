@@ -14,9 +14,9 @@ func sampleEvents() []Event {
 	ms := int64(time.Millisecond)
 	return []Event{
 		{TS: 1 * ms, Dur: 4 * ms, Kind: KindFault, Arg1: 0x10000, Arg2: 0,
-			Stages: [NumStages]int64{ms, 2 * ms, 0, ms}},
+			Stages: [NumStages]int64{ms, 2 * ms, 0, 0, ms}},
 		{TS: 2 * ms, Dur: 2 * ms, Kind: KindFault, Arg1: 0x20000, Arg2: 0,
-			Stages: [NumStages]int64{0, 2 * ms, 0, 0}},
+			Stages: [NumStages]int64{0, 2 * ms, 0, 0, 0}},
 		{TS: 6 * ms, Kind: KindEvict, Arg1: 3, Arg2: 0x4000},
 	}
 }
@@ -132,7 +132,7 @@ func TestWriteChrome(t *testing.T) {
 		case "fault":
 			faults++
 			byTID[s.TID] = append(byTID[s.TID], span{s.TS, s.TS + s.Dur})
-		case "lockwait", "resolve", "upcall", "content":
+		case "lockwait", "resolve", "submit", "complete", "content":
 			stageSlices++
 		}
 	}

@@ -73,6 +73,17 @@ func (s *Store) ReadAt(off int64, buf []byte) error {
 	return err
 }
 
+// ReadAsync hands a read to the engine's worker pool and invokes fn with
+// the result from a worker goroutine. The simulated device cost is
+// charged at submission, like ReadAt; the engine owns the transient-error
+// retries for async reads.
+func (s *Store) ReadAsync(off int64, size int, fn func(data []byte, err error)) {
+	ps := int64(s.pageSize)
+	s.clock.Charge(cost.EvDiskSeek, 1)
+	s.clock.Charge(cost.EvDiskRead, int((int64(size)+ps-1)/ps))
+	s.eng.ReadAsync(off, size, fn)
+}
+
 // DebugWriteHook, when set, observes every store write (test diagnostics).
 var DebugWriteHook func(s *Store, off int64, data []byte)
 
@@ -131,7 +142,10 @@ type Segment struct {
 	tr *obs.Tracer
 }
 
-var _ gmi.Segment = (*Segment)(nil)
+var (
+	_ gmi.Segment = (*Segment)(nil)
+	_ gmi.Pager   = (*Segment)(nil)
+)
 
 // NewSegment creates a mapper over its own fresh in-memory store.
 func NewSegment(name string, pageSize int, clock *cost.Clock) *Segment {
@@ -198,6 +212,30 @@ func (s *Segment) PullIn(c gmi.Cache, off, size int64, mode gmi.Prot) error {
 	err := c.FillUp(off, buf, grant)
 	s.tr.Span(obs.KindSegPull, obs.OpSegPull, off, size, start)
 	return err
+}
+
+// SubmitPull implements gmi.Pager: the pullIn request goes to the store
+// engine's worker pool and the completion fires from whatever worker the
+// read finishes on — no mapper thread blocks on the device. The engine
+// owns the transient-error retries on this path; exhausted retries come
+// back through the completion as gmi.ErrIO, exactly like PullIn.
+func (s *Segment) SubmitPull(r *gmi.PageRequest) {
+	s.pullIns.Add(1)
+	grant := s.Grant
+	if grant == 0 {
+		grant = gmi.ProtRWX
+	}
+	start := s.tr.Clock()
+	off, size := r.Off, r.Size
+	s.store.ReadAsync(off, int(size), func(data []byte, err error) {
+		if err != nil {
+			err = fmt.Errorf("%w: segment %q pullIn at %#x: %w", gmi.ErrIO, s.name, off, err)
+			r.Complete(nil, gmi.ProtNone, err)
+			return
+		}
+		s.tr.Span(obs.KindSegPull, obs.OpSegPull, off, size, start)
+		r.Complete(data, grant, nil)
+	})
 }
 
 // GetWriteAccess implements gmi.Segment.

@@ -25,6 +25,26 @@ type Config struct {
 	Seed int64
 }
 
+// Validate reports whether the configuration is usable before any
+// backend is built — the up-front check the tools run on their flag
+// combinations, so a bad combination is a usage error at startup instead
+// of a mid-run failure.
+func (c Config) Validate() error {
+	switch c.Kind {
+	case "", "mem", "flate":
+	case "file":
+		if c.Dir == "" {
+			return fmt.Errorf("store: backend kind \"file\" needs a directory")
+		}
+	default:
+		return fmt.Errorf("store: unknown backend kind %q (want mem, file or flate)", c.Kind)
+	}
+	if c.FaultProb < 0 || c.FaultProb > 1 {
+		return fmt.Errorf("store: fault probability %v out of range [0, 1]", c.FaultProb)
+	}
+	return nil
+}
+
 // New builds one backend under the config. name keys the page file for
 // "file" backends and the injection stream for faulty ones.
 func (c Config) New(name string, pageSize int) (Backend, error) {

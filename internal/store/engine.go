@@ -34,6 +34,7 @@ type Options struct {
 // Stats is a snapshot of an engine's counters.
 type Stats struct {
 	Reads, ReadPages    uint64 // Read calls / pages they covered
+	AsyncReads          uint64 // ReadAsync requests completed by workers
 	Writes, WritePages  uint64 // Write calls / pages they enqueued
 	Batches, BatchPages uint64 // backend WriteAts issued / pages in them
 	Coalesced           uint64 // pages that rode along in a multi-page batch
@@ -50,6 +51,7 @@ func (s Stats) Delta(before Stats) Stats {
 	return Stats{
 		Reads:        s.Reads - before.Reads,
 		ReadPages:    s.ReadPages - before.ReadPages,
+		AsyncReads:   s.AsyncReads - before.AsyncReads,
 		Writes:       s.Writes - before.Writes,
 		WritePages:   s.WritePages - before.WritePages,
 		Batches:      s.Batches - before.Batches,
@@ -68,6 +70,7 @@ func (s Stats) Delta(before Stats) Stats {
 func (s *Stats) Add(o Stats) {
 	s.Reads += o.Reads
 	s.ReadPages += o.ReadPages
+	s.AsyncReads += o.AsyncReads
 	s.Writes += o.Writes
 	s.WritePages += o.WritePages
 	s.Batches += o.Batches
@@ -106,6 +109,7 @@ type Engine struct {
 	pf       map[int64][]byte // prefetched pages
 	pfOrder  []int64          // FIFO order of pf
 	pfQueue  []int64          // prefetch requests not yet taken
+	reads    []asyncRead      // ReadAsync requests not yet taken
 	sums     map[int64]uint32 // crc32 of every page written through us
 	workers  int
 	err      error // latched permanent writeback failure
@@ -156,9 +160,13 @@ func (e *Engine) Backend() Backend { return e.b }
 func (e *Engine) PageSize() int { return int(e.ps) }
 
 // retryPolicy returns the engine's policy with stats/tracing wired into
-// the OnRetry hook.
+// the OnRetry hook. Called with e.mu released (every user runs the
+// policy outside the lock); the copy is taken under it so SetRetry can
+// swap schedules race-free.
 func (e *Engine) retryPolicy() Policy {
+	e.mu.Lock()
 	p := e.o.Retry
+	e.mu.Unlock()
 	prev := p.OnRetry
 	p.OnRetry = func(attempt int, backoff time.Duration, err error) {
 		e.NoteRetry(backoff)
@@ -314,6 +322,43 @@ func (e *Engine) Read(off int64, buf []byte) error {
 	return rerr
 }
 
+// asyncRead is one pending ReadAsync request.
+type asyncRead struct {
+	off  int64
+	size int
+	fn   func(data []byte, err error)
+}
+
+// ReadAsync queues a coherent read of [off, off+size) and returns
+// immediately; a worker goroutine performs the read — with the engine's
+// retry policy, since there is no caller left to retry — and invokes fn
+// exactly once with the result. fn runs on the worker (or, if the engine
+// is already closed, on the calling goroutine) and must not call back
+// into the engine's blocking entry points.
+//
+// This is the device half of the pager submit/complete protocol: the seg
+// driver turns a gmi.PageRequest into one ReadAsync and completes the
+// request from fn.
+func (e *Engine) ReadAsync(off int64, size int, fn func(data []byte, err error)) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		fn(nil, ErrClosed)
+		return
+	}
+	e.reads = append(e.reads, asyncRead{off: off, size: size, fn: fn})
+	e.spawnLocked()
+	e.mu.Unlock()
+}
+
+// SetRetry replaces the engine's retry policy (test hook: shrink the
+// schedule so permanent-failure paths latch fast).
+func (e *Engine) SetRetry(p Policy) {
+	e.mu.Lock()
+	e.o.Retry = p
+	e.mu.Unlock()
+}
+
 // Prefetch queues n pages starting at the page containing off for
 // speculative read into the engine's cache.
 func (e *Engine) Prefetch(off int64, n int) {
@@ -330,20 +375,32 @@ func (e *Engine) Prefetch(off int64, n int) {
 
 // spawnLocked starts a worker if there is work and capacity; e.mu held.
 func (e *Engine) spawnLocked() {
-	if e.workers < e.o.Workers && (len(e.dirty) > 0 || len(e.pfQueue) > 0) {
+	if e.workers < e.o.Workers && (len(e.reads) > 0 || len(e.dirty) > 0 || len(e.pfQueue) > 0) {
 		e.workers++
 		go e.worker()
 	}
 }
 
-// worker drains the writeback queue (batching adjacent pages) and then
-// the prefetch queue, exiting when both are empty. Exit and queue
-// insertion both happen under e.mu, so work enqueued concurrently is
-// never stranded: either this worker sees it on its next loop, or the
+// worker drains the async-read queue first (faulting contexts are parked
+// on those completions), then the writeback queue (batching adjacent
+// pages), then the prefetch queue, exiting when all are empty. Exit and
+// queue insertion both happen under e.mu, so work enqueued concurrently
+// is never stranded: either this worker sees it on its next loop, or the
 // enqueuer's spawnLocked starts a fresh one.
 func (e *Engine) worker() {
 	e.mu.Lock()
 	for {
+		if len(e.reads) > 0 {
+			r := e.reads[0]
+			e.reads = e.reads[1:]
+			e.st.AsyncReads++
+			e.mu.Unlock()
+			buf := make([]byte, r.size)
+			err := e.retryPolicy().Do(func() error { return e.Read(r.off, buf) })
+			r.fn(buf, err)
+			e.mu.Lock()
+			continue
+		}
 		if len(e.dirty) > 0 {
 			base, batch := e.takeBatchLocked()
 			e.mu.Unlock()
