@@ -23,9 +23,15 @@
 //	                           # compressing store under injected faults
 //	chorusbench -framepool     # demand-zero faults at 1/2/4/8 workers,
 //	                           # pre-zeroed frame pool off vs on
+//	chorusbench -parallel -fault-around 8
+//	                           # warm-resident soft faults, mapping 8-page
+//	                           # clusters per fault (0 = same workload, off)
+//	chorusbench -fault-around-ablation -bench-json BENCH_fault.json
+//	                           # widths 0/4/8 + machine-readable results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -55,6 +61,11 @@ func main() {
 	syncPager := flag.Bool("sync-pager", false, "force the synchronous pullIn upcall path in -parallel (protocol ablation baseline)")
 	readAhead := flag.Int("readahead", 1, "cluster -parallel fills over up to this many contiguous pages")
 	pages := flag.Int("pages", 64, "pages each -parallel worker faults (larger runs average out timer noise)")
+	faultAround := flag.Int("fault-around", -1, "map up to this many resident neighbours per fault (power of two <= 8; 0 disables; setting >= 0 switches -parallel to the warm-resident soft-fault workload)")
+	faAblation := flag.Bool("fault-around-ablation", false, "run the warm-resident fault-around ablation at widths 0/4/8")
+	faWorkers := flag.Int("fault-around-workers", 2, "concurrent workers in the fault-around ablation (the soft-fault workload is CPU-bound, so match the machine, not the device)")
+	promote := flag.Bool("promote", true, "promote contiguous fault-around clusters to large MMU translations (with -fault-around >= 2)")
+	benchJSON := flag.String("bench-json", "", "write the fault-around ablation results as machine-readable JSON to this file")
 	flag.Parse()
 
 	// Validate the flag combination before any work: a bad combination is
@@ -72,6 +83,11 @@ func main() {
 	}
 	if *pages < 1 {
 		fmt.Fprintf(os.Stderr, "chorusbench: -pages %d out of range (want >= 1)\n\n", *pages)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *faultAround > 8 || (*faultAround > 1 && *faultAround&(*faultAround-1) != 0) {
+		fmt.Fprintf(os.Stderr, "chorusbench: -fault-around %d invalid (want a power of two <= 8, or 0 to disable)\n\n", *faultAround)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -119,6 +135,18 @@ func main() {
 		fmt.Println(bench.FormatFramePool(bench.FramePoolAblation([]int{1, 2, 4, 8}, 256)))
 	}
 
+	if *faAblation {
+		fmt.Println("=== Warm-resident soft faults: fault-around ablation ===")
+		pts := bench.FaultAroundAblation([]int{0, 4, 8}, *faWorkers, *pages, *promote, storeCfg)
+		fmt.Println(bench.FormatFaultAround(pts))
+		if *benchJSON != "" {
+			if err := writeBenchJSON(*benchJSON, *faWorkers, *pages, pts); err != nil {
+				fmt.Fprintln(os.Stderr, "chorusbench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
 	if *parallel {
 		// A tracer is wired into the runs when anything will consume it.
 		var tracer *obs.Tracer
@@ -126,7 +154,18 @@ func main() {
 			tracer = obs.New(obs.Options{})
 		}
 		cfg := storeCfg
-		fmt.Printf("=== Parallel fault throughput (sharded global map, %s store) ===\n", storeLabel(cfg))
+		warm := *faultAround >= 0
+		ra := *readAhead
+		if warm {
+			fmt.Printf("=== Parallel soft-fault throughput (warm resident, fault-around %d, %s store) ===\n", *faultAround, storeLabel(cfg))
+			if ra < 8 {
+				// The warm working set should land on contiguous frame
+				// runs, so promotion has something to promote.
+				ra = 8
+			}
+		} else {
+			fmt.Printf("=== Parallel fault throughput (sharded global map, %s store) ===\n", storeLabel(cfg))
+		}
 		var rs []bench.ParallelResult
 		for _, w := range []int{1, 2, 4, 8} {
 			rs = append(rs, bench.ParallelFaultThroughputOpts(bench.ParallelOptions{
@@ -137,9 +176,15 @@ func main() {
 				Store:          cfg,
 				// Real backends should serve real content: preload gives
 				// "file" actual disk reads and "flate" actual inflates.
-				Preload:   cfg.Kind != "" && cfg.Kind != "mem",
-				SyncPager: *syncPager,
-				ReadAhead: *readAhead,
+				Preload:      cfg.Kind != "" && cfg.Kind != "mem",
+				SyncPager:    *syncPager,
+				ReadAhead:    ra,
+				WarmResident: warm,
+				// A single warm sweep lasts low milliseconds; accumulate
+				// several so scheduler noise does not swamp the interval.
+				Passes:      8,
+				FaultAround: max(*faultAround, 0),
+				Promote:     *promote && *faultAround > 1,
 			}))
 		}
 		fmt.Println(bench.FormatParallel(rs))
@@ -171,6 +216,50 @@ func storeLabel(cfg store.Config) string {
 		l += fmt.Sprintf(" + %.1f%% faults", cfg.FaultProb*100)
 	}
 	return l
+}
+
+// writeBenchJSON dumps the fault-around ablation as one machine-readable
+// JSON document, the shape CI archives as BENCH_fault.json.
+func writeBenchJSON(path string, workers, pages int, pts []bench.FaultAroundPoint) error {
+	type point struct {
+		FaultAround       int     `json:"fault_around"`
+		FaultsPerSec      float64 `json:"faults_per_sec"`
+		HWFaults          uint64  `json:"hw_faults"`
+		SoftFaults        uint64  `json:"soft_faults"`
+		FaultAroundMapped uint64  `json:"fault_around_mapped"`
+		Promotions        uint64  `json:"promotions"`
+		Demotions         uint64  `json:"demotions"`
+		P99FaultNS        int64   `json:"p99_fault_ns"`
+		Speedup           float64 `json:"speedup"`
+	}
+	doc := struct {
+		Benchmark      string  `json:"benchmark"`
+		Workers        int     `json:"workers"`
+		PagesPerWorker int     `json:"pages_per_worker"`
+		Points         []point `json:"points"`
+	}{Benchmark: "fault-around-ablation", Workers: workers, PagesPerWorker: pages}
+	for _, pt := range pts {
+		speedup := 1.0
+		if pts[0].Result.FaultsSec > 0 {
+			speedup = pt.Result.FaultsSec / pts[0].Result.FaultsSec
+		}
+		doc.Points = append(doc.Points, point{
+			FaultAround:       pt.Width,
+			FaultsPerSec:      pt.Result.FaultsSec,
+			HWFaults:          pt.Result.Stats.Faults,
+			SoftFaults:        pt.Result.Stats.SoftFaults,
+			FaultAroundMapped: pt.Result.Stats.FaultAroundMapped,
+			Promotions:        pt.Result.Stats.Promotions,
+			Demotions:         pt.Result.Stats.Demotions,
+			P99FaultNS:        pt.P99.Nanoseconds(),
+			Speedup:           speedup,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // writeTrace dumps the tracer's event ring to path (no-op when path is

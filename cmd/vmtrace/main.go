@@ -51,6 +51,8 @@ func main() {
 	storeDir := flag.String("store-dir", "", "directory for -store file page files (required with -store file)")
 	storeFaults := flag.Float64("store-faults", 0, "per-op probability of injected transient store faults (0 disables)")
 	framepool := flag.Bool("framepool", false, "start the background frame zeroer before the script (scripts can also toggle it with `framepool on|off`)")
+	faultAround := flag.Int("fault-around", 0, "map up to this many resident neighbours per fault (power of two <= 8, 0 disables)")
+	promote := flag.Bool("promote", false, "promote contiguous fault-around clusters to large MMU translations (needs -fault-around >= 2)")
 	flag.Parse()
 
 	// Validate the flag combination before building anything: a bad
@@ -62,7 +64,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := core.Options{Frames: *frames}
+	if *faultAround < 0 || *faultAround > 8 || (*faultAround > 1 && *faultAround&(*faultAround-1) != 0) {
+		fmt.Fprintf(os.Stderr, "vmtrace: -fault-around %d invalid (want a power of two <= 8, or 0 to disable)\n\n", *faultAround)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := core.Options{Frames: *frames, FaultAroundPages: *faultAround, PromotePages: *promote}
 	if *traceFile != "" || *hist {
 		// The interpreter would otherwise create a disabled tracer that
 		// scripts must `trace on` themselves; these flags ask for the

@@ -99,6 +99,26 @@ type ParallelOptions struct {
 	// ReadAhead clusters each fill over up to this many contiguous pages
 	// (0 or 1 disables clustering).
 	ReadAhead int
+	// FaultAround maps up to this many resident neighbours per fault
+	// (power of two up to 8; 0/1 disables — the classic behaviour).
+	FaultAround int
+	// Promote additionally promotes fully resident, physically contiguous
+	// fault-around clusters to large MMU translations.
+	Promote bool
+	// WarmResident pre-touches every page before the measured interval,
+	// then destroys and recreates the regions: the translations drop but
+	// the pages stay resident in their caches, so every measured fault is
+	// a soft fault (mapping-only). This is the workload where fault-around
+	// pays — the device-bound default measures latency overlap instead,
+	// and batching the map step cannot move it.
+	WarmResident bool
+	// Passes repeats the warm-resident measured sweep this many times
+	// (default 1), dropping and recreating the regions between passes
+	// outside the timed interval. A single sweep lasts milliseconds —
+	// short enough for scheduler noise to swamp it; accumulating several
+	// sweeps measures the same all-soft-fault workload over a longer
+	// interval. Ignored unless WarmResident is set.
+	Passes int
 }
 
 // ParallelFaultThroughput runs `workers` goroutines, each with a private
@@ -125,18 +145,22 @@ func ParallelFaultThroughputOpts(o ParallelOptions) ParallelResult {
 	clock := cost.New()
 	const pageSize = 8192
 	p := core.New(core.Options{
-		Frames:         o.Workers*o.PagesPerWorker + 64,
-		PageSize:       pageSize,
-		Clock:          clock,
-		SegAlloc:       seg.NewSwapAllocatorOn(pageSize, clock, o.Store.Factory(pageSize)),
-		Tracer:         o.Tracer,
-		SyncPagers:     o.SyncPager,
-		ReadAheadPages: o.ReadAhead,
+		Frames:           o.Workers*o.PagesPerWorker + 64,
+		PageSize:         pageSize,
+		Clock:            clock,
+		SegAlloc:         seg.NewSwapAllocatorOn(pageSize, clock, o.Store.Factory(pageSize)),
+		Tracer:           o.Tracer,
+		SyncPagers:       o.SyncPager,
+		ReadAheadPages:   o.ReadAhead,
+		FaultAroundPages: o.FaultAround,
+		PromotePages:     o.Promote,
 	})
 
 	type worker struct {
-		ctx  gmi.Context
-		base gmi.VA
+		ctx   gmi.Context
+		base  gmi.VA
+		cache gmi.Cache
+		reg   gmi.Region
 	}
 	ws := make([]worker, o.Workers)
 	var segs []*seg.Segment
@@ -183,10 +207,47 @@ func ParallelFaultThroughputOpts(o ParallelOptions) ParallelResult {
 			c = p.CacheCreate(s)
 		}
 		base := benchBase + gmi.VA(int64(i)*size*2)
-		if _, err := ctx.RegionCreate(base, size, gmi.ProtRW, c, 0); err != nil {
+		reg, err := ctx.RegionCreate(base, size, gmi.ProtRW, c, 0)
+		if err != nil {
 			panic(err)
 		}
-		ws[i] = worker{ctx: ctx, base: base}
+		ws[i] = worker{ctx: ctx, base: base, cache: c, reg: reg}
+	}
+
+	if o.WarmResident {
+		// Warm phase: touch every page (concurrently, to overlap device
+		// waits), then drop and recreate the regions. Region destroy
+		// invalidates the translations but leaves the cache pages
+		// resident, so the measured interval below resolves soft faults
+		// only — the page is there, the mapping is not. The tracer is
+		// silenced for the warm-up: its latency histograms must describe
+		// the measured interval, not the device-bound filling.
+		o.Tracer.SetEnabled(false)
+		var warm sync.WaitGroup
+		for i := range ws {
+			warm.Add(1)
+			go func(w worker) {
+				defer warm.Done()
+				buf := []byte{0}
+				for pg := 0; pg < o.PagesPerWorker; pg++ {
+					if err := w.ctx.Read(w.base+gmi.VA(int64(pg)*pageSize), buf); err != nil {
+						panic(err)
+					}
+				}
+			}(ws[i])
+		}
+		warm.Wait()
+		for i := range ws {
+			if err := ws[i].reg.Destroy(); err != nil {
+				panic(err)
+			}
+			reg, err := ws[i].ctx.RegionCreate(ws[i].base, size, gmi.ProtRW, ws[i].cache, 0)
+			if err != nil {
+				panic(err)
+			}
+			ws[i].reg = reg
+		}
+		o.Tracer.SetEnabled(true)
 	}
 
 	stopZeroer := func() {}
@@ -208,27 +269,49 @@ func ParallelFaultThroughputOpts(o ParallelOptions) ParallelResult {
 		}
 	}
 
-	var wg sync.WaitGroup
-	start := make(chan struct{})
-	for i := range ws {
-		wg.Add(1)
-		go func(w worker) {
-			defer wg.Done()
-			<-start
-			buf := []byte{0}
-			for pg := 0; pg < o.PagesPerWorker; pg++ {
-				if err := w.ctx.Read(w.base+gmi.VA(int64(pg)*pageSize), buf); err != nil {
-					panic(err)
-				}
-			}
-		}(ws[i])
+	passes := 1
+	if o.WarmResident && o.Passes > 1 {
+		passes = o.Passes
 	}
 	before := p.Stats()
 	storeBefore := aggregateStoreStats(segs)
-	t0 := time.Now()
-	close(start)
-	wg.Wait()
-	elapsed := time.Since(t0)
+	var elapsed time.Duration
+	for pass := 0; pass < passes; pass++ {
+		if pass > 0 {
+			// Untimed: shed the translations so the next sweep is again
+			// pure soft faults, without charging the teardown to either
+			// side of the comparison.
+			for i := range ws {
+				if err := ws[i].reg.Destroy(); err != nil {
+					panic(err)
+				}
+				reg, err := ws[i].ctx.RegionCreate(ws[i].base, size, gmi.ProtRW, ws[i].cache, 0)
+				if err != nil {
+					panic(err)
+				}
+				ws[i].reg = reg
+			}
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := range ws {
+			wg.Add(1)
+			go func(w worker) {
+				defer wg.Done()
+				<-start
+				buf := []byte{0}
+				for pg := 0; pg < o.PagesPerWorker; pg++ {
+					if err := w.ctx.Read(w.base+gmi.VA(int64(pg)*pageSize), buf); err != nil {
+						panic(err)
+					}
+				}
+			}(ws[i])
+		}
+		t0 := time.Now()
+		close(start)
+		wg.Wait()
+		elapsed += time.Since(t0)
+	}
 	stopZeroer()
 
 	storeStats := aggregateStoreStats(segs)
@@ -237,7 +320,7 @@ func ParallelFaultThroughputOpts(o ParallelOptions) ParallelResult {
 			panic(err)
 		}
 	}
-	faults := o.Workers * o.PagesPerWorker
+	faults := o.Workers * o.PagesPerWorker * passes
 	return ParallelResult{
 		Workers:   o.Workers,
 		Faults:    faults,
@@ -340,10 +423,76 @@ func FormatFramePool(pts []FramePoolPoint) string {
 func FormatParallelStats(rs []ParallelResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "per-run PVM counters (Stats delta over the measured interval)\n")
-	fmt.Fprintf(&b, "%8s %8s %9s %8s %9s\n", "workers", "faults", "zerofills", "pullins", "evictions")
+	fmt.Fprintf(&b, "%8s %8s %9s %9s %8s %9s %8s %7s\n",
+		"workers", "faults", "softflts", "zerofills", "pullins", "evictions", "faround", "promos")
 	for _, r := range rs {
-		fmt.Fprintf(&b, "%8d %8d %9d %8d %9d\n",
-			r.Workers, r.Stats.Faults, r.Stats.ZeroFills, r.Stats.PullIns, r.Stats.Evictions)
+		fmt.Fprintf(&b, "%8d %8d %9d %9d %8d %9d %8d %7d\n",
+			r.Workers, r.Stats.Faults, r.Stats.SoftFaults, r.Stats.ZeroFills,
+			r.Stats.PullIns, r.Stats.Evictions, r.Stats.FaultAroundMapped, r.Stats.Promotions)
+	}
+	return b.String()
+}
+
+// FaultAroundPoint is one fault-around ablation row: the warm-resident
+// sequential workload measured at one fault-around width.
+type FaultAroundPoint struct {
+	// Width is the fault-around cluster width (0 = off).
+	Width  int
+	Result ParallelResult
+	// P99 is the 99th-percentile wall-clock fault latency of the measured
+	// interval (from the run's private tracer).
+	P99 time.Duration
+}
+
+// FaultAroundAblation measures the warm-resident sequential workload —
+// every page already resident, every fault a mapping-only soft fault — at
+// each fault-around width. Widths above 1 run with promotion when promote
+// is set. This is the workload the fault-around batching targets; the
+// device-bound pull benchmark cannot show it, because there the map step
+// is noise under the simulated disk wait.
+func FaultAroundAblation(widths []int, workers, pagesPerWorker int, promote bool, st store.Config) []FaultAroundPoint {
+	pts := make([]FaultAroundPoint, 0, len(widths))
+	for _, width := range widths {
+		tr := obs.New(obs.Options{})
+		r := ParallelFaultThroughputOpts(ParallelOptions{
+			Workers:        workers,
+			PagesPerWorker: pagesPerWorker,
+			PullLatency:    50 * time.Microsecond,
+			Tracer:         tr,
+			Store:          st,
+			ReadAhead:      8,
+			WarmResident:   true,
+			Passes:         8,
+			FaultAround:    width,
+			Promote:        promote && width > 1,
+		})
+		pts = append(pts, FaultAroundPoint{
+			Width:  width,
+			Result: r,
+			P99:    tr.Snapshot().Ops[obs.OpFault].Quantile(0.99),
+		})
+	}
+	return pts
+}
+
+// FormatFaultAround renders the fault-around ablation table. "pages/s" is
+// pages resolved per second (the workload touches every page; fault-around
+// resolves several per hardware fault), speedup is relative to the first
+// row.
+func FormatFaultAround(pts []FaultAroundPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "warm-resident sequential faults: fault-around ablation\n")
+	fmt.Fprintf(&b, "%7s %12s %9s %9s %8s %7s %10s %8s\n",
+		"around", "pages/s", "hwfaults", "softflts", "faround", "promos", "p99 fault", "speedup")
+	for _, pt := range pts {
+		speedup := 1.0
+		if len(pts) > 0 && pts[0].Result.FaultsSec > 0 {
+			speedup = pt.Result.FaultsSec / pts[0].Result.FaultsSec
+		}
+		fmt.Fprintf(&b, "%7d %12.0f %9d %9d %8d %7d %10s %7.2fx\n",
+			pt.Width, pt.Result.FaultsSec, pt.Result.Stats.Faults,
+			pt.Result.Stats.SoftFaults, pt.Result.Stats.FaultAroundMapped,
+			pt.Result.Stats.Promotions, pt.P99.Round(100*time.Nanosecond), speedup)
 	}
 	return b.String()
 }

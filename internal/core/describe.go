@@ -40,10 +40,11 @@ type CacheInfo struct {
 // String renders every counter, for tools and logs.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"faults=%d segv=%d prot=%d zerofills=%d cowbreaks=%d historypushes=%d stubbreaks=%d pullins=%d pushouts=%d evictions=%d collapses=%d zombies=%d zeropoolhits=%d zeropoolmisses=%d magazinerefills=%d batchfrees=%d",
-		s.Faults, s.SegvFaults, s.ProtFaults, s.ZeroFills, s.CowBreaks, s.HistoryPushes,
+		"faults=%d softfaults=%d segv=%d prot=%d zerofills=%d cowbreaks=%d historypushes=%d stubbreaks=%d pullins=%d pushouts=%d evictions=%d collapses=%d zombies=%d zeropoolhits=%d zeropoolmisses=%d magazinerefills=%d batchfrees=%d faultaround=%d promotions=%d demotions=%d speccancels=%d",
+		s.Faults, s.SoftFaults, s.SegvFaults, s.ProtFaults, s.ZeroFills, s.CowBreaks, s.HistoryPushes,
 		s.StubBreaks, s.PullIns, s.PushOuts, s.Evictions, s.Collapses, s.Zombies,
-		s.ZeroPoolHits, s.ZeroPoolMisses, s.MagazineRefills, s.BatchFrees)
+		s.ZeroPoolHits, s.ZeroPoolMisses, s.MagazineRefills, s.BatchFrees,
+		s.FaultAroundMapped, s.Promotions, s.Demotions, s.SpeculationsCancelled)
 }
 
 // Describe reports the structure behind a cache; ok is false for foreign

@@ -87,9 +87,19 @@ func (p *PVM) handleFault(ctx *context, va gmi.VA, access gmi.Prot, refault bool
 		atomic.AddUint64(&p.stats.Faults, 1)
 		span = p.obs.FaultBegin()
 	}
-	err, handled := p.fastFault(ctx, va, access, &span)
+	// worked tracks whether resolution did anything beyond installing a
+	// translation for an already-resident page: waits, fills, copies and
+	// upcalls all set it. A fault that resolves with worked still false is
+	// a soft fault — the page was there, only the mapping was missing.
+	// A refault re-runs resolution for a fault already counted, so it
+	// never recounts as soft either.
+	worked := refault
+	err, handled := p.fastFault(ctx, va, access, &span, &worked)
 	if !handled {
-		err = p.slowFault(ctx, va, access, &span)
+		err = p.slowFault(ctx, va, access, &span, &worked)
+	}
+	if err == nil && !worked {
+		atomic.AddUint64(&p.stats.SoftFaults, 1)
 	}
 	if err == gmi.ErrProtection {
 		atomic.AddUint64(&p.stats.ProtFaults, 1)
@@ -114,9 +124,9 @@ func faultErrArg(err error) int64 {
 
 // fastFault drives the shared-lock resolution loop; handled=false means
 // the fault needs the exclusive slow path.
-func (p *PVM) fastFault(ctx *context, va gmi.VA, access gmi.Prot, span *obs.FaultSpan) (error, bool) {
+func (p *PVM) fastFault(ctx *context, va gmi.VA, access gmi.Prot, span *obs.FaultSpan, worked *bool) (error, bool) {
 	for attempt := 0; attempt < 16; attempt++ {
-		done, retry, err := p.fastFaultOnce(ctx, va, access, span)
+		done, retry, err := p.fastFaultOnce(ctx, va, access, span, worked)
 		if done {
 			return err, true
 		}
@@ -129,7 +139,7 @@ func (p *PVM) fastFault(ctx *context, va gmi.VA, access gmi.Prot, span *obs.Faul
 
 // slowFault is the exclusive-lock fallback: the original single-lock
 // resolution protocol.
-func (p *PVM) slowFault(ctx *context, va gmi.VA, access gmi.Prot, span *obs.FaultSpan) error {
+func (p *PVM) slowFault(ctx *context, va gmi.VA, access gmi.Prot, span *obs.FaultSpan, worked *bool) error {
 	p.mu.Lock()
 	span.Mark(obs.StageLockWait)
 	defer p.mu.Unlock()
@@ -143,7 +153,7 @@ func (p *PVM) slowFault(ctx *context, va gmi.VA, access gmi.Prot, span *obs.Faul
 	}
 	pva := gmi.VA(p.pageFloor(int64(va)))
 	off := r.coff + p.pageFloor(int64(va)-int64(r.addr))
-	return p.resolveFault(ctx, r, pva, r.cache, off, access, span)
+	return p.resolveFault(ctx, r, pva, r.cache, off, access, span, worked)
 }
 
 // fastFaultOnce attempts one round of resolution under p.mu.RLock plus
@@ -158,7 +168,7 @@ func (p *PVM) slowFault(ctx *context, va gmi.VA, access gmi.Prot, span *obs.Faul
 // parents, remoteStubs) — is mutated only under p.mu held exclusively,
 // so it is stable under the RLock. Page descriptor fields are guarded by
 // the page's key shard mutex.
-func (p *PVM) fastFaultOnce(ctx *context, va gmi.VA, access gmi.Prot, span *obs.FaultSpan) (done bool, retry bool, err error) {
+func (p *PVM) fastFaultOnce(ctx *context, va gmi.VA, access gmi.Prot, span *obs.FaultSpan, worked *bool) (done bool, retry bool, err error) {
 	write := access&gmi.ProtWrite != 0
 	p.mu.RLock()
 	r := ctx.findRegion(va)
@@ -186,6 +196,7 @@ func (p *PVM) fastFaultOnce(ctx *context, va gmi.VA, access gmi.Prot, span *obs.
 	switch e := sh.m[key].(type) {
 	case *page:
 		if e.busy {
+			*worked = true
 			ch := e.busyDone
 			sh.mu.Unlock()
 			p.mu.RUnlock()
@@ -218,11 +229,15 @@ func (p *PVM) fastFaultOnce(ctx *context, va gmi.VA, access gmi.Prot, span *obs.
 			p.mapPage(ctx, r, pva, e, p.readProt(r, e))
 		}
 		p.lruTouch(e)
+		if p.faultAround > 1 {
+			p.faultAroundMap(ctx, r, c, pva, off)
+		}
 		sh.mu.Unlock()
 		p.mu.RUnlock()
 		return true, false, nil
 
 	case *syncStub:
+		*worked = true
 		ch := e.done
 		sh.mu.Unlock()
 		p.mu.RUnlock()
@@ -260,6 +275,7 @@ func (p *PVM) fastFaultOnce(ctx *context, va gmi.VA, access gmi.Prot, span *obs.
 			return false, false, nil
 		}
 		if c.seg == nil {
+			*worked = true
 			return p.fastZeroFill(ctx, r, pva, c, off, key, sh, access, span)
 		}
 		if pager, ok := c.seg.(gmi.Pager); ok && !p.syncPagers {
@@ -267,6 +283,7 @@ func (p *PVM) fastFaultOnce(ctx *context, va gmi.VA, access gmi.Prot, span *obs.
 			// publishes the cluster (submit.go). Read-ahead stays on the
 			// fast path here — each neighbour key is stubbed under its
 			// own shard mutex.
+			*worked = true
 			return p.fastSubmitPull(c, off, key, sh, pager, access, span)
 		}
 		if p.readAhead > 1 {
@@ -276,6 +293,7 @@ func (p *PVM) fastFaultOnce(ctx *context, va gmi.VA, access gmi.Prot, span *obs.
 			p.mu.RUnlock()
 			return false, false, nil
 		}
+		*worked = true
 		return p.fastPullIn(c, off, key, sh, access, span)
 
 	default:
@@ -398,7 +416,7 @@ func (p *PVM) settleStub(s *syncStub) {
 
 // resolveFault installs a translation for pva covering (c, off); p.mu
 // held exclusively.
-func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off int64, access gmi.Prot, span *obs.FaultSpan) error {
+func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off int64, access gmi.Prot, span *obs.FaultSpan, worked *bool) error {
 	write := access&gmi.ProtWrite != 0
 	for iter := 0; ; iter++ {
 		if iter > 1000 {
@@ -415,6 +433,7 @@ func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off in
 		switch e := p.gmapGet(pageKey{c, off}).(type) {
 		case *page:
 			if e.busy {
+				*worked = true
 				p.waitBusy(e, span)
 				continue
 			}
@@ -422,6 +441,7 @@ func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off in
 				if restarted, err := p.breakOwnForWrite(c, off, e, span); err != nil {
 					return err
 				} else if restarted {
+					*worked = true
 					continue
 				}
 				p.mapPage(ctx, r, pva, e, r.prot)
@@ -430,9 +450,15 @@ func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off in
 				p.mapPage(ctx, r, pva, e, p.readProt(r, e))
 			}
 			p.lruTouch(e)
+			if p.faultAround > 1 && c == r.cache {
+				// Under exclusive p.mu the shard maps are directly
+				// accessible; the cluster scan needs no shard mutex.
+				p.faultAroundMap(ctx, r, c, pva, off)
+			}
 			return nil
 
 		case *syncStub:
+			*worked = true
 			p.waitStub(e, span)
 			if e.err != nil {
 				// A failed fill settled the stub: report the round-trip's
@@ -442,6 +468,7 @@ func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off in
 			continue
 
 		case *cowStub:
+			*worked = true
 			if !write && !p.copyOnRef {
 				// Read through the stub: share the source page
 				// read-only.
@@ -462,6 +489,7 @@ func (p *PVM) resolveFault(ctx *context, r *region, pva gmi.VA, c *cache, off in
 			continue
 
 		case nil:
+			*worked = true
 			if pr := c.findParent(off); pr != nil {
 				if write || p.copyOnRef {
 					if _, err := p.materializePrivate(c, off, span); err != nil {

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"chorusvm/internal/cost"
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/obs"
+	"chorusvm/internal/phys"
+)
+
+// Fault-around: a fault that finds its page already resident (typically
+// because the async pager's read-ahead cluster installed it) also maps
+// the page's resident neighbours from the same naturally-aligned cluster.
+// Because shardOf hashes offsets at supercluster granularity, the whole
+// cluster lives in the shard the fault already locked — the neighbour
+// scan and the batched MMU update add no lock acquisitions. A sequential
+// reader over resident pages then takes one hardware fault per cluster
+// instead of one per page.
+
+const (
+	// faultAroundShift aligns the global-map shard hash on
+	// 2^faultAroundShift-page superclusters, so every fault-around
+	// candidate shares the faulting key's shard; faultAroundMax is
+	// therefore the widest supported cluster.
+	faultAroundShift = 3
+	faultAroundMax   = 1 << faultAroundShift
+)
+
+// faultAroundMap maps resident neighbours of the fault that just mapped
+// (c, off) at pva for ctx. Neighbours are always mapped with their read
+// protection; a later write to one takes its own fault, exactly as if
+// fault-around had not run.
+//
+// Caller holds either p.mu exclusively or p.mu.RLock plus the key's
+// shard mutex. Every cluster key hashes to that same shard (see
+// shardOf), so neighbour descriptors are readable under both regimes;
+// ctx.spaceMu and p.lruMu are taken here as leaf locks.
+func (p *PVM) faultAroundMap(ctx *context, r *region, c *cache, pva gmi.VA, off int64) {
+	start := p.obs.Clock()
+	n := int64(p.faultAround)
+	cbytes := n * p.pageSize
+	cbase := off &^ (cbytes - 1)
+	sh := p.shardOf(pageKey{c, off})
+
+	// One pass over the cluster collects the mappable resident
+	// neighbours: resident, not mid-pushout, readable, inside the region.
+	type cand struct {
+		pg   *page
+		va   gmi.VA
+		prot gmi.Prot
+	}
+	var cands [faultAroundMax]cand
+	nc := 0
+	full := true // every neighbour resident and readable: promotion precondition
+	for o := cbase; o < cbase+cbytes; o += p.pageSize {
+		if o == off {
+			continue
+		}
+		if o < r.coff || o >= r.coff+r.size {
+			full = false
+			continue
+		}
+		pg, ok := sh.m[pageKey{c, o}].(*page)
+		if !ok || pg.busy {
+			full = false
+			continue
+		}
+		prot := p.readProt(r, pg)
+		if !prot.Allows(gmi.ProtRead) {
+			full = false
+			continue
+		}
+		cands[nc] = cand{pg: pg, va: r.addr + gmi.VA(o-r.coff), prot: prot}
+		nc++
+	}
+	if nc == 0 {
+		return
+	}
+	p.clock.Charge(cost.EvGlobalMapOp, 1) // the whole scan is one shard trip
+
+	// Install the candidates in maximal runs of consecutive pages with
+	// equal protection — one MapBatch per run, all under one spaceMu
+	// acquisition. Already-mapped pages are skipped, not recounted.
+	var touched [faultAroundMax]*page
+	mapped := 0
+	ctx.spaceMu.Lock()
+	var frames [faultAroundMax]*phys.Frame
+	i := 0
+	for i < nc {
+		if _, _, ok := ctx.space.Lookup(cands[i].va); ok {
+			i++
+			continue
+		}
+		j := i
+		for j < nc && cands[j].va == cands[i].va+gmi.VA(int64(j-i))*gmi.VA(p.pageSize) && cands[j].prot == cands[i].prot {
+			if j > i {
+				if _, _, ok := ctx.space.Lookup(cands[j].va); ok {
+					break
+				}
+			}
+			frames[j-i] = cands[j].pg.frame
+			j++
+		}
+		ctx.space.MapBatch(cands[i].va, frames[:j-i], cands[i].prot)
+		for k := i; k < j; k++ {
+			cands[k].pg.addMapping(ctx, cands[k].va)
+			touched[mapped] = cands[k].pg
+			mapped++
+		}
+		i = j
+	}
+	if p.promote && full && nc == int(n)-1 {
+		p.tryPromote(ctx, r, c, cbase)
+	}
+	ctx.spaceMu.Unlock()
+
+	if mapped > 0 {
+		for k := 0; k < mapped; k++ {
+			p.lruTouch(touched[k])
+		}
+		atomic.AddUint64(&p.stats.FaultAroundMapped, uint64(mapped))
+	}
+	p.obs.Span(obs.KindFaultAround, obs.OpFaultAround, int64(c.id), int64(mapped), start)
+}
+
+// tryPromote replaces the aligned cluster's base translations with one
+// large MMU translation when every page is resident, non-busy, mapped in
+// ctx at its cluster VA with one uniform protection, and the frames are
+// physically contiguous in ascending order. MapLarge re-checks alignment
+// and contiguity and refuses ineligible runs, so this is advisory: a
+// false return leaves the base mappings exactly as they were.
+//
+// Demotion needs no bookkeeping here: COW breaks, protection changes,
+// evictions and partial unmaps all reach the space through per-page
+// Unmap/Protect/InvalidateRange, each of which splinters a covering
+// large translation back to base pages inside internal/mmu.
+//
+// Caller holds the faultAroundMap locks plus ctx.spaceMu.
+func (p *PVM) tryPromote(ctx *context, r *region, c *cache, cbase int64) {
+	n := p.faultAround
+	sh := p.shardOf(pageKey{c, cbase})
+	baseVA := r.addr + gmi.VA(cbase-r.coff)
+	var frames [faultAroundMax]*phys.Frame
+	var prot gmi.Prot
+	for i := 0; i < n; i++ {
+		o := cbase + int64(i)*p.pageSize
+		pg, ok := sh.m[pageKey{c, o}].(*page)
+		if !ok || pg.busy {
+			return
+		}
+		if i > 0 && pg.frame.Index != frames[0].Index+i {
+			return
+		}
+		va := baseVA + gmi.VA(int64(i)*p.pageSize)
+		f, pr, ok := ctx.space.Lookup(va)
+		if !ok || f != pg.frame {
+			return
+		}
+		if i == 0 {
+			prot = pr
+		} else if pr != prot {
+			return
+		}
+		frames[i] = pg.frame
+	}
+	ctx.space.MapLarge(baseVA, frames[:n], prot)
+}

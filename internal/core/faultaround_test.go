@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/seg"
+)
+
+// These tests pin the extent-path counters to exact values on a
+// deterministic single-threaded schedule: a fresh PVM, a fresh depot
+// (so AllocRun finds its contiguous run), one faulting goroutine. Any
+// change to when fault-around runs, when promotion fires, or what counts
+// as a soft fault shows up here as an off-by-exactly-N.
+
+// withExtent enables the full extent pipeline: clustered async pulls
+// land on contiguous frames, fault-around maps the cluster, promotion
+// collapses it to one large translation.
+func withExtent(o *Options) {
+	o.ReadAheadPages = 8
+	o.FaultAroundPages = 8
+	o.PromotePages = true
+}
+
+func TestFaultAroundExactCounts(t *testing.T) {
+	p, _ := newTestPVM(t, 64, withExtent)
+	sg := seg.NewSegment("file", pg, p.Clock())
+	want := pattern(0x5A, 8*pg)
+	sg.Store().WriteAt(0, want)
+	c := p.CacheCreate(sg)
+	ctx, err := p.ContextCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// base is cluster-aligned (0x10000 = 8 pages), so the region's one
+	// cluster is promotion-eligible.
+	r := mustRegion(t, ctx, base, 8*pg, gmi.ProtRead, c, 0)
+
+	// One read, one hardware fault: the pull clusters 8 pages onto a
+	// contiguous frame run, the retry maps the faulted page, fault-around
+	// maps the 7 resident neighbours, and the full uniform cluster
+	// promotes to a single large translation.
+	if got := mustRead(t, ctx, base, pg); !bytes.Equal(got, want[:pg]) {
+		t.Fatal("first page content mismatch")
+	}
+	st := p.Stats()
+	if st.Faults != 1 || st.SoftFaults != 0 {
+		t.Fatalf("after one cold read: Faults=%d SoftFaults=%d, want 1/0", st.Faults, st.SoftFaults)
+	}
+	if st.FaultAroundMapped != 7 {
+		t.Fatalf("FaultAroundMapped = %d, want 7", st.FaultAroundMapped)
+	}
+	if st.Promotions != 1 || st.Demotions != 0 {
+		t.Fatalf("Promotions=%d Demotions=%d, want 1/0", st.Promotions, st.Demotions)
+	}
+
+	// The rest of the region is already mapped: no further faults.
+	if got := mustRead(t, ctx, base, 8*pg); !bytes.Equal(got, want) {
+		t.Fatal("full region content mismatch")
+	}
+	if st = p.Stats(); st.Faults != 1 {
+		t.Fatalf("Faults = %d after reading the mapped region, want still 1", st.Faults)
+	}
+
+	// Destroying the region invalidates the range, which splinters the
+	// large translation exactly once. The cache pages stay resident.
+	if err := r.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if st = p.Stats(); st.Demotions != 1 {
+		t.Fatalf("Demotions = %d after region destroy, want 1", st.Demotions)
+	}
+
+	// Re-map and re-read: the fault finds its page resident — a soft
+	// fault — and fault-around plus promotion repeat on the same frames.
+	mustRegion(t, ctx, base, 8*pg, gmi.ProtRead, c, 0)
+	if got := mustRead(t, ctx, base+pg, pg); !bytes.Equal(got, want[pg:2*pg]) {
+		t.Fatal("re-read content mismatch")
+	}
+	st = p.Stats()
+	if st.Faults != 2 || st.SoftFaults != 1 {
+		t.Fatalf("after warm re-read: Faults=%d SoftFaults=%d, want 2/1", st.Faults, st.SoftFaults)
+	}
+	if st.FaultAroundMapped != 14 {
+		t.Fatalf("FaultAroundMapped = %d, want 14", st.FaultAroundMapped)
+	}
+	if st.Promotions != 2 {
+		t.Fatalf("Promotions = %d, want 2 (cluster re-promotes on the same run)", st.Promotions)
+	}
+	check(t, p)
+}
+
+// TestSoftFaultCounting pins the soft-fault definition without any
+// extent machinery: a zero-fill is work (not soft), re-mapping an
+// already-resident page is not (soft).
+func TestSoftFaultCounting(t *testing.T) {
+	p, _ := newTestPVM(t, 32)
+	ctx, err := p.ContextCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.TempCacheCreate()
+	r := mustRegion(t, ctx, base, 2*pg, gmi.ProtRW, c, 0)
+
+	data := pattern(0x42, 64)
+	mustWrite(t, ctx, base, data)
+	st := p.Stats()
+	if st.Faults != 1 || st.SoftFaults != 0 {
+		t.Fatalf("after zero-fill write: Faults=%d SoftFaults=%d, want 1/0", st.Faults, st.SoftFaults)
+	}
+
+	// Drop the translations, keep the cache page, touch again: the only
+	// missing piece is the mapping.
+	if err := r.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	mustRegion(t, ctx, base, 2*pg, gmi.ProtRW, c, 0)
+	if got := mustRead(t, ctx, base, len(data)); !bytes.Equal(got, data) {
+		t.Fatal("content lost across region destroy/recreate")
+	}
+	st = p.Stats()
+	if st.Faults != 2 || st.SoftFaults != 1 {
+		t.Fatalf("after warm re-read: Faults=%d SoftFaults=%d, want 2/1", st.Faults, st.SoftFaults)
+	}
+	check(t, p)
+}
+
+// TestSpeculationCancelledUnderFramePressure starves the speculative
+// read-ahead cluster: 12 frames, an 8-page demand cluster, so the
+// fire-and-forget speculation runs out of reservations mid-install and
+// must tear itself down rather than compete with demand faults for the
+// last frames. The cancel path returns every reservation — the teardown
+// invariant check would catch a leak.
+func TestSpeculationCancelledUnderFramePressure(t *testing.T) {
+	p, _ := newTestPVM(t, 12, func(o *Options) { o.ReadAheadPages = 8 })
+	sg := seg.NewSegment("file", pg, p.Clock())
+	want := pattern(0x77, 8*pg)
+	sg.Store().WriteAt(0, want)
+	c := p.CacheCreate(sg)
+	ctx, err := p.ContextCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRegion(t, ctx, base, 8*pg, gmi.ProtRead, c, 0)
+
+	if got := mustRead(t, ctx, base, pg); !bytes.Equal(got, want[:pg]) {
+		t.Fatal("content mismatch under frame pressure")
+	}
+	st := p.Stats()
+	if st.SpeculationsCancelled != 1 {
+		t.Fatalf("SpeculationsCancelled = %d, want 1", st.SpeculationsCancelled)
+	}
+	// The demand cluster itself was served in full.
+	if got := mustRead(t, ctx, base, 8*pg); !bytes.Equal(got, want) {
+		t.Fatal("demand cluster content mismatch")
+	}
+	check(t, p)
+}

@@ -79,6 +79,23 @@ type Options struct {
 	// even when a segment implements gmi.Pager, for ablation of the
 	// submit/complete protocol against the blocking baseline.
 	SyncPagers bool
+	// FaultAroundPages, when >= 2, makes a fault that finds its page
+	// already resident also map that page's resident neighbours from the
+	// same naturally-aligned cluster — one shard trip, one batched MMU
+	// update — so a sequential reader over resident pages takes one fault
+	// per cluster instead of one per page. Clamped to [0, 8] (the
+	// global-map shard cluster width) and rounded down to a power of two;
+	// values below 2 disable it. Default 0: off, which keeps the paper's
+	// Table 6/7 simulation at strict one-page-per-fault behaviour.
+	FaultAroundPages int
+	// PromotePages enables large-mapping promotion: when fault-around
+	// finds a full aligned cluster resident with physically contiguous
+	// frames and uniform protection, the run becomes a single large MMU
+	// translation (mmu.Space.MapLarge), demoted automatically on COW
+	// break, protection change, eviction or partial unmap. Requires
+	// FaultAroundPages >= 2; cluster fills then request contiguous frame
+	// runs from the allocator (phys.Memory.AllocRun) to seed eligibility.
+	PromotePages bool
 	// Tracer, when non-nil, receives trace events and latency
 	// observations from every layer (see internal/obs). The nil default
 	// costs one predictable branch per probe site and zero allocations.
@@ -107,6 +124,21 @@ func (o *Options) fill() {
 	if o.ReadAheadPages < 1 {
 		o.ReadAheadPages = 1
 	}
+	if o.FaultAroundPages < 0 {
+		o.FaultAroundPages = 0
+	}
+	if o.FaultAroundPages > faultAroundMax {
+		o.FaultAroundPages = faultAroundMax
+	}
+	for o.FaultAroundPages&(o.FaultAroundPages-1) != 0 {
+		o.FaultAroundPages &= o.FaultAroundPages - 1 // round down to a power of two
+	}
+	if o.FaultAroundPages < 2 {
+		o.FaultAroundPages = 0
+	}
+	if o.FaultAroundPages == 0 {
+		o.PromotePages = false
+	}
 }
 
 // Stats are PVM-internal counters, complementing the clock's event counts.
@@ -122,6 +154,7 @@ type Stats struct {
 	// with Delta still bounds the activity in between.
 
 	Faults        uint64 // page faults handled
+	SoftFaults    uint64 // of Faults: page already resident, only a mapping was needed
 	SegvFaults    uint64 // faults outside any region
 	ProtFaults    uint64 // accesses denied by protection
 	ZeroFills     uint64 // demand-zero pages materialized
@@ -136,6 +169,15 @@ type Stats struct {
 	Evictions     uint64 // frames reclaimed by page-out
 	Collapses     uint64 // working objects collapsed
 	Zombies       uint64 // caches kept as zombies for their descendants
+
+	// Extent (multi-page) counters: fault-around and large-mapping
+	// promotion. Promotions/Demotions are mirrored from the MMU flavour's
+	// LargeStats (demotion happens inside internal/mmu whenever a
+	// base-grain operation splinters a large translation).
+	FaultAroundMapped     uint64 // resident neighbours mapped by fault-around
+	Promotions            uint64 // runs promoted to large MMU translations
+	Demotions             uint64 // large translations splintered back to base pages
+	SpeculationsCancelled uint64 // speculative fills dropped under frame pressure
 
 	// Frame-allocator counters, mirrored from phys.Memory.AllocStats:
 	// the two-level magazine allocator and the pre-zeroed frame pool.
@@ -160,6 +202,14 @@ type PVM struct {
 	copyOnRef  bool
 	collapse   bool
 	syncPagers bool // ablation: ignore gmi.Pager, always block in PullIn
+
+	// Extent configuration: faultAround is the cluster width in pages (0
+	// off, else a power of two in [2, faultAroundMax]); promote enables
+	// large-mapping promotion; clusterShift aligns the global-map shard
+	// hash so one cluster's keys share one shard (see shardOf).
+	faultAround  int
+	promote      bool
+	clusterShift uint
 
 	// mu is the structural lock. Held exclusively (mu.Lock) it is the
 	// paper's "simple synchronization interface provided by the host
@@ -215,19 +265,25 @@ var _ gmi.MemoryManager = (*PVM)(nil)
 func New(o Options) *PVM {
 	o.fill()
 	p := &PVM{
-		clock:      o.Clock,
-		segalloc:   o.SegAlloc,
-		pageSize:   int64(o.PageSize),
-		pageMask:   int64(o.PageSize) - 1,
-		smallMax:   int64(o.SmallCopyPages) * int64(o.PageSize),
-		readAhead:  o.ReadAheadPages,
-		copyOnRef:  o.CopyOnReference,
-		collapse:   !o.DisableCollapse,
-		syncPagers: o.SyncPagers,
-		caches:     make(map[*cache]struct{}),
-		contexts:   make(map[*context]struct{}),
-		obs:        o.Tracer,
+		clock:       o.Clock,
+		segalloc:    o.SegAlloc,
+		pageSize:    int64(o.PageSize),
+		pageMask:    int64(o.PageSize) - 1,
+		smallMax:    int64(o.SmallCopyPages) * int64(o.PageSize),
+		readAhead:   o.ReadAheadPages,
+		copyOnRef:   o.CopyOnReference,
+		collapse:    !o.DisableCollapse,
+		syncPagers:  o.SyncPagers,
+		faultAround: o.FaultAroundPages,
+		promote:     o.PromotePages,
+		caches:      make(map[*cache]struct{}),
+		contexts:    make(map[*context]struct{}),
+		obs:         o.Tracer,
 	}
+	for ps := int64(o.PageSize); ps > 1; ps >>= 1 {
+		p.clusterShift++
+	}
+	p.clusterShift += faultAroundShift
 	for i := range p.shards {
 		p.shards[i].m = make(map[pageKey]mapEntry)
 	}
@@ -253,6 +309,7 @@ func New(o Options) *PVM {
 	if o.TLBEntries > 0 {
 		p.hw = mmu.WithTLB(p.hw, o.TLBEntries, o.Clock)
 	}
+	p.hw.SetTracer(o.Tracer)
 	return p
 }
 
@@ -301,6 +358,7 @@ func (p *PVM) MMU() mmu.MMU { return p.hw }
 func (s Stats) Delta(prev Stats) Stats {
 	return Stats{
 		Faults:        s.Faults - prev.Faults,
+		SoftFaults:    s.SoftFaults - prev.SoftFaults,
 		SegvFaults:    s.SegvFaults - prev.SegvFaults,
 		ProtFaults:    s.ProtFaults - prev.ProtFaults,
 		ZeroFills:     s.ZeroFills - prev.ZeroFills,
@@ -316,6 +374,11 @@ func (s Stats) Delta(prev Stats) Stats {
 		Collapses:     s.Collapses - prev.Collapses,
 		Zombies:       s.Zombies - prev.Zombies,
 
+		FaultAroundMapped:     s.FaultAroundMapped - prev.FaultAroundMapped,
+		Promotions:            s.Promotions - prev.Promotions,
+		Demotions:             s.Demotions - prev.Demotions,
+		SpeculationsCancelled: s.SpeculationsCancelled - prev.SpeculationsCancelled,
+
 		ZeroPoolHits:    s.ZeroPoolHits - prev.ZeroPoolHits,
 		ZeroPoolMisses:  s.ZeroPoolMisses - prev.ZeroPoolMisses,
 		MagazineRefills: s.MagazineRefills - prev.MagazineRefills,
@@ -329,8 +392,10 @@ func (s Stats) Delta(prev Stats) Stats {
 func (p *PVM) Stats() Stats {
 	s := &p.stats
 	as := p.mem.AllocStats()
+	ls := p.hw.LargeStats()
 	return Stats{
 		Faults:        atomic.LoadUint64(&s.Faults),
+		SoftFaults:    atomic.LoadUint64(&s.SoftFaults),
 		SegvFaults:    atomic.LoadUint64(&s.SegvFaults),
 		ProtFaults:    atomic.LoadUint64(&s.ProtFaults),
 		ZeroFills:     atomic.LoadUint64(&s.ZeroFills),
@@ -345,6 +410,11 @@ func (p *PVM) Stats() Stats {
 		Evictions:     atomic.LoadUint64(&s.Evictions),
 		Collapses:     atomic.LoadUint64(&s.Collapses),
 		Zombies:       atomic.LoadUint64(&s.Zombies),
+
+		FaultAroundMapped:     atomic.LoadUint64(&s.FaultAroundMapped),
+		Promotions:            ls.Promotes,
+		Demotions:             ls.Demotes,
+		SpeculationsCancelled: atomic.LoadUint64(&s.SpeculationsCancelled),
 
 		ZeroPoolHits:    as.ZeroPoolHits,
 		ZeroPoolMisses:  as.ZeroPoolMisses,

@@ -27,8 +27,12 @@ type gmapShard struct {
 // shardOf returns the shard responsible for key. Caches carry a small
 // integer id so the hash does not depend on pointer values (which would
 // make shard distribution, and thus benchmarks, run-to-run unstable).
+// The offset is hashed at supercluster granularity (faultAroundMax
+// pages), so a fault-around cluster's keys all land in one shard and the
+// neighbour scan is genuinely one lock trip; independent clusters still
+// spread across shards.
 func (p *PVM) shardOf(key pageKey) *gmapShard {
-	h := (key.c.id ^ uint64(key.off)) * 0x9E3779B97F4A7C15
+	h := (key.c.id ^ uint64(key.off)>>p.clusterShift) * 0x9E3779B97F4A7C15
 	return &p.shards[(h>>48)&(gmapShards-1)]
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"chorusvm/internal/gmi"
+	"chorusvm/internal/seg"
 )
 
 // Concurrency stress: the paper's "host kernel provides a simple
@@ -192,13 +193,21 @@ func TestConcurrentSharedReaders(t *testing.T) {
 // pageout daemon is stealing them — the full three-way custody fight. The
 // oracle then doubles as the stale-bytes check: a pool frame carrying a
 // previous owner's bytes shows up as content divergence.
+// The extent variant runs the same fight with clustered async pulls
+// landing on contiguous frame runs, fault-around batch-mapping them and
+// promotion collapsing full clusters to large translations. Every write
+// after a deferred copy, every flush and every reclaim must splinter a
+// covering large translation before touching its pages, so the oracle
+// doubles as the promotion-coherence check: a demotion that reinstalled
+// the wrong frames, or a stale large TLB entry, diverges the content.
 func TestConcurrentOracleStress(t *testing.T) {
 	t.Run("baseline", func(t *testing.T) { runOracleStress(t, false) })
 	t.Run("framepool", func(t *testing.T) { runOracleStress(t, true) })
+	t.Run("extent", func(t *testing.T) { runOracleStress(t, false, withExtent) })
 }
 
-func runOracleStress(t *testing.T, framepool bool) {
-	p, _ := newTestPVM(t, 96)
+func runOracleStress(t *testing.T, framepool bool, opts ...func(*Options)) {
+	p, _ := newTestPVM(t, 96, opts...)
 	stopDaemon := p.StartPageoutDaemon(16, 32, 500*time.Microsecond)
 	defer stopDaemon()
 	if framepool {
@@ -243,8 +252,16 @@ func runOracleStress(t *testing.T, framepool bool) {
 				errs <- err
 				return
 			}
-			cbase := gmi.VA(0x200_0000)
-			c := p.TempCacheCreate()
+			cbase := gmi.VA(0x200_0000) // cluster-aligned: regions are promotion-eligible
+			var c gmi.Cache
+			if p.faultAround > 1 {
+				// Segment-backed caches take the async submit/complete
+				// path, whose clustered fills land on AllocRun frames —
+				// the only source of promotion-eligible contiguous runs.
+				c = p.CacheCreate(seg.NewSegment(fmt.Sprintf("w%d", w), pg, p.Clock()))
+			} else {
+				c = p.TempCacheCreate()
+			}
 			if _, err := ctx.RegionCreate(cbase, pages*pg, gmi.ProtRW, c, 0); err != nil {
 				errs <- err
 				return
@@ -336,6 +353,20 @@ func runOracleStress(t *testing.T, framepool bool) {
 	if framepool {
 		if st := p.Stats(); st.ZeroPoolHits == 0 {
 			t.Fatal("zero pool never served a demand-zero fault")
+		}
+	}
+	if p.promote {
+		// Promotion must have fired, and every promoted cluster must have
+		// splintered on the way out: copies write-invalidate their source
+		// pages, flushes and the reclaimers evict them, and context
+		// teardown invalidates whatever survived. A promote with no
+		// matching demote would be a leaked large translation.
+		st := p.Stats()
+		if st.Promotions == 0 {
+			t.Fatal("extent stress never promoted a cluster")
+		}
+		if st.Demotions == 0 {
+			t.Fatal("promotions happened but nothing ever demoted")
 		}
 	}
 }

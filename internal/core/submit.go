@@ -7,6 +7,7 @@ import (
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
 	"chorusvm/internal/obs"
+	"chorusvm/internal/phys"
 )
 
 // This file is the PVM side of the asynchronous pager protocol. A fault
@@ -169,12 +170,25 @@ func (p *PVM) failFill(fc *fillCompletion) {
 // fastZeroFill.
 func (p *PVM) completeFillFast(fc *fillCompletion) {
 	c := fc.c
+	// With promotion enabled, try to land the cluster on physically
+	// contiguous frames so a later fault-around pass can promote it to a
+	// large translation. Best-effort: no run, same per-page allocations.
+	var run []*phys.Frame
+	if p.promote && fc.count > 1 {
+		run = p.mem.AllocRun(fc.count)
+	}
 	for i := fc.count - 1; i >= 0; i-- {
 		off := fc.off + int64(i)*p.pageSize
 		stub := fc.stubs[i]
 		key := pageKey{c, off}
 		sh := p.shardOf(key)
-		f, err := p.mem.Alloc()
+		var f *phys.Frame
+		var err error
+		if run != nil {
+			f = run[i]
+		} else {
+			f, err = p.mem.Alloc()
+		}
 		if err != nil {
 			// Reserved frames make this unreachable; never strand waiters.
 			sh.mu.Lock()
@@ -270,9 +284,11 @@ func fillChunk(data []byte, i int, ps int64) []byte {
 // installStubRun installs fresh syncStubs, each with its own non-evicting
 // frame reservation, over up to max contiguous pages starting at off. The
 // run stops at the first page that is already occupied, covered by a
-// parent fragment, or out of reservations. Called with p.mu.RLock held;
-// each stub is installed under its own shard mutex, one at a time.
-func (p *PVM) installStubRun(c *cache, off int64, max int) ([]*syncStub, []func()) {
+// parent fragment, or out of reservations; starved reports that last
+// cause, so callers with no waiter to serve can abandon the run instead
+// of fighting residents for frames. Called with p.mu.RLock held; each
+// stub is installed under its own shard mutex, one at a time.
+func (p *PVM) installStubRun(c *cache, off int64, max int) (_ []*syncStub, _ []func(), starved bool) {
 	var stubs []*syncStub
 	var releases []func()
 	for len(stubs) < max {
@@ -282,6 +298,7 @@ func (p *PVM) installStubRun(c *cache, off int64, max int) ([]*syncStub, []func(
 		}
 		rel, ok := p.tryReserveFrames(1)
 		if !ok {
+			starved = true
 			break
 		}
 		k := pageKey{c, o}
@@ -299,7 +316,31 @@ func (p *PVM) installStubRun(c *cache, off int64, max int) ([]*syncStub, []func(
 		stubs = append(stubs, s)
 		releases = append(releases, rel)
 	}
-	return stubs, releases
+	return stubs, releases, starved
+}
+
+// cancelSpeculation tears down a partially installed speculative stub run
+// that ran out of frame reservations: each installed stub is removed and
+// settled under its own shard mutex (waiters that found the stub in the
+// window just retry their fault and resubmit as a demand fill), and every
+// reservation is returned. Called with p.mu.RLock held, no shard mutex.
+func (p *PVM) cancelSpeculation(c *cache, off int64, stubs []*syncStub, releases []func()) {
+	for i, s := range stubs {
+		k := pageKey{c, off + int64(i)*p.pageSize}
+		sh := p.shardOf(k)
+		sh.mu.Lock()
+		if sh.m[k] == mapEntry(s) {
+			delete(sh.m, k)
+			p.clock.Charge(cost.EvGlobalMapOp, 1)
+		}
+		p.settleStub(s)
+		sh.mu.Unlock()
+	}
+	for _, r := range releases {
+		r()
+	}
+	atomic.AddUint64(&p.stats.SpeculationsCancelled, 1)
+	p.obs.Emit(obs.KindSpecCancel, int64(c.id), off)
 }
 
 // newFillRequest builds the PageRequest for a stub run: its completion
@@ -352,7 +393,7 @@ func (p *PVM) fastSubmitPull(c *cache, off int64, key pageKey, sh *gmapShard, pa
 
 	stubs := []*syncStub{stub}
 	releases := []func(){release}
-	more, moreRel := p.installStubRun(c, off+p.pageSize, p.readAhead-1)
+	more, moreRel, _ := p.installStubRun(c, off+p.pageSize, p.readAhead-1)
 	stubs = append(stubs, more...)
 	releases = append(releases, moreRel...)
 
@@ -364,7 +405,15 @@ func (p *PVM) fastSubmitPull(c *cache, off int64, key pageKey, sh *gmapShard, pa
 	var specOff int64
 	if p.readAhead > 1 {
 		specOff = off + int64(count)*p.pageSize
-		if sstubs, srel := p.installStubRun(c, specOff, p.readAhead); len(sstubs) > 0 {
+		sstubs, srel, starved := p.installStubRun(c, specOff, p.readAhead)
+		switch {
+		case starved:
+			// Free frames ran out mid-install. Nobody waits on a
+			// speculation, so it must not compete with demand faults for
+			// the last frames (or trigger evictions to feed a guess):
+			// drop the whole cluster and give the reservations back.
+			p.cancelSpeculation(c, specOff, sstubs, srel)
+		case len(sstubs) > 0:
 			spec = p.newFillRequest(c, specOff, gmi.ProtRead, sstubs, srel)
 		}
 	}

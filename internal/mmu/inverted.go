@@ -3,6 +3,7 @@ package mmu
 import (
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
+	"chorusvm/internal/obs"
 	"chorusvm/internal/phys"
 )
 
@@ -10,7 +11,10 @@ import (
 // (and of machines like the IBM RT): one hash table shared by all address
 // spaces, keyed by (space id, virtual page number), with chained buckets.
 // The table is sized relative to physical memory, which is exactly the
-// paper's section 4.1 sizing rule.
+// paper's section 4.1 sizing rule. Large translations live in the
+// per-space largeTable, not the shared hash — an inverted table is keyed
+// by base pages, so this models a separate block-translation facility
+// (as the real PMMU's early-termination descriptors did).
 
 // Inverted is the PMMU-style MMU flavour.
 type Inverted struct {
@@ -18,6 +22,7 @@ type Inverted struct {
 	buckets []*invEntry
 	mask    uint64
 	nextSID uint32
+	ext     extState
 }
 
 type invEntry struct {
@@ -41,10 +46,40 @@ func NewInverted(pageSize, buckets int, clock *cost.Clock) *Inverted {
 	}
 }
 
+// LargeStats implements MMU.
+func (m *Inverted) LargeStats() LargeStats { return m.ext.stats() }
+
+// SetTracer implements MMU.
+func (m *Inverted) SetTracer(t *obs.Tracer) { m.ext.tracer = t }
+
 // NewSpace implements MMU.
 func (m *Inverted) NewSpace() Space {
 	m.nextSID++
-	return &invSpace{mmu: m, sid: m.nextSID}
+	s := &invSpace{mmu: m, sid: m.nextSID}
+	s.large.init(&m.geometry, &m.ext,
+		func(vpn uint64, e pte) {
+			if pp := s.find(vpn); pp != nil {
+				(*pp).pte = e
+				return
+			}
+			b := &m.buckets[m.hash(s.sid, vpn)]
+			*b = &invEntry{sid: s.sid, vpn: vpn, pte: e, next: *b}
+			s.mapped++
+		},
+		func(vpn uint64) {
+			if pp := s.find(vpn); pp != nil {
+				*pp = (*pp).next
+				s.mapped--
+			}
+		},
+		func(vpn uint64) (pte, bool) {
+			if pp := s.find(vpn); pp != nil {
+				return (*pp).pte, true
+			}
+			return pte{}, false
+		},
+	)
+	return s
 }
 
 func (m *Inverted) hash(sid uint32, vpn uint64) uint64 {
@@ -57,6 +92,7 @@ type invSpace struct {
 	mmu    *Inverted
 	sid    uint32
 	mapped int
+	large  largeTable
 }
 
 func (s *invSpace) find(vpn uint64) **invEntry {
@@ -72,6 +108,7 @@ func (s *invSpace) find(vpn uint64) **invEntry {
 
 func (s *invSpace) Map(va gmi.VA, f *phys.Frame, p gmi.Prot) {
 	vpn := s.mmu.vpn(va)
+	s.large.demoteAt(vpn)
 	if pp := s.find(vpn); pp != nil {
 		(*pp).pte = pte{frame: f, prot: p}
 	} else {
@@ -83,7 +120,9 @@ func (s *invSpace) Map(va gmi.VA, f *phys.Frame, p gmi.Prot) {
 }
 
 func (s *invSpace) Unmap(va gmi.VA) {
-	if pp := s.find(s.mmu.vpn(va)); pp != nil {
+	vpn := s.mmu.vpn(va)
+	s.large.demoteAt(vpn)
+	if pp := s.find(vpn); pp != nil {
 		*pp = (*pp).next
 		s.mapped--
 		s.mmu.clock.Charge(cost.EvPageUnmap, 1)
@@ -91,13 +130,21 @@ func (s *invSpace) Unmap(va gmi.VA) {
 }
 
 func (s *invSpace) Protect(va gmi.VA, p gmi.Prot) {
-	if pp := s.find(s.mmu.vpn(va)); pp != nil {
+	vpn := s.mmu.vpn(va)
+	s.large.demoteAt(vpn)
+	if pp := s.find(vpn); pp != nil {
 		(*pp).pte.prot = p
 		s.mmu.clock.Charge(cost.EvPageProtect, 1)
 	}
 }
 
 func (s *invSpace) Translate(va gmi.VA, access gmi.Prot, system bool) (*phys.Frame, error) {
+	if e, ok := s.large.pteAt(s.mmu.vpn(va)); ok {
+		if err := e.check(va, access, system); err != nil {
+			return nil, err
+		}
+		return e.frame, nil
+	}
 	pp := s.find(s.mmu.vpn(va))
 	if pp == nil {
 		return nil, &Fault{VA: va, Access: access, Kind: FaultInvalid}
@@ -110,6 +157,9 @@ func (s *invSpace) Translate(va gmi.VA, access gmi.Prot, system bool) (*phys.Fra
 }
 
 func (s *invSpace) Lookup(va gmi.VA) (*phys.Frame, gmi.Prot, bool) {
+	if e, ok := s.large.pteAt(s.mmu.vpn(va)); ok {
+		return e.frame, e.prot, true
+	}
 	if pp := s.find(s.mmu.vpn(va)); pp != nil {
 		e := (*pp).pte
 		return e.frame, e.prot, true
@@ -118,6 +168,7 @@ func (s *invSpace) Lookup(va gmi.VA) (*phys.Frame, gmi.Prot, bool) {
 }
 
 func (s *invSpace) InvalidateRange(va gmi.VA, npages int) {
+	s.large.demoteRange(s.mmu.vpn(va), npages)
 	for i := 0; i < npages; i++ {
 		if pp := s.find(s.mmu.vpn(va + gmi.VA(i<<s.mmu.shift))); pp != nil {
 			*pp = (*pp).next
@@ -127,7 +178,25 @@ func (s *invSpace) InvalidateRange(va gmi.VA, npages int) {
 	s.mmu.clock.Charge(cost.EvPageInvalidate, npages)
 }
 
-func (s *invSpace) Mapped() int { return s.mapped }
+func (s *invSpace) MapBatch(va gmi.VA, frames []*phys.Frame, p gmi.Prot) {
+	s.large.mapBatch(va, frames, p)
+}
+
+func (s *invSpace) ProtectRange(va gmi.VA, npages int, p gmi.Prot) {
+	s.large.protectRange(va, npages, p)
+}
+
+func (s *invSpace) MapLarge(va gmi.VA, frames []*phys.Frame, p gmi.Prot) bool {
+	return s.large.mapLarge(va, frames, p)
+}
+
+func (s *invSpace) DemoteLarge(va gmi.VA) (gmi.VA, int) {
+	return s.large.demoteLarge(va)
+}
+
+func (s *invSpace) LargeMapped() int { return s.large.largeMapped() }
+
+func (s *invSpace) Mapped() int { return s.mapped + s.large.pages }
 
 func (s *invSpace) Destroy() {
 	// Walk every bucket and unchain this space's entries.
@@ -142,4 +211,5 @@ func (s *invSpace) Destroy() {
 		}
 	}
 	s.mapped = 0
+	s.large.reset()
 }

@@ -1,0 +1,250 @@
+package mmu
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"chorusvm/internal/cost"
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/obs"
+	"chorusvm/internal/phys"
+)
+
+// Large (multi-page) translations, shared by every MMU flavour. A space
+// normally maps one base page per PTE; when the memory manager finds a
+// naturally-aligned power-of-two run of pages whose frames are physically
+// contiguous and whose protection is uniform, it can promote the run to a
+// single large translation (MapLarge). A large translation covers the
+// whole run with one entry — one map charge instead of 2^k — and is
+// demoted (splintered back into base PTEs with identical frames and
+// protection) the moment any base-grain operation touches it: Map, Unmap
+// or Protect of a covered page, a ProtectRange or InvalidateRange
+// overlapping it, or an explicit DemoteLarge. That is the entire state
+// machine: base pages -> promote -> large -> any partial touch -> base
+// pages, never large-to-large.
+//
+// Each flavour keeps its base PTEs exactly as before and carries one
+// largeTable per space; the table holds the large entries plus three
+// closures over the flavour's base-PTE primitives, so the extent
+// operations (MapBatch, ProtectRange, MapLarge, DemoteLarge) are
+// implemented once here.
+
+// MaxLargeOrder bounds large translations at 2^MaxLargeOrder base pages
+// (8 pages = 64 KB at the paper's 8 KB page), matching the fault-around
+// cluster width in internal/core.
+const MaxLargeOrder = 3
+
+// LargeStats counts large-mapping activity across all of an MMU's spaces.
+type LargeStats struct {
+	Promotes, Demotes uint64
+}
+
+// extState is the per-flavour shared state behind the extent operations:
+// promotion/demotion counters aggregated across the flavour's spaces
+// (atomic — spaces of different contexts run under different leaf locks)
+// and the trace hook, set once at wiring time before any space exists.
+type extState struct {
+	promotes atomic.Uint64
+	demotes  atomic.Uint64
+	tracer   *obs.Tracer
+}
+
+func (e *extState) stats() LargeStats {
+	return LargeStats{Promotes: e.promotes.Load(), Demotes: e.demotes.Load()}
+}
+
+// largeEntry is one live large translation.
+type largeEntry struct {
+	base   uint64 // first vpn, aligned to the entry's page count
+	order  uint   // log2 of the page count
+	frames []*phys.Frame
+	prot   gmi.Prot
+}
+
+// largeTable tracks one space's large translations. Entries are keyed by
+// base vpn; the per-order counts let lookup probe only orders that are
+// actually in use, and the empty table costs one length check.
+type largeTable struct {
+	geo     *geometry
+	ext     *extState
+	entries map[uint64]*largeEntry
+	orders  [MaxLargeOrder + 1]int
+	pages   int // base pages covered by live entries, for Mapped()
+
+	// Base-PTE primitives supplied by the owning flavour. None of them
+	// charge costs; the extent operations charge batched costs themselves.
+	setBase   func(vpn uint64, e pte) // install or overwrite
+	clearBase func(vpn uint64)        // remove if present
+	getBase   func(vpn uint64) (pte, bool)
+}
+
+func (t *largeTable) init(geo *geometry, ext *extState,
+	set func(uint64, pte), clear func(uint64), get func(uint64) (pte, bool)) {
+	t.geo, t.ext = geo, ext
+	t.setBase, t.clearBase, t.getBase = set, clear, get
+}
+
+// lookup returns the entry covering vpn, or nil.
+func (t *largeTable) lookup(vpn uint64) *largeEntry {
+	if len(t.entries) == 0 {
+		return nil
+	}
+	for k := uint(1); k <= MaxLargeOrder; k++ {
+		if t.orders[k] == 0 {
+			continue
+		}
+		if e, ok := t.entries[vpn&^(1<<k-1)]; ok && e.order == k {
+			return e
+		}
+	}
+	return nil
+}
+
+// pteAt synthesizes a base-grain PTE view of the entry covering vpn.
+func (t *largeTable) pteAt(vpn uint64) (pte, bool) {
+	e := t.lookup(vpn)
+	if e == nil {
+		return pte{}, false
+	}
+	return pte{frame: e.frames[vpn-e.base], prot: e.prot}, true
+}
+
+// demote splinters e back into base PTEs with identical frames and
+// protection, charging one map cost per reinstalled entry.
+func (t *largeTable) demote(e *largeEntry) {
+	for i, f := range e.frames {
+		t.setBase(e.base+uint64(i), pte{frame: f, prot: e.prot})
+	}
+	delete(t.entries, e.base)
+	t.orders[e.order]--
+	t.pages -= len(e.frames)
+	t.geo.clock.Charge(cost.EvPageMap, len(e.frames))
+	t.ext.demotes.Add(1)
+	t.ext.tracer.Emit(obs.KindDemote, int64(e.base<<t.geo.shift), int64(len(e.frames)))
+}
+
+// demoteAt splinters the entry covering vpn, if any, returning its base
+// vpn and page count ((0, 0) when vpn is not covered).
+func (t *largeTable) demoteAt(vpn uint64) (uint64, int) {
+	e := t.lookup(vpn)
+	if e == nil {
+		return 0, 0
+	}
+	base, n := e.base, len(e.frames)
+	t.demote(e)
+	return base, n
+}
+
+// demoteRange splinters every entry overlapping [vpn, vpn+npages).
+func (t *largeTable) demoteRange(vpn uint64, npages int) {
+	if len(t.entries) == 0 {
+		return
+	}
+	var hit []*largeEntry
+	end := vpn + uint64(npages)
+	for _, e := range t.entries {
+		if e.base < end && vpn < e.base+uint64(len(e.frames)) {
+			hit = append(hit, e)
+		}
+	}
+	for _, e := range hit {
+		t.demote(e)
+	}
+}
+
+// reset drops all entries without splintering (space teardown; not
+// counted as demotions).
+func (t *largeTable) reset() {
+	t.entries = nil
+	t.orders = [MaxLargeOrder + 1]int{}
+	t.pages = 0
+}
+
+// mapBatch implements Space.MapBatch over the base primitives: one
+// batched charge for the whole run.
+func (t *largeTable) mapBatch(va gmi.VA, frames []*phys.Frame, p gmi.Prot) {
+	vpn := t.geo.vpn(va)
+	for i, f := range frames {
+		t.demoteAt(vpn + uint64(i))
+		t.setBase(vpn+uint64(i), pte{frame: f, prot: p})
+	}
+	t.geo.clock.Charge(cost.EvPageMap, len(frames))
+}
+
+// protectRange implements Space.ProtectRange. Large entries overlapping
+// the range demote first: a protection change over part of a run
+// splinters it, and uniform handling of the full-cover case keeps the
+// state machine at one transition.
+func (t *largeTable) protectRange(va gmi.VA, npages int, p gmi.Prot) {
+	vpn := t.geo.vpn(va)
+	t.demoteRange(vpn, npages)
+	changed := 0
+	for i := 0; i < npages; i++ {
+		if e, ok := t.getBase(vpn + uint64(i)); ok {
+			e.prot = p
+			t.setBase(vpn+uint64(i), e)
+			changed++
+		}
+	}
+	if changed > 0 {
+		t.geo.clock.Charge(cost.EvPageProtect, changed)
+	}
+}
+
+// mapLarge implements Space.MapLarge; see the interface comment for the
+// eligibility rules. Base translations in the range are subsumed by the
+// large entry (and reinstalled on demotion).
+func (t *largeTable) mapLarge(va gmi.VA, frames []*phys.Frame, p gmi.Prot) bool {
+	n := len(frames)
+	if n < 2 || n > 1<<MaxLargeOrder || n&(n-1) != 0 {
+		return false
+	}
+	vpn := t.geo.vpn(va)
+	if vpn&uint64(n-1) != 0 {
+		return false
+	}
+	base := frames[0]
+	if base == nil {
+		return false
+	}
+	for i, f := range frames {
+		if f == nil || f.Index != base.Index+i {
+			return false
+		}
+	}
+	for i := 0; i < n; i++ {
+		if t.lookup(vpn+uint64(i)) != nil {
+			return false // already covered by a large translation
+		}
+	}
+	for i := 0; i < n; i++ {
+		t.clearBase(vpn + uint64(i))
+	}
+	if t.entries == nil {
+		t.entries = make(map[uint64]*largeEntry)
+	}
+	fs := make([]*phys.Frame, n)
+	copy(fs, frames)
+	order := uint(bits.TrailingZeros(uint(n)))
+	t.entries[vpn] = &largeEntry{base: vpn, order: order, frames: fs, prot: p}
+	t.orders[order]++
+	t.pages += n
+	// One entry write covers the whole run; that asymmetry against the
+	// per-page charge of demotion is the point of promotion.
+	t.geo.clock.Charge(cost.EvPageMap, 1)
+	t.ext.promotes.Add(1)
+	t.ext.tracer.Emit(obs.KindPromote, int64(va), int64(n))
+	return true
+}
+
+// demoteLarge implements Space.DemoteLarge.
+func (t *largeTable) demoteLarge(va gmi.VA) (gmi.VA, int) {
+	base, n := t.demoteAt(t.geo.vpn(va))
+	if n == 0 {
+		return 0, 0
+	}
+	return gmi.VA(base << t.geo.shift), n
+}
+
+// largeMapped implements Space.LargeMapped.
+func (t *largeTable) largeMapped() int { return len(t.entries) }

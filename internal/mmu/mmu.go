@@ -16,6 +16,7 @@ import (
 
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
+	"chorusvm/internal/obs"
 	"chorusvm/internal/phys"
 )
 
@@ -72,8 +73,41 @@ type Space interface {
 
 	// InvalidateRange removes all translations in [va, va+n*pageSize);
 	// the bulk form used at region destruction, cheaper per page than
-	// individual Unmaps.
+	// individual Unmaps. Large translations overlapping the range are
+	// demoted first, so pages outside the range stay mapped.
 	InvalidateRange(va gmi.VA, npages int)
+
+	// MapBatch installs translations for len(frames) consecutive pages
+	// starting at va, one frame per page, all with protection p — the
+	// bulk analogue of Map used by fault-around. One batched cost charge
+	// covers the whole run.
+	MapBatch(va gmi.VA, frames []*phys.Frame, p gmi.Prot)
+
+	// ProtectRange changes the protection of every mapped page in
+	// [va, va+npages*pageSize) to p, skipping holes — the bulk analogue
+	// of Protect. Large translations overlapping the range are demoted
+	// first.
+	ProtectRange(va gmi.VA, npages int, p gmi.Prot)
+
+	// MapLarge promotes the naturally-aligned run of len(frames) pages at
+	// va to a single large translation. len(frames) must be a power of
+	// two in [2, 1<<MaxLargeOrder], va must be aligned to the run size,
+	// and the frames must be physically contiguous (consecutive Index);
+	// ineligible runs return false with no state change. Existing base
+	// translations in the range are subsumed. Any later base-grain
+	// operation touching the run (Map/Unmap/Protect of a covered page, an
+	// overlapping ProtectRange/InvalidateRange) demotes it automatically.
+	MapLarge(va gmi.VA, frames []*phys.Frame, p gmi.Prot) bool
+
+	// DemoteLarge splinters the large translation covering va back into
+	// base-page translations with identical frames and protection,
+	// returning its base address and page count ((0, 0) when va is not
+	// covered by a large translation).
+	DemoteLarge(va gmi.VA) (base gmi.VA, npages int)
+
+	// LargeMapped returns the number of live large translations, for
+	// tests. Mapped counts a large translation as its full page count.
+	LargeMapped() int
 
 	// Mapped returns the number of live translations, for tests.
 	Mapped() int
@@ -90,6 +124,12 @@ type MMU interface {
 	PageSize() int
 	// NewSpace creates an empty translation map.
 	NewSpace() Space
+	// LargeStats returns the flavour's cumulative large-mapping
+	// promotion/demotion counts across all its spaces.
+	LargeStats() LargeStats
+	// SetTracer wires promote/demote trace events; nil disables them.
+	// Call once at wiring time, before any space exists.
+	SetTracer(t *obs.Tracer)
 }
 
 // geometry holds what every flavour needs: page arithmetic and the clock.

@@ -5,6 +5,7 @@ import (
 
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
+	"chorusvm/internal/obs"
 	"chorusvm/internal/phys"
 )
 
@@ -48,6 +49,12 @@ func (m *TLBMMU) Name() string { return m.inner.Name() + "+tlb" }
 
 // PageSize implements MMU.
 func (m *TLBMMU) PageSize() int { return m.inner.PageSize() }
+
+// LargeStats implements MMU.
+func (m *TLBMMU) LargeStats() LargeStats { return m.inner.LargeStats() }
+
+// SetTracer implements MMU.
+func (m *TLBMMU) SetTracer(t *obs.Tracer) { m.inner.SetTracer(t) }
 
 // Stats returns the aggregate TLB counters.
 func (m *TLBMMU) Stats() TLBStats {
@@ -119,22 +126,65 @@ func (s *tlbSpace) Protect(va gmi.VA, p gmi.Prot) {
 	s.inner.Protect(va, p)
 }
 
-// InvalidateRange implements Space.
-func (s *tlbSpace) InvalidateRange(va gmi.VA, npages int) {
+// shootRange invalidates the TLB entries covering npages from va,
+// flushing the whole TLB when that is cheaper.
+func (s *tlbSpace) shootRange(va gmi.VA, npages int) {
 	if npages >= len(s.tlb) {
-		// Bulk invalidation: cheaper to flush the whole TLB.
 		for i := range s.tlb {
 			s.tlb[i].valid = false
 		}
 		s.m.flushes.Add(1)
 		s.m.clock.Charge(cost.EvTLBFlush, 1)
-	} else {
-		for i := 0; i < npages; i++ {
-			s.shootdown(va + gmi.VA(i<<s.shift))
-		}
+		return
 	}
+	for i := 0; i < npages; i++ {
+		s.shootdown(va + gmi.VA(i<<s.shift))
+	}
+}
+
+// InvalidateRange implements Space.
+func (s *tlbSpace) InvalidateRange(va gmi.VA, npages int) {
+	s.shootRange(va, npages)
 	s.inner.InvalidateRange(va, npages)
 }
+
+// MapBatch implements Space: every page's cached entry is shot down
+// before the bulk install.
+func (s *tlbSpace) MapBatch(va gmi.VA, frames []*phys.Frame, p gmi.Prot) {
+	s.shootRange(va, len(frames))
+	s.inner.MapBatch(va, frames, p)
+}
+
+// ProtectRange implements Space.
+func (s *tlbSpace) ProtectRange(va gmi.VA, npages int, p gmi.Prot) {
+	s.shootRange(va, npages)
+	s.inner.ProtectRange(va, npages, p)
+}
+
+// MapLarge implements Space. The TLB caches base-grain entries whose
+// frame and protection the promoted run may change, so the whole range is
+// shot down on success.
+func (s *tlbSpace) MapLarge(va gmi.VA, frames []*phys.Frame, p gmi.Prot) bool {
+	if !s.inner.MapLarge(va, frames, p) {
+		return false
+	}
+	s.shootRange(va, len(frames))
+	return true
+}
+
+// DemoteLarge implements Space: splintering a large translation must
+// invalidate whatever the TLB cached for the run, the classic demotion
+// shootdown.
+func (s *tlbSpace) DemoteLarge(va gmi.VA) (gmi.VA, int) {
+	base, n := s.inner.DemoteLarge(va)
+	if n > 0 {
+		s.shootRange(base, n)
+	}
+	return base, n
+}
+
+// LargeMapped implements Space.
+func (s *tlbSpace) LargeMapped() int { return s.inner.LargeMapped() }
 
 // Translate implements Space: TLB first, then the walk.
 func (s *tlbSpace) Translate(va gmi.VA, access gmi.Prot, system bool) (*phys.Frame, error) {

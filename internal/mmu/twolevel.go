@@ -3,6 +3,7 @@ package mmu
 import (
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
+	"chorusvm/internal/obs"
 	"chorusvm/internal/phys"
 )
 
@@ -18,26 +19,60 @@ const (
 )
 
 // TwoLevel is the Sun-3-style MMU flavour.
-type TwoLevel struct{ geometry }
+type TwoLevel struct {
+	geometry
+	ext extState
+}
 
 // NewTwoLevel creates the flavour with the given page size.
 func NewTwoLevel(pageSize int, clock *cost.Clock) *TwoLevel {
-	return &TwoLevel{newGeometry("sun3", pageSize, clock)}
+	return &TwoLevel{geometry: newGeometry("sun3", pageSize, clock)}
 }
+
+// LargeStats implements MMU.
+func (m *TwoLevel) LargeStats() LargeStats { return m.ext.stats() }
+
+// SetTracer implements MMU.
+func (m *TwoLevel) SetTracer(t *obs.Tracer) { m.ext.tracer = t }
 
 // NewSpace implements MMU.
 func (m *TwoLevel) NewSpace() Space {
-	return &twoLevelSpace{geo: m.geometry}
+	s := &twoLevelSpace{geo: m.geometry}
+	s.large.init(&s.geo, &m.ext,
+		func(vpn uint64, e pte) {
+			slot := s.slotVPN(vpn, true)
+			if slot == nil {
+				panic("mmu: va outside two-level root coverage")
+			}
+			if slot.frame == nil {
+				s.mapped++
+			}
+			*slot = e
+		},
+		func(vpn uint64) {
+			if slot := s.slotVPN(vpn, false); slot != nil && slot.frame != nil {
+				slot.frame, slot.prot = nil, 0
+				s.mapped--
+			}
+		},
+		func(vpn uint64) (pte, bool) {
+			if slot := s.slotVPN(vpn, false); slot != nil && slot.frame != nil {
+				return *slot, true
+			}
+			return pte{}, false
+		},
+	)
+	return s
 }
 
 type twoLevelSpace struct {
 	geo    geometry
 	root   [rootSize]*[leafSize]pte
 	mapped int
+	large  largeTable
 }
 
-func (s *twoLevelSpace) slot(va gmi.VA, create bool) *pte {
-	vpn := s.geo.vpn(va)
+func (s *twoLevelSpace) slotVPN(vpn uint64, create bool) *pte {
 	ri := vpn >> leafBits
 	if ri >= rootSize {
 		return nil
@@ -53,7 +88,12 @@ func (s *twoLevelSpace) slot(va gmi.VA, create bool) *pte {
 	return &leaf[vpn&leafMask]
 }
 
+func (s *twoLevelSpace) slot(va gmi.VA, create bool) *pte {
+	return s.slotVPN(s.geo.vpn(va), create)
+}
+
 func (s *twoLevelSpace) Map(va gmi.VA, f *phys.Frame, p gmi.Prot) {
+	s.large.demoteAt(s.geo.vpn(va))
 	e := s.slot(va, true)
 	if e == nil {
 		panic("mmu: va outside two-level root coverage")
@@ -66,6 +106,7 @@ func (s *twoLevelSpace) Map(va gmi.VA, f *phys.Frame, p gmi.Prot) {
 }
 
 func (s *twoLevelSpace) Unmap(va gmi.VA) {
+	s.large.demoteAt(s.geo.vpn(va))
 	if e := s.slot(va, false); e != nil && e.frame != nil {
 		e.frame, e.prot = nil, 0
 		s.mapped--
@@ -74,6 +115,7 @@ func (s *twoLevelSpace) Unmap(va gmi.VA) {
 }
 
 func (s *twoLevelSpace) Protect(va gmi.VA, p gmi.Prot) {
+	s.large.demoteAt(s.geo.vpn(va))
 	if e := s.slot(va, false); e != nil && e.frame != nil {
 		e.prot = p
 		s.geo.clock.Charge(cost.EvPageProtect, 1)
@@ -81,6 +123,12 @@ func (s *twoLevelSpace) Protect(va gmi.VA, p gmi.Prot) {
 }
 
 func (s *twoLevelSpace) Translate(va gmi.VA, access gmi.Prot, system bool) (*phys.Frame, error) {
+	if e, ok := s.large.pteAt(s.geo.vpn(va)); ok {
+		if err := e.check(va, access, system); err != nil {
+			return nil, err
+		}
+		return e.frame, nil
+	}
 	e := s.slot(va, false)
 	if e == nil || e.frame == nil {
 		return nil, &Fault{VA: va, Access: access, Kind: FaultInvalid}
@@ -92,6 +140,9 @@ func (s *twoLevelSpace) Translate(va gmi.VA, access gmi.Prot, system bool) (*phy
 }
 
 func (s *twoLevelSpace) Lookup(va gmi.VA) (*phys.Frame, gmi.Prot, bool) {
+	if e, ok := s.large.pteAt(s.geo.vpn(va)); ok {
+		return e.frame, e.prot, true
+	}
 	e := s.slot(va, false)
 	if e == nil || e.frame == nil {
 		return nil, 0, false
@@ -100,6 +151,7 @@ func (s *twoLevelSpace) Lookup(va gmi.VA) (*phys.Frame, gmi.Prot, bool) {
 }
 
 func (s *twoLevelSpace) InvalidateRange(va gmi.VA, npages int) {
+	s.large.demoteRange(s.geo.vpn(va), npages)
 	for i := 0; i < npages; i++ {
 		if e := s.slot(va+gmi.VA(i<<s.geo.shift), false); e != nil && e.frame != nil {
 			e.frame, e.prot = nil, 0
@@ -109,11 +161,30 @@ func (s *twoLevelSpace) InvalidateRange(va gmi.VA, npages int) {
 	s.geo.clock.Charge(cost.EvPageInvalidate, npages)
 }
 
-func (s *twoLevelSpace) Mapped() int { return s.mapped }
+func (s *twoLevelSpace) MapBatch(va gmi.VA, frames []*phys.Frame, p gmi.Prot) {
+	s.large.mapBatch(va, frames, p)
+}
+
+func (s *twoLevelSpace) ProtectRange(va gmi.VA, npages int, p gmi.Prot) {
+	s.large.protectRange(va, npages, p)
+}
+
+func (s *twoLevelSpace) MapLarge(va gmi.VA, frames []*phys.Frame, p gmi.Prot) bool {
+	return s.large.mapLarge(va, frames, p)
+}
+
+func (s *twoLevelSpace) DemoteLarge(va gmi.VA) (gmi.VA, int) {
+	return s.large.demoteLarge(va)
+}
+
+func (s *twoLevelSpace) LargeMapped() int { return s.large.largeMapped() }
+
+func (s *twoLevelSpace) Mapped() int { return s.mapped + s.large.pages }
 
 func (s *twoLevelSpace) Destroy() {
 	for i := range s.root {
 		s.root[i] = nil
 	}
 	s.mapped = 0
+	s.large.reset()
 }

@@ -66,6 +66,10 @@ const (
 	KindFramePoolMiss               // phys: AllocZeroed fell back to a synchronous bzero
 	KindFillSubmit                  // core: async fill request submitted to a pager
 	KindFillComplete                // core: pager completion published pages + settled stubs
+	KindFaultAround                 // core: one fault mapped resident neighbours (arg2 = pages)
+	KindPromote                     // mmu: run promoted to a large translation (arg1 = va, arg2 = pages)
+	KindDemote                      // mmu: large translation splintered to base pages (arg1 = va, arg2 = pages)
+	KindSpecCancel                  // core: speculative fill dropped under frame pressure (arg2 = offset)
 	NumKinds
 )
 
@@ -75,7 +79,8 @@ var kindNames = [NumKinds]string{
 	"getwrite", "segcreate", "segpull", "segpush", "ipcsend", "ipcrecv",
 	"copy", "move", "dsminvalidate", "dsmsync", "storeread", "storewrite",
 	"storecompress", "storeretry", "framezero", "framepoolhit",
-	"framepoolmiss", "fillsubmit", "fillcomplete",
+	"framepoolmiss", "fillsubmit", "fillcomplete", "faultaround",
+	"promote", "demote", "speccancel",
 }
 
 func (k Kind) String() string {
@@ -113,6 +118,7 @@ const (
 	OpStoreCompress           // flate page (de)compression latency
 	OpStoreRetry              // backoff taken per retried transient failure
 	OpFrameZero               // phys: background zeroer per-frame bzero latency
+	OpFaultAround             // core: fault-around neighbour scan + batched map latency
 	NumOps
 )
 
@@ -121,7 +127,7 @@ var opNames = [NumOps]string{
 	"fault.complete", "fault.content", "pullin", "pushout", "getwrite", "seg.pull",
 	"seg.push", "ipc.send", "ipc.recv", "copy", "move",
 	"dsm.invalidate", "dsm.sync", "store.read", "store.write",
-	"store.compress", "store.retry", "frame.zero",
+	"store.compress", "store.retry", "frame.zero", "fault.around",
 }
 
 func (o Op) String() string {

@@ -1,0 +1,109 @@
+package phys
+
+import (
+	"testing"
+
+	"chorusvm/internal/cost"
+)
+
+func TestAllocRunContiguous(t *testing.T) {
+	clock := cost.New()
+	m := NewMemory(16, 4096, clock)
+	run := m.AllocRun(4)
+	if run == nil {
+		t.Fatal("AllocRun(4) failed on a fresh depot")
+	}
+	if len(run) != 4 {
+		t.Fatalf("run length = %d, want 4", len(run))
+	}
+	for i, f := range run {
+		if f.Index != run[0].Index+i {
+			t.Fatalf("run[%d].Index = %d, want %d (ascending contiguous)", i, f.Index, run[0].Index+i)
+		}
+	}
+	if m.FreeFrames() != 12 {
+		t.Fatalf("FreeFrames = %d after a 4-frame run, want 12", m.FreeFrames())
+	}
+	// Run frames free like any others, individually or batched.
+	for _, f := range run {
+		m.Free(f)
+	}
+	if m.FreeFrames() != 16 {
+		t.Fatalf("FreeFrames = %d after freeing the run, want 16", m.FreeFrames())
+	}
+	if d, mg, z := m.Custody(); d+mg+z != 16 {
+		t.Fatalf("custody %d+%d+%d != 16 after run free", d, mg, z)
+	}
+}
+
+func TestAllocRunBadSizes(t *testing.T) {
+	m := NewMemory(8, 4096, cost.New())
+	if m.AllocRun(0) != nil {
+		t.Fatal("AllocRun(0) returned a run")
+	}
+	if m.AllocRun(-1) != nil {
+		t.Fatal("AllocRun(-1) returned a run")
+	}
+	if m.AllocRun(9) != nil {
+		t.Fatal("AllocRun beyond total frames returned a run")
+	}
+	if m.FreeFrames() != 8 {
+		t.Fatalf("FreeFrames = %d after rejected runs, want 8", m.FreeFrames())
+	}
+}
+
+func TestAllocRunExhaustionRestoresAvail(t *testing.T) {
+	m := NewMemory(4, 4096, cost.New())
+	held := m.AllocRun(4)
+	if held == nil {
+		t.Fatal("AllocRun(4) failed on a fresh 4-frame depot")
+	}
+	if m.AllocRun(2) != nil {
+		t.Fatal("AllocRun on an empty pool returned a run")
+	}
+	if m.FreeFrames() != 0 {
+		t.Fatalf("FreeFrames = %d after failed run, want 0 (claims returned)", m.FreeFrames())
+	}
+	// FreeBatch returns the frames straight to the depot (single Frees
+	// would park them in a magazine, where the depot-only run scan does
+	// not look).
+	m.FreeBatch(held)
+	if m.AllocRun(4) == nil {
+		t.Fatal("AllocRun failed after the frames came back")
+	}
+}
+
+// TestAllocRunFragmented verifies the failure path when enough frames are
+// free but no contiguous run exists: the claim is rolled back and the
+// frames remain allocatable singly.
+func TestAllocRunFragmented(t *testing.T) {
+	m := NewMemory(8, 4096, cost.New())
+	// Drain the depot through single allocations, then free alternating
+	// indexes: 4 free frames, no two adjacent.
+	byIndex := make(map[int]*Frame)
+	for i := 0; i < 8; i++ {
+		f, err := m.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		byIndex[f.Index] = f
+	}
+	for i := 0; i < 8; i += 2 {
+		m.Free(byIndex[i])
+	}
+	if m.FreeFrames() != 4 {
+		t.Fatalf("FreeFrames = %d, want 4", m.FreeFrames())
+	}
+	if run := m.AllocRun(2); run != nil {
+		t.Fatalf("AllocRun(2) found %v in a fully fragmented pool", []int{run[0].Index, run[1].Index})
+	}
+	if m.FreeFrames() != 4 {
+		t.Fatalf("FreeFrames = %d after failed run, want 4", m.FreeFrames())
+	}
+	// The fragmented frames are still individually allocatable.
+	for i := 0; i < 4; i++ {
+		if _, err := m.Alloc(); err != nil {
+			t.Fatalf("single alloc %d after failed run: %v", i, err)
+		}
+	}
+}

@@ -206,10 +206,11 @@ func (in *Interp) exec(raw string) error {
 		return nil
 	case "stats":
 		st := in.pvm.Stats()
-		fmt.Fprintf(in.out, "faults=%d protfaults=%d zerofills=%d cowbreaks=%d stubbreaks=%d historypushes=%d pullins=%d pushouts=%d evictions=%d collapses=%d zeropoolhits=%d zeropoolmisses=%d\n",
-			st.Faults, st.ProtFaults, st.ZeroFills, st.CowBreaks, st.StubBreaks,
+		fmt.Fprintf(in.out, "faults=%d softfaults=%d protfaults=%d zerofills=%d cowbreaks=%d stubbreaks=%d historypushes=%d pullins=%d pushouts=%d evictions=%d collapses=%d zeropoolhits=%d zeropoolmisses=%d faultaround=%d promotions=%d demotions=%d speccancels=%d\n",
+			st.Faults, st.SoftFaults, st.ProtFaults, st.ZeroFills, st.CowBreaks, st.StubBreaks,
 			st.HistoryPushes, st.PullIns, st.PushOuts, st.Evictions, st.Collapses,
-			st.ZeroPoolHits, st.ZeroPoolMisses)
+			st.ZeroPoolHits, st.ZeroPoolMisses,
+			st.FaultAroundMapped, st.Promotions, st.Demotions, st.SpeculationsCancelled)
 		return nil
 	case "clock":
 		fmt.Fprintf(in.out, "simulated %v\n", in.clock.Elapsed())
