@@ -28,6 +28,11 @@
 //	                           # clusters per fault (0 = same workload, off)
 //	chorusbench -fault-around-ablation -bench-json BENCH_fault.json
 //	                           # widths 0/4/8 + machine-readable results
+//	chorusbench -pressure      # replacement-policy ablation: lru/clock/2q
+//	                           # under Zipf + scan at 0.5x/1x/2x of memory
+//	chorusbench -pressure -pressure-json BENCH_pressure.json
+//	chorusbench -parallel -policy clock
+//	                           # policy bookkeeping overhead on the fault path
 package main
 
 import (
@@ -35,12 +40,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"chorusvm/internal/bench"
 	"chorusvm/internal/core"
 	"chorusvm/internal/machvm"
 	"chorusvm/internal/obs"
+	"chorusvm/internal/policy"
 	"chorusvm/internal/store"
 )
 
@@ -66,6 +73,9 @@ func main() {
 	faWorkers := flag.Int("fault-around-workers", 2, "concurrent workers in the fault-around ablation (the soft-fault workload is CPU-bound, so match the machine, not the device)")
 	promote := flag.Bool("promote", true, "promote contiguous fault-around clusters to large MMU translations (with -fault-around >= 2)")
 	benchJSON := flag.String("bench-json", "", "write the fault-around ablation results as machine-readable JSON to this file")
+	policyName := flag.String("policy", "", "page-replacement policy for the -parallel runs: lru, clock or 2q (empty = PVM default)")
+	pressure := flag.Bool("pressure", false, "run the replacement-policy pressure ablation (lru/clock/2q under Zipf + scan bursts at 0.5x/1x/2x of physical memory)")
+	pressureJSON := flag.String("pressure-json", "", "write the -pressure results as machine-readable JSON to this file")
 	flag.Parse()
 
 	// Validate the flag combination before any work: a bad combination is
@@ -90,6 +100,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "chorusbench: -fault-around %d invalid (want a power of two <= 8, or 0 to disable)\n\n", *faultAround)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *policyName != "" {
+		if _, err := policy.New(*policyName); err != nil {
+			fmt.Fprintf(os.Stderr, "chorusbench: -policy %q invalid (want one of %s)\n\n",
+				*policyName, strings.Join(policy.Names(), ", "))
+			flag.Usage()
+			os.Exit(2)
+		}
 	}
 
 	chorus := bench.PVM(core.Options{Frames: *frames, SmallCopyPages: -1})
@@ -135,6 +153,18 @@ func main() {
 		fmt.Println(bench.FormatFramePool(bench.FramePoolAblation([]int{1, 2, 4, 8}, 256)))
 	}
 
+	if *pressure {
+		fmt.Println("=== Replacement-policy pressure ablation ===")
+		pts := bench.PressureAblation(policy.Names(), []float64{0.5, 1, 2}, bench.DefaultPressureConfig)
+		fmt.Println(bench.FormatPressure(pts))
+		if *pressureJSON != "" {
+			if err := writePressureJSON(*pressureJSON, pts); err != nil {
+				fmt.Fprintln(os.Stderr, "chorusbench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
 	if *faAblation {
 		fmt.Println("=== Warm-resident soft faults: fault-around ablation ===")
 		pts := bench.FaultAroundAblation([]int{0, 4, 8}, *faWorkers, *pages, *promote, storeCfg)
@@ -170,6 +200,7 @@ func main() {
 		for _, w := range []int{1, 2, 4, 8} {
 			rs = append(rs, bench.ParallelFaultThroughputOpts(bench.ParallelOptions{
 				Workers:        w,
+				Policy:         *policyName,
 				PagesPerWorker: *pages,
 				PullLatency:    200 * time.Microsecond,
 				Tracer:         tracer,
@@ -253,6 +284,56 @@ func writeBenchJSON(path string, workers, pages int, pts []bench.FaultAroundPoin
 			Demotions:         pt.Result.Stats.Demotions,
 			P99FaultNS:        pt.P99.Nanoseconds(),
 			Speedup:           speedup,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writePressureJSON dumps the replacement-policy ablation as one
+// machine-readable JSON document, the shape CI archives as
+// BENCH_pressure.json.
+func writePressureJSON(path string, pts []bench.PressurePoint) error {
+	type point struct {
+		Policy        string  `json:"policy"`
+		Overcommit    float64 `json:"overcommit"`
+		RegionPages   int     `json:"region_pages"`
+		Accesses      int     `json:"accesses"`
+		HardFaults    uint64  `json:"hard_faults"`
+		SoftFaults    uint64  `json:"soft_faults"`
+		Evictions     uint64  `json:"evictions"`
+		SecondChances uint64  `json:"second_chances"`
+		Promotions    uint64  `json:"promotions"`
+		FaultsPer1K   float64 `json:"faults_per_1k_accesses"`
+		P50SimNS      int64   `json:"p50_sim_ns"`
+		P99SimNS      int64   `json:"p99_sim_ns"`
+		SimTotalNS    int64   `json:"sim_total_ns"`
+		WallAccPerSec float64 `json:"wall_accesses_per_sec"`
+	}
+	doc := struct {
+		Benchmark string  `json:"benchmark"`
+		Frames    int     `json:"frames"`
+		Points    []point `json:"points"`
+	}{Benchmark: "pressure-ablation", Frames: bench.DefaultPressureConfig.Frames}
+	for _, pt := range pts {
+		doc.Points = append(doc.Points, point{
+			Policy:        pt.Policy,
+			Overcommit:    pt.Overcommit,
+			RegionPages:   pt.RegionPages,
+			Accesses:      pt.Accesses,
+			HardFaults:    pt.Faults,
+			SoftFaults:    pt.SoftFaults,
+			Evictions:     pt.Evictions,
+			SecondChances: pt.SecondChances,
+			Promotions:    pt.Promotions,
+			FaultsPer1K:   pt.FaultsPer1K,
+			P50SimNS:      pt.P50.Nanoseconds(),
+			P99SimNS:      pt.P99.Nanoseconds(),
+			SimTotalNS:    pt.Sim.Nanoseconds(),
+			WallAccPerSec: pt.WallPerSec,
 		})
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")

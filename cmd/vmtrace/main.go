@@ -22,6 +22,7 @@ import (
 
 	"chorusvm/internal/core"
 	"chorusvm/internal/obs"
+	"chorusvm/internal/policy"
 	"chorusvm/internal/script"
 	"chorusvm/internal/store"
 )
@@ -53,6 +54,7 @@ func main() {
 	framepool := flag.Bool("framepool", false, "start the background frame zeroer before the script (scripts can also toggle it with `framepool on|off`)")
 	faultAround := flag.Int("fault-around", 0, "map up to this many resident neighbours per fault (power of two <= 8, 0 disables)")
 	promote := flag.Bool("promote", false, "promote contiguous fault-around clusters to large MMU translations (needs -fault-around >= 2)")
+	policyName := flag.String("policy", "", "page-replacement policy: lru, clock or 2q (empty = PVM default; scripts can switch with the `policy` statement)")
 	flag.Parse()
 
 	// Validate the flag combination before building anything: a bad
@@ -69,8 +71,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *policyName != "" {
+		if _, perr := policy.New(*policyName); perr != nil {
+			fmt.Fprintf(os.Stderr, "vmtrace: -policy %q invalid (want one of %s)\n\n",
+				*policyName, strings.Join(policy.Names(), ", "))
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
 
-	opts := core.Options{Frames: *frames, FaultAroundPages: *faultAround, PromotePages: *promote}
+	opts := core.Options{Frames: *frames, FaultAroundPages: *faultAround, PromotePages: *promote, Policy: *policyName}
 	if *traceFile != "" || *hist {
 		// The interpreter would otherwise create a disabled tracer that
 		// scripts must `trace on` themselves; these flags ask for the

@@ -105,6 +105,10 @@ type ParallelOptions struct {
 	// Promote additionally promotes fully resident, physically contiguous
 	// fault-around clusters to large MMU translations.
 	Promote bool
+	// Policy selects the page-replacement policy ("" = the PVM default).
+	// Frames are sized so the benchmark never evicts, so this only
+	// exercises the policy's bookkeeping overhead on the fault path.
+	Policy string
 	// WarmResident pre-touches every page before the measured interval,
 	// then destroys and recreates the regions: the translations drop but
 	// the pages stay resident in their caches, so every measured fault is
@@ -154,6 +158,7 @@ func ParallelFaultThroughputOpts(o ParallelOptions) ParallelResult {
 		ReadAheadPages:   o.ReadAhead,
 		FaultAroundPages: o.FaultAround,
 		PromotePages:     o.Promote,
+		Policy:           o.Policy,
 	})
 
 	type worker struct {
@@ -423,12 +428,13 @@ func FormatFramePool(pts []FramePoolPoint) string {
 func FormatParallelStats(rs []ParallelResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "per-run PVM counters (Stats delta over the measured interval)\n")
-	fmt.Fprintf(&b, "%8s %8s %9s %9s %8s %9s %8s %7s\n",
-		"workers", "faults", "softflts", "zerofills", "pullins", "evictions", "faround", "promos")
+	fmt.Fprintf(&b, "%8s %8s %9s %9s %8s %9s %8s %7s %9s\n",
+		"workers", "faults", "softflts", "zerofills", "pullins", "evictions", "faround", "promos", "2ndchance")
 	for _, r := range rs {
-		fmt.Fprintf(&b, "%8d %8d %9d %9d %8d %9d %8d %7d\n",
+		fmt.Fprintf(&b, "%8d %8d %9d %9d %8d %9d %8d %7d %9d\n",
 			r.Workers, r.Stats.Faults, r.Stats.SoftFaults, r.Stats.ZeroFills,
-			r.Stats.PullIns, r.Stats.Evictions, r.Stats.FaultAroundMapped, r.Stats.Promotions)
+			r.Stats.PullIns, r.Stats.Evictions, r.Stats.FaultAroundMapped, r.Stats.Promotions,
+			r.Stats.PolicySecondChances)
 	}
 	return b.String()
 }

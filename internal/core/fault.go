@@ -44,7 +44,8 @@ import (
 //
 //	p.mu (RLock or Lock)  →  shard mutex  →  leaf mutexes
 //	                                         (ctx.spaceMu, c.listMu,
-//	                                          p.lruMu, p.reserveMu)
+//	                                          the policy's internal
+//	                                          mutex, p.reserveMu)
 //
 // Additional rules:
 //
@@ -85,6 +86,7 @@ func (p *PVM) handleFault(ctx *context, va gmi.VA, access gmi.Prot, refault bool
 	var span obs.FaultSpan
 	if !refault {
 		atomic.AddUint64(&p.stats.Faults, 1)
+		ctx.tickFaults.Add(1)
 		span = p.obs.FaultBegin()
 	}
 	// worked tracks whether resolution did anything beyond installing a

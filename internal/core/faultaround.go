@@ -35,7 +35,8 @@ const (
 // Caller holds either p.mu exclusively or p.mu.RLock plus the key's
 // shard mutex. Every cluster key hashes to that same shard (see
 // shardOf), so neighbour descriptors are readable under both regimes;
-// ctx.spaceMu and p.lruMu are taken here as leaf locks.
+// ctx.spaceMu and the policy's internal mutex are taken here as leaf
+// locks.
 func (p *PVM) faultAroundMap(ctx *context, r *region, c *cache, pva gmi.VA, off int64) {
 	start := p.obs.Clock()
 	n := int64(p.faultAround)

@@ -54,8 +54,8 @@ func (p *PVM) checkInvariantsLocked() error {
 			if e := p.gmapGet(pageKey{c, pg.off}); e != mapEntry(pg) {
 				return fmt.Errorf("cache %p page %#x not in global map", c, pg.off)
 			}
-			if !pg.inLRU && pg.pin == 0 {
-				return fmt.Errorf("cache %p page %#x neither in LRU nor pinned", c, pg.off)
+			if !pg.pnode.Linked() && pg.pin == 0 {
+				return fmt.Errorf("cache %p page %#x neither policy-linked nor pinned", c, pg.off)
 			}
 			for st := pg.stubs; st != nil; st = st.nextForPage {
 				if st.src != pg {

@@ -40,6 +40,17 @@ func TestStatsDelta(t *testing.T) {
 		}
 	}
 
+	// Same for the counters mirrored from the replacement policy and the
+	// working-set controller.
+	for _, name := range []string{
+		"PolicyHarvests", "PolicySecondChances", "PolicyPromotions",
+		"WSSuspensions", "WSResumes",
+	} {
+		if _, ok := dv.Type().FieldByName(name); !ok {
+			t.Errorf("Stats.%s dropped — policy counter no longer reported", name)
+		}
+	}
+
 	// And once end-to-end against a live PVM.
 	p, _ := newTestPVM(t, 64)
 	ctx, err := p.ContextCreate()

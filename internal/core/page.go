@@ -3,11 +3,12 @@ package core
 import (
 	"chorusvm/internal/gmi"
 	"chorusvm/internal/phys"
+	"chorusvm/internal/policy"
 )
 
 // This file defines the PVM's per-page structures (Figure 2 of the paper):
 // real-page descriptors, the global map and its stubs, and the page-out
-// LRU threading.
+// policy threading.
 
 // pageKey indexes the global map: a page is named by its local-cache and
 // its offset in the segment (section 4.1.1).
@@ -60,9 +61,9 @@ type page struct {
 	// Cache page list threading (Figure 2's doubly-linked list).
 	prevInCache, nextInCache *page
 
-	// Page-out LRU threading.
-	lruPrev, lruNext *page
-	inLRU            bool
+	// pnode threads the page on the replacement policy's queues
+	// (internal/policy); its Owner points back at this descriptor.
+	pnode policy.Node
 }
 
 func (*page) isMapEntry() {}
@@ -114,61 +115,6 @@ type cowStub struct {
 }
 
 func (*cowStub) isMapEntry() {}
-
-// lruList is the global page-out queue: head is most recently used.
-type lruList struct {
-	head, tail *page
-	n          int
-}
-
-func (l *lruList) push(pg *page) {
-	if pg.inLRU {
-		l.remove(pg)
-	}
-	pg.lruPrev = nil
-	pg.lruNext = l.head
-	if l.head != nil {
-		l.head.lruPrev = pg
-	}
-	l.head = pg
-	if l.tail == nil {
-		l.tail = pg
-	}
-	pg.inLRU = true
-	l.n++
-}
-
-func (l *lruList) remove(pg *page) {
-	if !pg.inLRU {
-		return
-	}
-	if pg.lruPrev != nil {
-		pg.lruPrev.lruNext = pg.lruNext
-	} else {
-		l.head = pg.lruNext
-	}
-	if pg.lruNext != nil {
-		pg.lruNext.lruPrev = pg.lruPrev
-	} else {
-		l.tail = pg.lruPrev
-	}
-	pg.lruPrev, pg.lruNext = nil, nil
-	pg.inLRU = false
-	l.n--
-}
-
-// touch moves the page to the head (most recently used).
-func (l *lruList) touch(pg *page) { l.push(pg) }
-
-// victim returns the least recently used evictable page, or nil.
-func (l *lruList) victim() *page {
-	for pg := l.tail; pg != nil; pg = pg.lruPrev {
-		if pg.pin == 0 && !pg.busy {
-			return pg
-		}
-	}
-	return nil
-}
 
 // invalidateMappings removes every live translation of pg, after which no
 // context can reach the frame without faulting. Stale rmap entries (same

@@ -9,11 +9,13 @@ import (
 	"chorusvm/internal/gmi"
 	"chorusvm/internal/obs"
 	"chorusvm/internal/phys"
+	"chorusvm/internal/policy"
 )
 
 // This file implements physical-memory reclaim: the data-management policy
-// the GMI deliberately places below the interface (section 3.3.3). The
-// policy is a global LRU; dirty victims are pushed out through the pushOut
+// the GMI deliberately places below the interface (section 3.3.3). Victim
+// choice is delegated to the pluggable replacement policy (internal/policy;
+// global LRU by default); dirty victims are pushed out through the pushOut
 // upcall, and unilaterally created caches (temporaries, histories) are
 // declared to the upper layer with segmentCreate when they first need
 // backing store (section 5.1.2).
@@ -47,85 +49,104 @@ func (p *PVM) reserveFrames(k int) (release func(), err error) {
 	}
 }
 
+// usableSync vets a policy candidate for the synchronous reclaim path.
+// It runs under the policy's internal mutex and only reads page fields,
+// which are stable under the exclusive structural lock the caller holds.
+func (p *PVM) usableSync(n *policy.Node) bool {
+	pg := n.Owner.(*page)
+	if pg.pin > 0 || pg.busy {
+		return false
+	}
+	if pg.dirty && pg.cache.seg == nil && p.segalloc == nil {
+		return false // nowhere to push; try another victim
+	}
+	return true
+}
+
+// usableBatch additionally excludes dirty pages whose cache still needs a
+// swap segment: the batch path cannot issue segmentCreate (the synchronous
+// fallback does).
+func (p *PVM) usableBatch(n *policy.Node) bool {
+	pg := n.Owner.(*page)
+	return pg.pin == 0 && !pg.busy && !(pg.dirty && pg.cache.seg == nil)
+}
+
 // evictOne makes one unit of reclaim progress: freeing a clean victim,
 // pushing out a dirty one, or assigning a swap segment to a cache that
-// needs one. A victim whose pushOut fails is requeued at the MRU end and
-// the scan restarts, so one page with a broken backing store cannot wedge
-// reclaim while other candidates remain; the first such error is reported
-// only when a whole pass makes no progress. Returns false when nothing
-// can be reclaimed. p.mu held; may be released around upcalls.
+// needs one. A victim whose pushOut fails is requeued at the back of the
+// eviction order and the scan restarts, so one page with a broken backing
+// store cannot wedge reclaim while other candidates remain; the first
+// such error is reported only when a whole pass makes no progress.
+// Returns false when nothing can be reclaimed. p.mu held; may be released
+// around upcalls.
 func (p *PVM) evictOne() (bool, error) {
 	var firstErr error
-	// Each failed push moves its victim off the tail, so the number of
-	// restarts is bounded by the queue length at entry (plus churn from
-	// the released lock, hence the slack).
-	fails, limit := 0, p.lru.n+1
+	// Each failed push moves its victim off the victim slot, so the
+	// number of restarts is bounded by the queue length at entry (plus
+	// churn from the released lock, hence the slack).
+	fails, limit := 0, p.pol.Len()+1
 	for fails <= limit {
-		restarted := false
-		for pg := p.lru.tail; pg != nil; pg = pg.lruPrev {
-			if pg.pin > 0 || pg.busy {
-				continue
-			}
-			c := pg.cache
-			if !pg.dirty {
-				p.moveStubsToRemote(pg)
-				p.dropPage(pg)
-				atomic.AddUint64(&p.stats.Evictions, 1)
-				p.obs.Emit(obs.KindEvict, int64(c.id), pg.off)
-				return true, nil
-			}
-			if c.seg == nil {
-				if p.segalloc == nil {
-					continue // nowhere to push; try another victim
-				}
-				// segmentCreate upcall: declare the unilaterally created
-				// cache to the upper layer so it can be swapped out.
-				p.mu.Unlock()
-				start := p.obs.Clock()
-				seg, err := p.segalloc.SegmentCreate(c)
-				p.obs.Span(obs.KindSegCreate, obs.OpPushOut, int64(c.id), 0, start)
-				p.mu.Lock()
-				if err != nil {
-					return false, err
-				}
-				if c.seg == nil {
-					c.seg, c.segOwned = seg, true
-				}
-				return true, nil // progress; the next pass pushes
-			}
-			if err := p.pushPage(pg); err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-				fails++
-				if pg.frame != nil {
-					// Still resident and dirty: requeue at MRU so the other
-					// candidates get their turn before this one is retried.
-					p.lruTouch(pg)
-				}
-				// pushPage dropped p.mu; the list may have changed under
-				// us — restart the scan from the current tail.
-				restarted = true
-				break
-			}
-			if pg.frame != nil {
-				p.moveStubsToRemote(pg)
-				p.dropPage(pg)
-			}
+		var buf [1]*policy.Node
+		sel := p.pol.SelectVictims(buf[:0], 1, p.usableSync)
+		if len(sel) == 0 {
+			break
+		}
+		pg := sel[0].Owner.(*page)
+		c := pg.cache
+		if !pg.dirty {
+			p.moveStubsToRemote(pg)
+			p.dropPage(pg)
 			atomic.AddUint64(&p.stats.Evictions, 1)
 			p.obs.Emit(obs.KindEvict, int64(c.id), pg.off)
 			return true, nil
 		}
-		if !restarted {
-			break
+		if c.seg == nil {
+			// segmentCreate upcall: declare the unilaterally created
+			// cache to the upper layer so it can be swapped out. The
+			// victim is not acted on — the next pass pushes it — so the
+			// selection is abandoned in place.
+			p.pol.Unselect(&pg.pnode)
+			p.mu.Unlock()
+			start := p.obs.Clock()
+			seg, err := p.segalloc.SegmentCreate(c)
+			p.obs.Span(obs.KindSegCreate, obs.OpPushOut, int64(c.id), 0, start)
+			p.mu.Lock()
+			if err != nil {
+				return false, err
+			}
+			if c.seg == nil {
+				c.seg, c.segOwned = seg, true
+			}
+			return true, nil // progress; the next pass pushes
 		}
+		if err := p.pushPage(pg); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			fails++
+			if pg.frame != nil {
+				// Still resident and dirty: requeue so the other
+				// candidates get their turn before this one is retried.
+				p.pol.Requeue(&pg.pnode)
+			}
+			// pushPage dropped p.mu; the queues may have changed under
+			// us — the next SelectVictims restarts the scan.
+			continue
+		}
+		if pg.frame != nil {
+			p.moveStubsToRemote(pg)
+			p.dropPage(pg)
+		}
+		atomic.AddUint64(&p.stats.Evictions, 1)
+		p.obs.Emit(obs.KindEvict, int64(c.id), pg.off)
+		return true, nil
 	}
 	return false, firstErr
 }
 
-// evictBatchAsync reclaims up to max frames in one LRU pass, issuing the
-// dirty victims' pushOut upcalls concurrently instead of one at a time:
-// the store engine underneath coalesces the resulting writes into
+// evictBatchAsync reclaims up to max frames in one policy pass, issuing
+// the dirty victims' pushOut upcalls concurrently instead of one at a
+// time: the store engine underneath coalesces the resulting writes into
 // batches, so the daemon's reclaim throughput is no longer bounded by
 // one device round-trip per page. Clean victims are dropped inline.
 // Dirty pages in caches that still need a swap segment are skipped (the
@@ -143,12 +164,8 @@ func (p *PVM) evictBatchAsync(max int) (int, error) {
 	evicted := 0
 	var victims []victim
 	var frames []*phys.Frame // freed in whole-batch depot transactions
-	var next *page
-	for pg := p.lru.tail; pg != nil && evicted+len(victims) < max; pg = next {
-		next = pg.lruPrev // capture before a drop unlinks pg
-		if pg.pin > 0 || pg.busy {
-			continue
-		}
+	for _, n := range p.pol.SelectVictims(nil, max, p.usableBatch) {
+		pg := n.Owner.(*page)
 		c := pg.cache
 		if !pg.dirty {
 			p.moveStubsToRemote(pg)
@@ -157,9 +174,6 @@ func (p *PVM) evictBatchAsync(max int) (int, error) {
 			p.obs.Emit(obs.KindEvict, int64(c.id), pg.off)
 			evicted++
 			continue
-		}
-		if c.seg == nil {
-			continue // needs segmentCreate; the sync path handles it
 		}
 		pg.busy = true
 		pg.busyDone = make(chan struct{})
@@ -203,10 +217,10 @@ func (p *PVM) evictBatchAsync(max int) (int, error) {
 				firstErr = errs[i]
 			}
 			if pg.frame != nil {
-				// Stays dirty and resident; requeue at MRU so the next
-				// pass picks other candidates instead of re-selecting a
+				// Stays dirty and resident; requeue so the next pass
+				// picks other candidates instead of re-selecting a
 				// victim whose backing store keeps failing.
-				p.lruTouch(pg)
+				p.pol.Requeue(&pg.pnode)
 			}
 			continue
 		}
@@ -341,10 +355,17 @@ func (p *PVM) StartPageoutDaemon(low, high int, interval time.Duration) (stop fu
 			}
 			// Cheap unlocked pre-check to keep idle wakeups off the
 			// structural lock; the authoritative check repeats below.
-			if p.mem.FreeFrames() >= low {
+			// While admission control holds a context parked, the tick
+			// must run even above the watermark, or nothing would ever
+			// resume it.
+			if p.mem.FreeFrames() >= low && !(p.admission && p.suspended.Load() > 0) {
 				continue
 			}
 			p.mu.Lock()
+			// Harvest referenced bits and run the thrashing check; this
+			// is the "periodic" in periodic working-set estimation — the
+			// daemon's tick is its clock.
+			p.policyTickLocked(low)
 			// Re-validate under the lock: frames may have been freed (or
 			// another reclaimer run) since the sample above, in which
 			// case evicting up to the high watermark would over-evict.
@@ -375,7 +396,15 @@ func (p *PVM) StartPageoutDaemon(low, high int, interval time.Duration) (stop fu
 	}()
 	var once sync.Once
 	return func() {
-		once.Do(func() { close(done) })
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			// With the daemon's ticks gone nothing else ends a
+			// suspension; leave no faulter parked behind.
+			if p.admission {
+				p.resumeAll()
+			}
+		})
 		wg.Wait()
 	}
 }

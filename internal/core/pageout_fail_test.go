@@ -7,6 +7,7 @@ import (
 
 	"chorusvm/internal/gmi"
 	"chorusvm/internal/leakcheck"
+	"chorusvm/internal/policy"
 	"chorusvm/internal/seg"
 )
 
@@ -160,13 +161,18 @@ func TestAsyncBatchContinuesPastPermanentFailure(t *testing.T) {
 	if got := bad.pushTries.Load(); got != 2 {
 		t.Fatalf("failing segment saw %d push attempts, want 2", got)
 	}
-	// Both failing pages were requeued to the MRU end: the LRU tail is
-	// now a good page, so the next pass tries fresh candidates first.
+	// Both failing pages were requeued to the MRU end: the coldest
+	// candidate the policy offers next is a good page, so the next pass
+	// tries fresh candidates first.
 	p.mu.Lock()
-	tail := p.lru.tail
+	var next *page
+	if sel := p.pol.SelectVictims(nil, 1, func(*policy.Node) bool { return true }); len(sel) > 0 {
+		next = sel[0].Owner.(*page)
+		p.pol.Unselect(sel[0])
+	}
 	p.mu.Unlock()
-	if tail == nil || tail.cache == cbad.(*cache) {
-		t.Fatal("failing victim still at the LRU tail after the batch")
+	if next == nil || next.cache == cbad.(*cache) {
+		t.Fatal("failing victim still the coldest policy candidate after the batch")
 	}
 	// And the next pass reclaims the rest of the good pages.
 	if n := p.PageOut(npages - 2); n != npages-2 {

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/leakcheck"
+	"chorusvm/internal/policy"
+)
+
+// This file tests the replacement-policy subsystem end to end through the
+// PVM: the extracted LRU must reproduce the old in-core list's eviction
+// order exactly, the harvest tick must carry MMU referenced bits into the
+// policy, SetPolicy must migrate live pages, and admission control must
+// park a thrashing context without wedging anyone.
+
+// residentOffs returns the sorted offsets resident in c.
+func residentOffs(t *testing.T, p *PVM, c gmi.Cache) map[int64]bool {
+	t.Helper()
+	info, ok := p.Describe(c)
+	if !ok {
+		t.Fatal("Describe failed for live cache")
+	}
+	set := make(map[int64]bool, len(info.Resident))
+	for _, pi := range info.Resident {
+		set[pi.Off] = true
+	}
+	return set
+}
+
+// TestLRUEvictionOrderExact is the behaviour-preservation regression test
+// for the LRU extraction: insertion order is eviction order, a soft fault
+// moves the page to MRU, and eviction follows the reordered sequence with
+// exact counts — any deviation from the old lruList's semantics shows up
+// as a wrong page leaving residency.
+func TestLRUEvictionOrderExact(t *testing.T) {
+	p, _ := newTestPVM(t, 64)
+	if got := p.Policy(); got != "lru" {
+		t.Fatalf("default policy = %q, want lru", got)
+	}
+	gctx, err := p.ContextCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := gctx.(*context)
+	c := p.TempCacheCreate()
+	const npages = 8
+	mustRegion(t, gctx, base, npages*pg, gmi.ProtRW, c, 0)
+
+	// Insert pages 0..7 in order, then soft-fault 3, 1, 6: the expected
+	// eviction order is the untouched pages in insertion order followed
+	// by the touched ones in touch order.
+	for i := 0; i < npages; i++ {
+		mustWrite(t, gctx, base+gmi.VA(i*pg), pattern(byte(i+1), 64))
+	}
+	for _, i := range []int{3, 1, 6} {
+		if err := p.HandleFault(ctx, base+gmi.VA(i*pg), gmi.ProtRead); err != nil {
+			t.Fatalf("soft fault on page %d: %v", i, err)
+		}
+	}
+	want := []int64{0, 2, 4, 5, 7, 3, 1, 6}
+
+	var got []int64
+	before := residentOffs(t, p, c)
+	for attempts := 0; len(got) < npages; attempts++ {
+		if attempts > 4*npages {
+			t.Fatalf("no eviction progress after %d PageOut calls (evicted %v)", attempts, got)
+		}
+		// PageOut may spend an iteration on the segmentCreate upcall
+		// without freeing a frame; diff residency to observe the actual
+		// victim.
+		p.PageOut(1)
+		after := residentOffs(t, p, c)
+		for off := range before {
+			if !after[off] {
+				got = append(got, off/pg)
+			}
+		}
+		before = after
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("eviction order %v, want %v", got, want)
+		}
+	}
+	check(t, p)
+}
+
+// TestHarvestFeedsPolicy closes the MMU→policy loop under clock: the
+// write installs referenced/dirty PTE bits, PolicyTick harvests them into
+// the policy's reference bits, and the next victim scan grants second
+// chances — observable as PolicySecondChances in Stats. It also pins the
+// harvest counter itself.
+func TestHarvestFeedsPolicy(t *testing.T) {
+	p, _ := newTestPVM(t, 64, func(o *Options) { o.Policy = "clock" })
+	gctx, err := p.ContextCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.TempCacheCreate()
+	const npages = 8
+	mustRegion(t, gctx, base, npages*pg, gmi.ProtRW, c, 0)
+	for i := 0; i < npages; i++ {
+		mustWrite(t, gctx, base+gmi.VA(i*pg), pattern(byte(i+1), 64))
+	}
+
+	p.PolicyTick(0)
+	s := p.Stats()
+	if s.PolicyHarvests != 1 {
+		t.Fatalf("PolicyHarvests = %d, want 1", s.PolicyHarvests)
+	}
+
+	// Every page was referenced, so the first sweep must spare each one
+	// once before any eviction can happen.
+	if n := p.PageOut(npages); n == 0 {
+		t.Fatal("PageOut made no progress")
+	}
+	s = p.Stats()
+	if s.PolicySecondChances == 0 {
+		t.Fatal("harvested referenced bits granted no second chances")
+	}
+	check(t, p)
+}
+
+// TestSetPolicyMigration switches the replacement policy on a live PVM:
+// resident pages migrate to the new policy, counters stay monotonic, and
+// reclaim keeps working afterwards.
+func TestSetPolicyMigration(t *testing.T) {
+	p, _ := newTestPVM(t, 64)
+	gctx, err := p.ContextCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.TempCacheCreate()
+	const npages = 8
+	mustRegion(t, gctx, base, npages*pg, gmi.ProtRW, c, 0)
+	for i := 0; i < npages; i++ {
+		mustWrite(t, gctx, base+gmi.VA(i*pg), pattern(byte(i+1), 64))
+	}
+
+	if err := p.SetPolicy("bogus"); err == nil {
+		t.Fatal("SetPolicy(bogus) succeeded")
+	}
+	if err := p.SetPolicy("2q"); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Policy(); got != "2q" {
+		t.Fatalf("Policy() = %q after switch, want 2q", got)
+	}
+	// Idempotent switch.
+	if err := p.SetPolicy("2q"); err != nil {
+		t.Fatal(err)
+	}
+	check(t, p)
+
+	// All pages must still be reclaimable through the new policy.
+	evicted := 0
+	for attempts := 0; evicted < npages && attempts < 4*npages; attempts++ {
+		beforeN := len(residentOffs(t, p, c))
+		p.PageOut(1)
+		evicted += beforeN - len(residentOffs(t, p, c))
+	}
+	if evicted != npages {
+		t.Fatalf("evicted %d pages after policy switch, want %d", evicted, npages)
+	}
+	// Content survives the migration and the evictions.
+	for i := 0; i < npages; i++ {
+		got := mustRead(t, gctx, base+gmi.VA(i*pg), 64)
+		want := pattern(byte(i+1), 64)
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("page %d corrupted across SetPolicy", i)
+			}
+		}
+	}
+	check(t, p)
+}
+
+// TestAdmissionControlIsolatesThrasher runs a small well-behaved context
+// against a context whose working set is several times physical memory,
+// with admission control on. The thrasher must get parked (WSSuspensions
+// advances), the victim must keep making progress with bounded fault
+// latency, and stopping the daemon must leave nobody parked. Run with
+// -race; leakcheck verifies no goroutine survives the test.
+func TestAdmissionControlIsolatesThrasher(t *testing.T) {
+	defer leakcheck.Check(t)
+	p, _ := newTestPVM(t, 32, func(o *Options) { o.AdmissionControl = true })
+	stop := p.StartPageoutDaemon(8, 16, 200*time.Microsecond)
+
+	victim, err := p.ContextCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	thrasher, err := p.ContextCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := p.TempCacheCreate()
+	ct := p.TempCacheCreate()
+	const victimPages = 4
+	const thrashPages = 96 // 3x physical
+	mustRegion(t, victim, base, victimPages*pg, gmi.ProtRW, cv, 0)
+	mustRegion(t, thrasher, base, thrashPages*pg, gmi.ProtRW, ct, 0)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var victimLat []time.Duration
+	victimIters := 0
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := pattern(0xAA, 64)
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			start := time.Now()
+			va := base + gmi.VA((i%victimPages)*pg)
+			if err := victim.Write(va, buf); err != nil {
+				t.Errorf("victim write: %v", err)
+				return
+			}
+			mu.Lock()
+			victimLat = append(victimLat, time.Since(start))
+			victimIters++
+			mu.Unlock()
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := pattern(0x55, 64)
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			va := base + gmi.VA((i%thrashPages)*pg)
+			if err := thrasher.Write(va, buf); err != nil {
+				t.Errorf("thrasher write: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Wait for the controller to park the thrasher at least once.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Stats().WSSuspensions >= 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	suspensions := p.Stats().WSSuspensions
+	if suspensions == 0 {
+		t.Fatal("thrasher was never suspended")
+	}
+
+	// Shut down: stop() resumes every parked context after the daemon's
+	// last tick, so the thrasher goroutine cannot stay wedged.
+	close(done)
+	stop()
+	wg.Wait()
+
+	s := p.Stats()
+	if s.WSResumes != s.WSSuspensions {
+		t.Fatalf("WSResumes = %d, WSSuspensions = %d: someone left parked", s.WSResumes, s.WSSuspensions)
+	}
+	mu.Lock()
+	iters, lat := victimIters, victimLat
+	mu.Unlock()
+	if iters < 100 {
+		t.Fatalf("victim made only %d iterations alongside the thrasher", iters)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[len(lat)*99/100]
+	// Generous bound: the victim's working set fits, so even under full
+	// reclaim pressure its faults stay far below this. A parked or
+	// lock-starved victim blows straight through it.
+	if p99 > 250*time.Millisecond {
+		t.Fatalf("victim p99 fault latency %v with thrasher parked available", p99)
+	}
+	check(t, p)
+}
+
+// TestDestroyResumesParked pins the liveness rule on the destruction
+// path: destroying a suspended context wakes its parked faulters so they
+// can observe the destruction and fail cleanly rather than hang.
+func TestDestroyResumesParked(t *testing.T) {
+	defer leakcheck.Check(t)
+	p, _ := newTestPVM(t, 32, func(o *Options) { o.AdmissionControl = true })
+	gctx, err := p.ContextCreate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := gctx.(*context)
+	// Suspend by hand (the controller path is covered above).
+	p.mu.Lock()
+	p.suspendContext(ctx)
+	p.mu.Unlock()
+
+	faultDone := make(chan error, 1)
+	go func() {
+		c := p.TempCacheCreate()
+		if _, err := gctx.RegionCreate(base, pg, gmi.ProtRW, c, 0); err != nil {
+			faultDone <- err
+			return
+		}
+		faultDone <- gctx.Write(base, []byte{1})
+	}()
+	// The faulter must be parked, not progressing.
+	select {
+	case err := <-faultDone:
+		t.Fatalf("faulter ran while suspended: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := gctx.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-faultDone:
+		if err == nil {
+			t.Fatal("write into destroyed context succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked faulter never woke after Destroy")
+	}
+	if s := p.Stats(); s.WSResumes != s.WSSuspensions {
+		t.Fatalf("WSResumes = %d, WSSuspensions = %d after Destroy", s.WSResumes, s.WSSuspensions)
+	}
+}
+
+// TestPolicyUnselectKeepsPosition pins the Unselect contract the
+// segmentCreate path in evictOne depends on: the abandoned candidate is
+// selectable again immediately, from the same queue position.
+func TestPolicyUnselectKeepsPosition(t *testing.T) {
+	for _, name := range []string{"lru", "clock", "2q"} {
+		t.Run(name, func(t *testing.T) {
+			r, err := policy.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes := make([]*policy.Node, 4)
+			for i := range nodes {
+				nodes[i] = &policy.Node{Owner: i}
+				r.OnInsert(nodes[i])
+			}
+			all := func(*policy.Node) bool { return true }
+			contains := func(sel []*policy.Node, n *policy.Node) bool {
+				for _, s := range sel {
+					if s == n {
+						return true
+					}
+				}
+				return false
+			}
+			first := r.SelectVictims(nil, 1, all)
+			if len(first) != 1 {
+				t.Fatalf("selected %d victims, want 1", len(first))
+			}
+			// Clock and 2Q exclude a selected node from further scans
+			// until Unselect. LRU deliberately keeps no such mark: core
+			// always acts on an LRU selection (drop, requeue or
+			// unselect) before the exclusive lock drops, so cross-call
+			// exclusion would be dead weight on the hot list.
+			if name != "lru" && contains(r.SelectVictims(nil, len(nodes), all), first[0]) {
+				t.Fatal("selected node offered twice before Unselect")
+			}
+			r.Unselect(first[0])
+			again := r.SelectVictims(nil, len(nodes), all)
+			if !contains(again, first[0]) {
+				t.Fatal("node not selectable again after Unselect")
+			}
+			// LRU keeps the abandoned candidate at its queue position, so
+			// it is the very next victim offered (the property evictOne's
+			// segmentCreate path preserved from the old list).
+			if name == "lru" && again[0] != first[0] {
+				t.Fatalf("lru re-offered %v first, want %v", again[0].Owner, first[0].Owner)
+			}
+		})
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"chorusvm/internal/mmu"
 	"chorusvm/internal/obs"
 	"chorusvm/internal/phys"
+	"chorusvm/internal/policy"
 )
 
 // Options configures a PVM instance.
@@ -96,6 +97,18 @@ type Options struct {
 	// FaultAroundPages >= 2; cluster fills then request contiguous frame
 	// runs from the allocator (phys.Memory.AllocRun) to seed eligibility.
 	PromotePages bool
+	// Policy selects the page-replacement policy: "lru" (the original
+	// global queue, default), "clock" (second-chance, lock-free touch) or
+	// "2q" (scan-resistant two-queue). See internal/policy.
+	Policy string
+	// AdmissionControl enables per-context thrashing control: the harvest
+	// tick (PolicyTick, driven by the pageout daemon) estimates each
+	// context's working set from referenced bits and, under sustained
+	// frame pressure with aggregate demand above physical memory, parks
+	// the largest context's fault service until pressure clears (or a
+	// parole interval passes, guaranteeing liveness). Default false: no
+	// fault is ever delayed, the original behaviour.
+	AdmissionControl bool
 	// Tracer, when non-nil, receives trace events and latency
 	// observations from every layer (see internal/obs). The nil default
 	// costs one predictable branch per probe site and zero allocations.
@@ -138,6 +151,9 @@ func (o *Options) fill() {
 	}
 	if o.FaultAroundPages == 0 {
 		o.PromotePages = false
+	}
+	if o.Policy == "" {
+		o.Policy = "lru"
 	}
 }
 
@@ -185,6 +201,15 @@ type Stats struct {
 	ZeroPoolMisses  uint64 // demand-zero faults that zeroed synchronously
 	MagazineRefills uint64 // magazine batch refills from the depot
 	BatchFrees      uint64 // batched frame-free depot transactions
+
+	// Replacement-policy and thrashing-control counters. The policy pair
+	// is mirrored from the Replacer's own counters (internal/policy), like
+	// Promotions/Demotions above.
+	PolicyHarvests      uint64 // referenced-bit harvest ticks performed
+	PolicySecondChances uint64 // victims spared by a set reference bit (clock, 2q)
+	PolicyPromotions    uint64 // 2q admission-queue pages promoted on reuse
+	WSSuspensions       uint64 // contexts parked by admission control
+	WSResumes           uint64 // parked contexts resumed
 }
 
 // PVM is a Paged Virtual memory Manager. It implements
@@ -225,13 +250,25 @@ type PVM struct {
 	mu     sync.RWMutex
 	shards [gmapShards]gmapShard // the lock-striped global map
 
-	// Leaf mutexes, ordered strictly after mu/shard locks: lruMu guards
-	// the global LRU, reserveMu the frame-reservation count. Per-cache
-	// (listMu) and per-context (spaceMu) leaves live on those structs.
-	lruMu     sync.Mutex
-	lru       lruList
+	// pol is the page-replacement policy; it guards its queues with its
+	// own internal mutex (or a lock-free reference bit for touches),
+	// ordered strictly after mu/shard locks like the other leaves.
+	// Replaced only by SetPolicy, under exclusive mu; polBase accumulates
+	// the counters of replaced policies so Stats stays monotonic.
+	pol     policy.Replacer
+	polBase policy.Stats
+
+	// Leaf mutexes, ordered strictly after mu/shard locks: reserveMu
+	// guards the frame-reservation count. Per-cache (listMu) and
+	// per-context (spaceMu) leaves live on those structs.
 	reserveMu sync.Mutex
 	reserved  int // frames promised to in-flight fault handling
+
+	// Admission control (Options.AdmissionControl): suspended counts
+	// currently-parked contexts so the fault path's check stays one
+	// atomic load when the feature is idle.
+	admission bool
+	suspended atomic.Int32
 
 	caches      map[*cache]struct{}
 	contexts    map[*context]struct{}
@@ -276,10 +313,16 @@ func New(o Options) *PVM {
 		syncPagers:  o.SyncPagers,
 		faultAround: o.FaultAroundPages,
 		promote:     o.PromotePages,
+		admission:   o.AdmissionControl,
 		caches:      make(map[*cache]struct{}),
 		contexts:    make(map[*context]struct{}),
 		obs:         o.Tracer,
 	}
+	pol, err := policy.New(o.Policy)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	p.pol = pol
 	for ps := int64(o.PageSize); ps > 1; ps >>= 1 {
 		p.clusterShift++
 	}
@@ -327,6 +370,41 @@ func (p *PVM) SetSegmentAllocator(a gmi.SegmentAllocator) {
 
 // PageSize implements gmi.MemoryManager.
 func (p *PVM) PageSize() int { return int(p.pageSize) }
+
+// Policy returns the active replacement policy's name.
+func (p *PVM) Policy() string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.pol.Name()
+}
+
+// SetPolicy replaces the page-replacement policy at run time, migrating
+// every resident page: the old policy's victim order is drained
+// coldest-first and replayed into the new one, so relative page age
+// survives the switch (an LRU tail stays near the new policy's eviction
+// hand). Counters accumulate across the switch.
+func (p *PVM) SetPolicy(name string) error {
+	next, err := policy.New(name)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pol.Name() == name {
+		return nil
+	}
+	// Drain in eviction order. A full-length sweep returns every linked
+	// node: reference bits only spare a page within one scan, and nothing
+	// concurrent can re-set them under the exclusive lock.
+	nodes := p.pol.SelectVictims(nil, p.pol.Len(), func(*policy.Node) bool { return true })
+	p.polBase = p.polBase.Add(p.pol.Stats())
+	p.pol = next
+	for _, n := range nodes {
+		n.Reset()
+		p.pol.OnInsert(n)
+	}
+	return nil
+}
 
 // Clock returns the simulated clock.
 func (p *PVM) Clock() *cost.Clock { return p.clock }
@@ -383,6 +461,12 @@ func (s Stats) Delta(prev Stats) Stats {
 		ZeroPoolMisses:  s.ZeroPoolMisses - prev.ZeroPoolMisses,
 		MagazineRefills: s.MagazineRefills - prev.MagazineRefills,
 		BatchFrees:      s.BatchFrees - prev.BatchFrees,
+
+		PolicyHarvests:      s.PolicyHarvests - prev.PolicyHarvests,
+		PolicySecondChances: s.PolicySecondChances - prev.PolicySecondChances,
+		PolicyPromotions:    s.PolicyPromotions - prev.PolicyPromotions,
+		WSSuspensions:       s.WSSuspensions - prev.WSSuspensions,
+		WSResumes:           s.WSResumes - prev.WSResumes,
 	}
 }
 
@@ -393,6 +477,11 @@ func (p *PVM) Stats() Stats {
 	s := &p.stats
 	as := p.mem.AllocStats()
 	ls := p.hw.LargeStats()
+	// The replacer pointer is swapped under exclusive mu (SetPolicy), so
+	// it is the one field the snapshot reads under the shared lock.
+	p.mu.RLock()
+	ps := p.pol.Stats().Add(p.polBase)
+	p.mu.RUnlock()
 	return Stats{
 		Faults:        atomic.LoadUint64(&s.Faults),
 		SoftFaults:    atomic.LoadUint64(&s.SoftFaults),
@@ -420,6 +509,12 @@ func (p *PVM) Stats() Stats {
 		ZeroPoolMisses:  as.ZeroPoolMisses,
 		MagazineRefills: as.MagazineRefills,
 		BatchFrees:      as.BatchFrees,
+
+		PolicyHarvests:      atomic.LoadUint64(&s.PolicyHarvests),
+		PolicySecondChances: ps.SecondChances,
+		PolicyPromotions:    ps.Promotions,
+		WSSuspensions:       atomic.LoadUint64(&s.WSSuspensions),
+		WSResumes:           atomic.LoadUint64(&s.WSResumes),
 	}
 }
 

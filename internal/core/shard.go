@@ -93,23 +93,25 @@ func (p *PVM) tryReserveFrames(k int) (release func(), ok bool) {
 	}, true
 }
 
-// lruPush, lruRemove and lruTouch wrap the global LRU behind its leaf
-// mutex so the fast fault path (p.mu.RLock holders) and the structural
-// path can both thread pages safely.
+// lruPush, lruRemove and lruTouch thread pages through the replacement
+// policy (internal/policy). The names survive from the original global
+// LRU; the policy synchronizes internally (a leaf mutex or, for
+// clock-family touches, a lock-free reference bit), so the fast fault
+// path (p.mu.RLock holders) and the structural path both call these
+// directly.
 func (p *PVM) lruPush(pg *page) {
-	p.lruMu.Lock()
-	p.lru.push(pg)
-	p.lruMu.Unlock()
+	if pg.pnode.Owner == nil {
+		// First insertion: the page is not yet visible to any victim
+		// scan, so the one-time back-pointer write cannot race.
+		pg.pnode.Owner = pg
+	}
+	p.pol.OnInsert(&pg.pnode)
 }
 
 func (p *PVM) lruRemove(pg *page) {
-	p.lruMu.Lock()
-	p.lru.remove(pg)
-	p.lruMu.Unlock()
+	p.pol.OnRemove(&pg.pnode)
 }
 
 func (p *PVM) lruTouch(pg *page) {
-	p.lruMu.Lock()
-	p.lru.touch(pg)
-	p.lruMu.Unlock()
+	p.pol.OnTouch(&pg.pnode)
 }

@@ -74,10 +74,12 @@ func (s *flatSpace) Protect(va gmi.VA, p gmi.Prot) {
 
 func (s *flatSpace) Translate(va gmi.VA, access gmi.Prot, system bool) (*phys.Frame, error) {
 	vpn := s.geo.vpn(va)
+	write := access&gmi.ProtWrite != 0
 	if e, ok := s.large.pteAt(vpn); ok {
 		if err := e.check(va, access, system); err != nil {
 			return nil, err
 		}
+		s.large.markRef(vpn, write)
 		return e.frame, nil
 	}
 	e, ok := s.ptes[vpn]
@@ -87,7 +89,36 @@ func (s *flatSpace) Translate(va gmi.VA, access gmi.Prot, system bool) (*phys.Fr
 	if err := e.check(va, access, system); err != nil {
 		return nil, err
 	}
+	// Map values are not addressable; write back only when a bit actually
+	// flips so the steady state stays one lookup.
+	if !e.ref || (write && !e.dirty) {
+		e.ref = true
+		if write {
+			e.dirty = true
+		}
+		s.ptes[vpn] = e
+	}
 	return e.frame, nil
+}
+
+func (s *flatSpace) HarvestReferenced(va gmi.VA, npages int, visit func(int, bool)) {
+	vpn := s.geo.vpn(va)
+	cleared := s.large.harvestRange(vpn, npages, visit)
+	for i := 0; i < npages; i++ {
+		e, ok := s.ptes[vpn+uint64(i)]
+		if !ok || !e.ref {
+			continue
+		}
+		if visit != nil {
+			visit(i, e.dirty)
+		}
+		e.ref, e.dirty = false, false
+		s.ptes[vpn+uint64(i)] = e
+		cleared++
+	}
+	if cleared > 0 {
+		s.geo.clock.Charge(cost.EvPageProtect, cleared)
+	}
 }
 
 func (s *flatSpace) Lookup(va gmi.VA) (*phys.Frame, gmi.Prot, bool) {

@@ -1,0 +1,173 @@
+package mmu
+
+import (
+	"testing"
+
+	"chorusvm/internal/cost"
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/phys"
+)
+
+// Conformance tests for the referenced/modified PTE bits and
+// HarvestReferenced, run against every flavour bare and behind the TLB
+// decorator.
+
+// harvest collects one HarvestReferenced sweep as maps of page index to
+// dirtiness.
+func harvest(s Space, va gmi.VA, npages int) map[int]bool {
+	got := map[int]bool{}
+	s.HarvestReferenced(va, npages, func(i int, dirty bool) { got[i] = dirty })
+	return got
+}
+
+func TestHarvestReferenced(t *testing.T) {
+	clock := cost.New()
+	mem := phys.NewMemory(64, pg, clock)
+	for _, m := range extentFlavours(clock) {
+		t.Run(m.Name(), func(t *testing.T) {
+			s := m.NewSpace()
+			defer s.Destroy()
+			var frames []*phys.Frame
+			for i := 0; i < 4; i++ {
+				f, _ := mem.Alloc()
+				frames = append(frames, f)
+				defer mem.Free(f)
+				s.Map(gmi.VA(i*pg), f, gmi.ProtRW)
+			}
+
+			// A fresh mapping is unreferenced until translated through.
+			if got := harvest(s, 0, 4); len(got) != 0 {
+				t.Fatalf("fresh mappings report referenced: %v", got)
+			}
+
+			// Read sets the referenced bit, write also the modified bit.
+			if _, err := s.Translate(gmi.VA(0*pg), gmi.ProtRead, false); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Translate(gmi.VA(2*pg), gmi.ProtWrite, false); err != nil {
+				t.Fatal(err)
+			}
+			got := harvest(s, 0, 4)
+			want := map[int]bool{0: false, 2: true}
+			if len(got) != len(want) || got[0] != want[0] || got[2] != want[2] {
+				t.Fatalf("harvest = %v, want %v", got, want)
+			}
+
+			// The harvest cleared the bits: an immediate re-harvest is empty,
+			// and a fresh reference sets them again.
+			if got := harvest(s, 0, 4); len(got) != 0 {
+				t.Fatalf("second harvest not empty: %v", got)
+			}
+			if _, err := s.Translate(gmi.VA(2*pg), gmi.ProtRead, false); err != nil {
+				t.Fatal(err)
+			}
+			got = harvest(s, 0, 4)
+			if len(got) != 1 || got[2] != false {
+				t.Fatalf("post-harvest re-reference: harvest = %v, want page 2 clean", got)
+			}
+
+			// A failed translation sets nothing.
+			s.Protect(gmi.VA(1*pg), gmi.ProtRead)
+			if _, err := s.Translate(gmi.VA(1*pg), gmi.ProtWrite, false); err == nil {
+				t.Fatal("write through read-only translation succeeded")
+			}
+			if got := harvest(s, 0, 4); len(got) != 0 {
+				t.Fatalf("faulting reference set bits: %v", got)
+			}
+		})
+	}
+}
+
+// TestHarvestLargeRunGranularity: a large translation keeps one bit pair
+// for the whole run — a single touched page makes every covered page
+// report referenced (and dirty, after a write anywhere in the run), and
+// the pair clears once.
+func TestHarvestLargeRunGranularity(t *testing.T) {
+	clock := cost.New()
+	mem := phys.NewMemory(64, pg, clock)
+	for _, m := range extentFlavours(clock) {
+		t.Run(m.Name(), func(t *testing.T) {
+			s := m.NewSpace()
+			defer s.Destroy()
+			run := runOf(t, mem, 4)
+			defer func() {
+				for _, f := range run {
+					mem.Free(f)
+				}
+			}()
+			va := gmi.VA(0) // vpn 0, aligned for any order
+			if !s.MapLarge(va, run, gmi.ProtRW) {
+				t.Fatal("MapLarge refused an aligned contiguous run")
+			}
+			if _, err := s.Translate(va+gmi.VA(3*pg), gmi.ProtWrite, false); err != nil {
+				t.Fatal(err)
+			}
+			got := harvest(s, va, 4)
+			if len(got) != 4 {
+				t.Fatalf("run harvest covered %d pages, want all 4: %v", len(got), got)
+			}
+			for i := 0; i < 4; i++ {
+				if !got[i] {
+					t.Fatalf("page %d not dirty; a write anywhere dirties the whole run", i)
+				}
+			}
+			if got := harvest(s, va, 4); len(got) != 0 {
+				t.Fatalf("run pair not cleared: %v", got)
+			}
+
+			// Demotion propagates the run's bits to every base PTE.
+			if _, err := s.Translate(va, gmi.ProtRead, false); err != nil {
+				t.Fatal(err)
+			}
+			if base, n := s.DemoteLarge(va); base != va || n != 4 {
+				t.Fatalf("DemoteLarge = (%v, %d)", base, n)
+			}
+			got = harvest(s, va, 4)
+			if len(got) != 4 {
+				t.Fatalf("post-demotion harvest = %v, want all 4 referenced", got)
+			}
+		})
+	}
+}
+
+// TestHarvestTLBShootdown proves the decorator's shootdown rule end to
+// end: references served from the TLB do not reach the PTE, so a harvest
+// without the shootdown would miss every later touch. Because
+// HarvestReferenced shoots the range down, the touch after the harvest
+// misses, re-walks and sets a fresh bit.
+func TestHarvestTLBShootdown(t *testing.T) {
+	clock := cost.New()
+	mem := phys.NewMemory(16, pg, clock)
+	m := WithTLB(NewFlat(pg, clock), 64, clock)
+	s := m.NewSpace()
+	defer s.Destroy()
+	f, _ := mem.Alloc()
+	defer mem.Free(f)
+	va := gmi.VA(0x40000)
+	s.Map(va, f, gmi.ProtRW)
+
+	// Miss refill sets the bit; repeated hits afterwards touch only the
+	// TLB entry.
+	for i := 0; i < 3; i++ {
+		if _, err := s.Translate(va, gmi.ProtRead, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := harvest(s, va, 1); len(got) != 1 {
+		t.Fatalf("first harvest = %v, want the refilled page", got)
+	}
+
+	// The page is still hot. If the harvest had left the TLB entry alive,
+	// this reference would hit and the next harvest would see an idle
+	// page; the shootdown forces a re-walk that sets the bit.
+	miss0 := m.Stats().Misses
+	if _, err := s.Translate(va, gmi.ProtRead, false); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().Misses != miss0+1 {
+		t.Fatal("reference after harvest hit the TLB; shootdown missing")
+	}
+	if got := harvest(s, va, 1); len(got) != 1 {
+		t.Fatalf("harvest after shootdown+retouch = %v, want the page referenced", got)
+	}
+}

@@ -139,10 +139,12 @@ func (s *invSpace) Protect(va gmi.VA, p gmi.Prot) {
 }
 
 func (s *invSpace) Translate(va gmi.VA, access gmi.Prot, system bool) (*phys.Frame, error) {
+	write := access&gmi.ProtWrite != 0
 	if e, ok := s.large.pteAt(s.mmu.vpn(va)); ok {
 		if err := e.check(va, access, system); err != nil {
 			return nil, err
 		}
+		s.large.markRef(s.mmu.vpn(va), write)
 		return e.frame, nil
 	}
 	pp := s.find(s.mmu.vpn(va))
@@ -153,7 +155,29 @@ func (s *invSpace) Translate(va gmi.VA, access gmi.Prot, system bool) (*phys.Fra
 	if err := e.check(va, access, system); err != nil {
 		return nil, err
 	}
+	e.ref = true
+	if write {
+		e.dirty = true
+	}
 	return e.frame, nil
+}
+
+func (s *invSpace) HarvestReferenced(va gmi.VA, npages int, visit func(int, bool)) {
+	vpn := s.mmu.vpn(va)
+	cleared := s.large.harvestRange(vpn, npages, visit)
+	for i := 0; i < npages; i++ {
+		if pp := s.find(vpn + uint64(i)); pp != nil && (*pp).pte.ref {
+			e := &(*pp).pte
+			if visit != nil {
+				visit(i, e.dirty)
+			}
+			e.ref, e.dirty = false, false
+			cleared++
+		}
+	}
+	if cleared > 0 {
+		s.mmu.clock.Charge(cost.EvPageProtect, cleared)
+	}
 }
 
 func (s *invSpace) Lookup(va gmi.VA) (*phys.Frame, gmi.Prot, bool) {

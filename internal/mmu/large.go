@@ -53,12 +53,16 @@ func (e *extState) stats() LargeStats {
 	return LargeStats{Promotes: e.promotes.Load(), Demotes: e.demotes.Load()}
 }
 
-// largeEntry is one live large translation.
+// largeEntry is one live large translation. Like a real huge-page PTE it
+// carries a single referenced/modified bit pair for the whole run — the
+// hardware cannot tell which covered page was touched.
 type largeEntry struct {
 	base   uint64 // first vpn, aligned to the entry's page count
 	order  uint   // log2 of the page count
 	frames []*phys.Frame
 	prot   gmi.Prot
+	ref    bool
+	dirty  bool
 }
 
 // largeTable tracks one space's large translations. Entries are keyed by
@@ -110,10 +114,12 @@ func (t *largeTable) pteAt(vpn uint64) (pte, bool) {
 }
 
 // demote splinters e back into base PTEs with identical frames and
-// protection, charging one map cost per reinstalled entry.
+// protection, charging one map cost per reinstalled entry. The run's
+// referenced/modified bits propagate to every reinstalled PTE — the run
+// granularity cannot say which covered page earned them.
 func (t *largeTable) demote(e *largeEntry) {
 	for i, f := range e.frames {
-		t.setBase(e.base+uint64(i), pte{frame: f, prot: e.prot})
+		t.setBase(e.base+uint64(i), pte{frame: f, prot: e.prot, ref: e.ref, dirty: e.dirty})
 	}
 	delete(t.entries, e.base)
 	t.orders[e.order]--
@@ -217,7 +223,14 @@ func (t *largeTable) mapLarge(va gmi.VA, frames []*phys.Frame, p gmi.Prot) bool 
 			return false // already covered by a large translation
 		}
 	}
+	// Subsumed base PTEs fold their referenced/modified bits into the
+	// run's single pair, so promotion loses no harvest information.
+	ref, dirty := false, false
 	for i := 0; i < n; i++ {
+		if e, ok := t.getBase(vpn + uint64(i)); ok {
+			ref = ref || e.ref
+			dirty = dirty || e.dirty
+		}
 		t.clearBase(vpn + uint64(i))
 	}
 	if t.entries == nil {
@@ -226,7 +239,7 @@ func (t *largeTable) mapLarge(va gmi.VA, frames []*phys.Frame, p gmi.Prot) bool 
 	fs := make([]*phys.Frame, n)
 	copy(fs, frames)
 	order := uint(bits.TrailingZeros(uint(n)))
-	t.entries[vpn] = &largeEntry{base: vpn, order: order, frames: fs, prot: p}
+	t.entries[vpn] = &largeEntry{base: vpn, order: order, frames: fs, prot: p, ref: ref, dirty: dirty}
 	t.orders[order]++
 	t.pages += n
 	// One entry write covers the whole run; that asymmetry against the
@@ -248,3 +261,46 @@ func (t *largeTable) demoteLarge(va gmi.VA) (gmi.VA, int) {
 
 // largeMapped implements Space.LargeMapped.
 func (t *largeTable) largeMapped() int { return len(t.entries) }
+
+// markRef records a reference through the large translation covering vpn,
+// if any, returning whether one covered it. write additionally sets the
+// run's modified bit.
+func (t *largeTable) markRef(vpn uint64, write bool) bool {
+	e := t.lookup(vpn)
+	if e == nil {
+		return false
+	}
+	e.ref = true
+	if write {
+		e.dirty = true
+	}
+	return true
+}
+
+// harvestRange reads and clears the referenced/modified bits of large
+// entries overlapping [vpn, vpn+npages), calling visit(i, dirty) for every
+// in-range page covered by a referenced run (the run's pair is cleared
+// once). It returns the number of entries cleared, for the caller's cost
+// charge.
+func (t *largeTable) harvestRange(vpn uint64, npages int, visit func(int, bool)) int {
+	if len(t.entries) == 0 {
+		return 0
+	}
+	cleared := 0
+	end := vpn + uint64(npages)
+	for _, e := range t.entries {
+		if e.base >= end || vpn >= e.base+uint64(len(e.frames)) || !e.ref {
+			continue
+		}
+		if visit != nil {
+			for i := range e.frames {
+				if p := e.base + uint64(i); p >= vpn && p < end {
+					visit(int(p-vpn), e.dirty)
+				}
+			}
+		}
+		e.ref, e.dirty = false, false
+		cleared++
+	}
+	return cleared
+}

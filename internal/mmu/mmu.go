@@ -105,6 +105,19 @@ type Space interface {
 	// covered by a large translation).
 	DemoteLarge(va gmi.VA) (base gmi.VA, npages int)
 
+	// HarvestReferenced reads and clears the referenced/modified PTE bits
+	// of the npages pages starting at va, calling visit(i, dirty) for
+	// every page i in the range whose referenced bit was set since the
+	// last harvest (dirty reports the page's modified bit, which is
+	// cleared too — the memory manager's own dirty tracking, not the
+	// hardware bit, is the write-back source of truth). Large
+	// translations keep one bit pair for the whole run, so every covered
+	// page in the range reports the run's bits and the pair is cleared
+	// once. A TLB decorator shoots the range down first: cached
+	// translations bypass the tables, so without the shootdown the
+	// harvested pages' future references would never set fresh bits.
+	HarvestReferenced(va gmi.VA, npages int, visit func(i int, dirty bool))
+
 	// LargeMapped returns the number of live large translations, for
 	// tests. Mapped counts a large translation as its full page count.
 	LargeMapped() int
@@ -157,10 +170,14 @@ func (g geometry) PageSize() int { return g.pageSize }
 // vpn returns the virtual page number of va.
 func (g geometry) vpn(va gmi.VA) uint64 { return uint64(va) >> g.shift }
 
-// pte is one translation entry.
+// pte is one translation entry. ref and dirty model the hardware
+// referenced/modified bits: set by Translate (the simulated reference),
+// read-and-cleared by HarvestReferenced.
 type pte struct {
 	frame *phys.Frame
 	prot  gmi.Prot
+	ref   bool
+	dirty bool
 }
 
 // check validates a reference of type access against the entry, returning

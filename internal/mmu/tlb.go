@@ -183,6 +183,16 @@ func (s *tlbSpace) DemoteLarge(va gmi.VA) (gmi.VA, int) {
 	return base, n
 }
 
+// HarvestReferenced implements Space. The range is shot down first: a TLB
+// hit does not re-walk the tables, so referenced bits are set only on a
+// miss refill — without the shootdown, pages the workload keeps touching
+// through cached translations would look idle to every later harvest.
+// This is why real kernels pair referenced-bit clearing with a TLB flush.
+func (s *tlbSpace) HarvestReferenced(va gmi.VA, npages int, visit func(int, bool)) {
+	s.shootRange(va, npages)
+	s.inner.HarvestReferenced(va, npages, visit)
+}
+
 // LargeMapped implements Space.
 func (s *tlbSpace) LargeMapped() int { return s.inner.LargeMapped() }
 
@@ -194,6 +204,9 @@ func (s *tlbSpace) Translate(va gmi.VA, access gmi.Prot, system bool) (*phys.Fra
 		// The TLB caches rights too; a cached entry that denies the
 		// access behaves exactly like the underlying PTE denying it
 		// (the entry is in sync with the PTE by the shootdown rule).
+		// A hit does not touch the PTE, so referenced/modified bits are
+		// set only on the miss refill below — the model behind
+		// HarvestReferenced's range shootdown.
 		if e.prot&gmi.ProtSystem != 0 && !system {
 			s.m.hits.Add(1)
 			return nil, &Fault{VA: va, Access: access, Kind: FaultProtection}

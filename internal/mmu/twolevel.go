@@ -123,10 +123,12 @@ func (s *twoLevelSpace) Protect(va gmi.VA, p gmi.Prot) {
 }
 
 func (s *twoLevelSpace) Translate(va gmi.VA, access gmi.Prot, system bool) (*phys.Frame, error) {
+	write := access&gmi.ProtWrite != 0
 	if e, ok := s.large.pteAt(s.geo.vpn(va)); ok {
 		if err := e.check(va, access, system); err != nil {
 			return nil, err
 		}
+		s.large.markRef(s.geo.vpn(va), write)
 		return e.frame, nil
 	}
 	e := s.slot(va, false)
@@ -136,7 +138,28 @@ func (s *twoLevelSpace) Translate(va gmi.VA, access gmi.Prot, system bool) (*phy
 	if err := e.check(va, access, system); err != nil {
 		return nil, err
 	}
+	e.ref = true
+	if write {
+		e.dirty = true
+	}
 	return e.frame, nil
+}
+
+func (s *twoLevelSpace) HarvestReferenced(va gmi.VA, npages int, visit func(int, bool)) {
+	vpn := s.geo.vpn(va)
+	cleared := s.large.harvestRange(vpn, npages, visit)
+	for i := 0; i < npages; i++ {
+		if e := s.slotVPN(vpn+uint64(i), false); e != nil && e.frame != nil && e.ref {
+			if visit != nil {
+				visit(i, e.dirty)
+			}
+			e.ref, e.dirty = false, false
+			cleared++
+		}
+	}
+	if cleared > 0 {
+		s.geo.clock.Charge(cost.EvPageProtect, cleared)
+	}
 }
 
 func (s *twoLevelSpace) Lookup(va gmi.VA) (*phys.Frame, gmi.Prot, bool) {

@@ -1,0 +1,196 @@
+package policy
+
+import "sync"
+
+// TwoQ is a scan-resistant two-queue policy after Johnson & Shasha's 2Q:
+// pages enter a FIFO admission queue (A1) on first residency and are
+// promoted to the protected main queue (Am) only on evidence of reuse, so
+// a one-pass scan flows through A1 and out again without displacing the
+// hot set in Am. This variant promotes lazily: a touch is a lock-free
+// reference-bit store (like clock), and the victim scan converts set bits
+// in A1 into promotions — the classic ghost list (A1out) is omitted, so
+// the first reuse must happen while the page is still resident.
+//
+// Victims come from the A1 tail first (oldest once-touched page); only
+// when A1 is exhausted does the scan fall back to the Am tail, where a
+// set bit buys one second chance.
+type TwoQ struct {
+	mu    sync.Mutex
+	a1    nodeList // admission FIFO: head newest, victims from the tail
+	am    nodeList // main queue: head most recently promoted/spared
+	stats Stats
+}
+
+const (
+	twoQAdmit int8 = 1
+	twoQMain  int8 = 2
+)
+
+// nodeList is a doubly-linked queue of Nodes (head/tail, no ring).
+type nodeList struct {
+	head, tail *Node
+	n          int
+}
+
+func (l *nodeList) pushHead(n *Node, q int8) {
+	n.prev = nil
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+	n.q = q
+	l.n++
+}
+
+func (l *nodeList) remove(n *Node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+	n.q = 0
+	l.n--
+}
+
+// NewTwoQ creates the policy.
+func NewTwoQ() *TwoQ { return &TwoQ{} }
+
+// Name implements Replacer.
+func (t *TwoQ) Name() string { return "2q" }
+
+// queueOf returns the list holding n, or nil; t.mu held.
+func (t *TwoQ) queueOf(n *Node) *nodeList {
+	switch n.q {
+	case twoQAdmit:
+		return &t.a1
+	case twoQMain:
+		return &t.am
+	}
+	return nil
+}
+
+// OnInsert implements Replacer: first residency enters the admission
+// FIFO.
+func (t *TwoQ) OnInsert(n *Node) {
+	t.mu.Lock()
+	if l := t.queueOf(n); l != nil {
+		l.remove(n)
+	}
+	n.sel = false
+	t.a1.pushHead(n, twoQAdmit)
+	t.mu.Unlock()
+}
+
+// OnRemove implements Replacer.
+func (t *TwoQ) OnRemove(n *Node) {
+	t.mu.Lock()
+	if l := t.queueOf(n); l != nil {
+		l.remove(n)
+	}
+	n.sel = false
+	t.mu.Unlock()
+}
+
+// OnTouch implements Replacer: lock-free, like clock; the promotion the
+// touch earns is applied by the next victim scan.
+func (t *TwoQ) OnTouch(n *Node) { n.ref.Store(true) }
+
+// OnHarvest implements Replacer.
+func (t *TwoQ) OnHarvest(n *Node, referenced, dirty bool) {
+	if referenced {
+		n.ref.Store(true)
+	}
+	t.mu.Lock()
+	if n.q != 0 {
+		n.dirtyHint = dirty
+	}
+	t.mu.Unlock()
+}
+
+// SelectVictims implements Replacer. The A1 pass walks the admission FIFO
+// from its tail, promoting every referenced page to the Am head and
+// selecting unreferenced usable ones; the Am pass then walks the main
+// queue from its tail with clock-style second chances.
+func (t *TwoQ) SelectVictims(dst []*Node, max int, usable func(*Node) bool) []*Node {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for n := t.a1.tail; n != nil && len(dst) < max; {
+		prev := n.prev
+		if n.ref.CompareAndSwap(true, false) {
+			t.a1.remove(n)
+			t.am.pushHead(n, twoQMain)
+			t.stats.Promotions++
+		} else if !n.sel && usable(n) {
+			n.sel = true
+			dst = append(dst, n)
+			t.stats.Selected++
+		}
+		n = prev
+	}
+	for n := t.am.tail; n != nil && len(dst) < max; {
+		prev := n.prev
+		if n.ref.CompareAndSwap(true, false) {
+			t.am.remove(n)
+			t.am.pushHead(n, twoQMain)
+			t.stats.SecondChances++
+		} else if !n.sel && usable(n) {
+			n.sel = true
+			dst = append(dst, n)
+			t.stats.Selected++
+		}
+		n = prev
+	}
+	return dst
+}
+
+// Requeue implements Replacer: the failed victim moves to the head of its
+// queue, the FIFO/LRU equivalent of the original requeue-at-MRU.
+func (t *TwoQ) Requeue(n *Node) {
+	t.mu.Lock()
+	n.sel = false
+	if l := t.queueOf(n); l != nil {
+		q := n.q
+		l.remove(n)
+		l.pushHead(n, q)
+	}
+	t.mu.Unlock()
+}
+
+// Unselect implements Replacer: clear the selection mark only.
+func (t *TwoQ) Unselect(n *Node) {
+	t.mu.Lock()
+	n.sel = false
+	t.mu.Unlock()
+}
+
+// Len implements Replacer.
+func (t *TwoQ) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.a1.n + t.am.n
+}
+
+// Stats implements Replacer.
+func (t *TwoQ) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// InMain reports whether n currently sits in the protected main queue;
+// for tests.
+func (t *TwoQ) InMain(n *Node) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return n.q == twoQMain
+}

@@ -1,0 +1,48 @@
+package policy
+
+// WSEstimator estimates one context's working set from the periodic
+// referenced-bit harvest, in the spirit of Denning's working-set model:
+// each harvest tick observes how many of the context's pages were
+// referenced since the previous tick, and the estimate is the maximum
+// over a small sliding window of ticks — the window is the working-set
+// parameter τ expressed in harvest intervals. Max (not mean) because a
+// thrashing context's reference count oscillates with its residency: the
+// pages it is about to re-fault were just harvested away, and averaging
+// would let the troughs mask the demand.
+//
+// The estimator is a plain value guarded by whatever lock guards the
+// context it is embedded in (the PVM updates it under its structural
+// lock).
+type WSEstimator struct {
+	window [wsWindow]int
+	i      int
+	n      int
+}
+
+// wsWindow is the sliding window length in harvest ticks.
+const wsWindow = 4
+
+// Observe records one harvest tick's referenced-page count.
+func (e *WSEstimator) Observe(referenced int) {
+	e.window[e.i] = referenced
+	e.i = (e.i + 1) % wsWindow
+	if e.n < wsWindow {
+		e.n++
+	}
+}
+
+// Estimate returns the working-set size estimate in pages: the maximum
+// referenced count over the window (zero before the first observation).
+func (e *WSEstimator) Estimate() int {
+	max := 0
+	for k := 0; k < e.n; k++ {
+		if v := e.window[k]; v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Ticks returns how many observations have been recorded, saturating at
+// the window length.
+func (e *WSEstimator) Ticks() int { return e.n }

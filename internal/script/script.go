@@ -33,6 +33,10 @@
 //	framepool on|off                    start/stop the background frame
 //	                                    zeroer (pre-zeroed pool for
 //	                                    demand-zero faults)
+//	policy [NAME]                       print the replacement policy, or
+//	                                    switch to lru, clock or 2q
+//	harvest                             run one referenced-bit harvest
+//	                                    tick (policy + working-set update)
 //
 // Offsets and addresses accept 0x-hex or decimal; OFF/LEN are bytes.
 package script
@@ -49,6 +53,7 @@ import (
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
 	"chorusvm/internal/obs"
+	"chorusvm/internal/policy"
 	"chorusvm/internal/seg"
 	"chorusvm/internal/store"
 )
@@ -206,11 +211,18 @@ func (in *Interp) exec(raw string) error {
 		return nil
 	case "stats":
 		st := in.pvm.Stats()
-		fmt.Fprintf(in.out, "faults=%d softfaults=%d protfaults=%d zerofills=%d cowbreaks=%d stubbreaks=%d historypushes=%d pullins=%d pushouts=%d evictions=%d collapses=%d zeropoolhits=%d zeropoolmisses=%d faultaround=%d promotions=%d demotions=%d speccancels=%d\n",
+		fmt.Fprintf(in.out, "faults=%d softfaults=%d protfaults=%d zerofills=%d cowbreaks=%d stubbreaks=%d historypushes=%d pullins=%d pushouts=%d evictions=%d collapses=%d zeropoolhits=%d zeropoolmisses=%d faultaround=%d promotions=%d demotions=%d speccancels=%d harvests=%d secondchances=%d polpromotions=%d wssuspend=%d wsresume=%d\n",
 			st.Faults, st.SoftFaults, st.ProtFaults, st.ZeroFills, st.CowBreaks, st.StubBreaks,
 			st.HistoryPushes, st.PullIns, st.PushOuts, st.Evictions, st.Collapses,
 			st.ZeroPoolHits, st.ZeroPoolMisses,
-			st.FaultAroundMapped, st.Promotions, st.Demotions, st.SpeculationsCancelled)
+			st.FaultAroundMapped, st.Promotions, st.Demotions, st.SpeculationsCancelled,
+			st.PolicyHarvests, st.PolicySecondChances, st.PolicyPromotions,
+			st.WSSuspensions, st.WSResumes)
+		return nil
+	case "policy":
+		return in.cmdPolicy(args)
+	case "harvest":
+		in.pvm.PolicyTick(0)
 		return nil
 	case "clock":
 		fmt.Fprintf(in.out, "simulated %v\n", in.clock.Elapsed())
@@ -254,6 +266,19 @@ func (in *Interp) cmdFramePool(args []string) error {
 	}
 	in.zeroStop = in.pvm.StartFrameZeroer(high/4, high)
 	return nil
+}
+
+// cmdPolicy prints or switches the page-replacement policy. Switching
+// migrates every resident page to the new policy's queues.
+func (in *Interp) cmdPolicy(args []string) error {
+	switch len(args) {
+	case 0:
+		fmt.Fprintf(in.out, "policy %s\n", in.pvm.Policy())
+		return nil
+	case 1:
+		return in.pvm.SetPolicy(args[0])
+	}
+	return fmt.Errorf("policy: need at most one argument (%s)", strings.Join(policy.Names(), ", "))
 }
 
 func (in *Interp) cmdStore(args []string) error {

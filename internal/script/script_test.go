@@ -252,3 +252,48 @@ func TestScriptStoreErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestScriptPolicyStatement covers the policy/harvest statements: print,
+// switch, harvest feedback visible in stats, and the error cases.
+func TestScriptPolicyStatement(t *testing.T) {
+	_, out := run(t, `
+policy
+cache a
+region r a 0x10000 8
+write r 0x0 0x11 0x10000
+policy clock
+policy
+harvest
+pageout 4
+stats
+`)
+	if !strings.Contains(out, "policy lru\n") {
+		t.Fatalf("default policy not printed:\n%s", out)
+	}
+	if !strings.Contains(out, "policy clock\n") {
+		t.Fatalf("switched policy not printed:\n%s", out)
+	}
+	if !strings.Contains(out, "harvests=1") {
+		t.Fatalf("stats missing the harvest tick:\n%s", out)
+	}
+	// The harvested referenced bits must have granted second chances
+	// before pageout could evict.
+	if strings.Contains(out, "secondchances=0 ") {
+		t.Fatalf("stats show no second chances after harvest + pageout:\n%s", out)
+	}
+
+	for _, c := range []struct{ src, want string }{
+		{"policy fifo", "unknown replacement policy"},
+		{"policy lru extra", "at most one argument"},
+	} {
+		var sb strings.Builder
+		in, err := New(&sb, core.Options{Frames: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = in.Run(strings.NewReader(c.src))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("script %q: got %v, want error containing %q", c.src, err, c.want)
+		}
+	}
+}
