@@ -33,6 +33,12 @@
 //	chorusbench -pressure -pressure-json BENCH_pressure.json
 //	chorusbench -parallel -policy clock
 //	                           # policy bookkeeping overhead on the fault path
+//	chorusbench -parallel -store tiered -tier-hot 64 -tier-warm 256
+//	                           # hot/warm/cold tiered backing store
+//	chorusbench -parallel -store remote -store-addr tcp
+//	                           # the tiered store behind a wire
+//	chorusbench -tier-ablation -tier-json BENCH_tier.json
+//	                           # policy-driven vs static placement vs flat
 package main
 
 import (
@@ -62,9 +68,12 @@ func main() {
 	hist := flag.Bool("hist", false, "print latency histograms and the fault-stage breakdown (wall-clock; implies tracing the -parallel runs)")
 	traceFile := flag.String("trace", "", "write the captured event trace to this file")
 	traceFormat := flag.String("trace-format", obs.FormatChrome, "trace encoding: text, jsonl or chrome (chrome://tracing / Perfetto)")
-	storeKind := flag.String("store", "mem", "backing store for the -parallel worker segments: mem, file or flate")
-	storeDir := flag.String("store-dir", "", "directory for -store file page files (required with -store file)")
+	storeKind := flag.String("store", "mem", "backing store for the -parallel worker segments: "+strings.Join(store.Kinds(), ", "))
+	storeDir := flag.String("store-dir", "", "directory for -store file page files (required with -store file; optional journaled cold tier with -store tiered)")
 	storeFaults := flag.Float64("store-faults", 0, "per-op probability of injected transient store faults (0 disables)")
+	tierHot := flag.Int("tier-hot", 0, "hot-tier capacity in pages for -store tiered/remote (0 = default)")
+	tierWarm := flag.Int("tier-warm", 0, "warm-tier capacity in pages for -store tiered/remote (0 = default)")
+	storeAddr := flag.String("store-addr", "", "transport for -store remote: pipe (in-process, default) or tcp (loopback)")
 	syncPager := flag.Bool("sync-pager", false, "force the synchronous pullIn upcall path in -parallel (protocol ablation baseline)")
 	readAhead := flag.Int("readahead", 1, "cluster -parallel fills over up to this many contiguous pages")
 	pages := flag.Int("pages", 64, "pages each -parallel worker faults (larger runs average out timer noise)")
@@ -76,11 +85,16 @@ func main() {
 	policyName := flag.String("policy", "", "page-replacement policy for the -parallel runs: lru, clock or 2q (empty = PVM default)")
 	pressure := flag.Bool("pressure", false, "run the replacement-policy pressure ablation (lru/clock/2q under Zipf + scan bursts at 0.5x/1x/2x of physical memory)")
 	pressureJSON := flag.String("pressure-json", "", "write the -pressure results as machine-readable JSON to this file")
+	tierAblation := flag.Bool("tier-ablation", false, "run the tiered-store ablation (policy-driven vs static placement vs flat, at two capacity settings)")
+	tierJSON := flag.String("tier-json", "", "write the -tier-ablation results as machine-readable JSON to this file")
 	flag.Parse()
 
 	// Validate the flag combination before any work: a bad combination is
 	// a usage error, not a mid-run failure.
-	storeCfg := store.Config{Kind: *storeKind, Dir: *storeDir, FaultProb: *storeFaults, Seed: 1}
+	storeCfg := store.Config{
+		Kind: *storeKind, Dir: *storeDir, FaultProb: *storeFaults, Seed: 1,
+		TierHot: *tierHot, TierWarm: *tierWarm, Addr: *storeAddr,
+	}
 	if err := storeCfg.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "chorusbench: %v\n\n", err)
 		flag.Usage()
@@ -159,6 +173,18 @@ func main() {
 		fmt.Println(bench.FormatPressure(pts))
 		if *pressureJSON != "" {
 			if err := writePressureJSON(*pressureJSON, pts); err != nil {
+				fmt.Fprintln(os.Stderr, "chorusbench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *tierAblation {
+		fmt.Println("=== Tiered-store placement ablation ===")
+		pts := bench.TierAblation([][2]int{{64, 128}, {128, 256}}, bench.DefaultTierConfig)
+		fmt.Println(bench.FormatTier(pts))
+		if *tierJSON != "" {
+			if err := writeTierJSON(*tierJSON, pts); err != nil {
 				fmt.Fprintln(os.Stderr, "chorusbench:", err)
 				os.Exit(1)
 			}
@@ -334,6 +360,58 @@ func writePressureJSON(path string, pts []bench.PressurePoint) error {
 			P99SimNS:      pt.P99.Nanoseconds(),
 			SimTotalNS:    pt.Sim.Nanoseconds(),
 			WallAccPerSec: pt.WallPerSec,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeTierJSON dumps the tiered-store ablation as one machine-readable
+// JSON document, the shape CI archives as BENCH_tier.json.
+func writeTierJSON(path string, pts []bench.TierPoint) error {
+	type point struct {
+		Mode         string  `json:"mode"`
+		HotPages     int     `json:"hot_pages"`
+		WarmPages    int     `json:"warm_pages"`
+		Accesses     int     `json:"accesses"`
+		HardFaults   uint64  `json:"hard_faults"`
+		Evictions    uint64  `json:"evictions"`
+		Promotions   uint64  `json:"promotions"`
+		Demotions    uint64  `json:"demotions"`
+		HotReads     uint64  `json:"hot_reads"`
+		WarmReads    uint64  `json:"warm_reads"`
+		ColdReads    uint64  `json:"cold_reads"`
+		SimTotalNS   int64   `json:"sim_total_ns"`
+		FaultsPerSec float64 `json:"faults_per_sec"`
+	}
+	doc := struct {
+		Benchmark string  `json:"benchmark"`
+		Frames    int     `json:"frames"`
+		Region    int     `json:"region_pages"`
+		Points    []point `json:"points"`
+	}{
+		Benchmark: "tier-ablation",
+		Frames:    bench.DefaultTierConfig.Frames,
+		Region:    bench.DefaultTierConfig.RegionPages,
+	}
+	for _, pt := range pts {
+		doc.Points = append(doc.Points, point{
+			Mode:         pt.Mode,
+			HotPages:     pt.HotPages,
+			WarmPages:    pt.WarmPages,
+			Accesses:     pt.Accesses,
+			HardFaults:   pt.HardFaults,
+			Evictions:    pt.Evictions,
+			Promotions:   pt.Promotions,
+			Demotions:    pt.Demotions,
+			HotReads:     pt.HotReads,
+			WarmReads:    pt.WarmReads,
+			ColdReads:    pt.ColdReads,
+			SimTotalNS:   pt.Sim.Nanoseconds(),
+			FaultsPerSec: pt.FaultsSec,
 		})
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")

@@ -48,9 +48,12 @@ func main() {
 	traceFile := flag.String("trace", "", "write the captured event trace to this file (enables tracing)")
 	traceFormat := flag.String("trace-format", obs.FormatChrome, "trace encoding: text, jsonl or chrome (chrome://tracing / Perfetto)")
 	hist := flag.Bool("hist", false, "print latency histograms after the script (enables tracing)")
-	storeKind := flag.String("store", "mem", "backing store for script-created segments: mem, file or flate (scripts can override with the `store` statement)")
-	storeDir := flag.String("store-dir", "", "directory for -store file page files (required with -store file)")
+	storeKind := flag.String("store", "mem", "backing store for script-created segments: "+strings.Join(store.Kinds(), ", ")+" (scripts can override with the `store` statement)")
+	storeDir := flag.String("store-dir", "", "directory for -store file page files (required with -store file; with -store tiered it makes the cold tier a journaled page file)")
 	storeFaults := flag.Float64("store-faults", 0, "per-op probability of injected transient store faults (0 disables)")
+	tierHot := flag.Int("tier-hot", 0, "-store tiered/remote: hot-tier capacity in pages (0 = default)")
+	tierWarm := flag.Int("tier-warm", 0, "-store tiered/remote: warm-tier capacity in pages (0 = default)")
+	storeAddr := flag.String("store-addr", "", "-store remote transport: pipe (default) or tcp")
 	framepool := flag.Bool("framepool", false, "start the background frame zeroer before the script (scripts can also toggle it with `framepool on|off`)")
 	faultAround := flag.Int("fault-around", 0, "map up to this many resident neighbours per fault (power of two <= 8, 0 disables)")
 	promote := flag.Bool("promote", false, "promote contiguous fault-around clusters to large MMU translations (needs -fault-around >= 2)")
@@ -59,7 +62,10 @@ func main() {
 
 	// Validate the flag combination before building anything: a bad
 	// combination is a usage error, not a mid-run failure.
-	storeCfg := store.Config{Kind: *storeKind, Dir: *storeDir, FaultProb: *storeFaults, Seed: 1}
+	storeCfg := store.Config{
+		Kind: *storeKind, Dir: *storeDir, FaultProb: *storeFaults, Seed: 1,
+		TierHot: *tierHot, TierWarm: *tierWarm, Addr: *storeAddr,
+	}
 	if err := storeCfg.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "vmtrace: %v\n\n", err)
 		flag.Usage()
@@ -99,7 +105,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *storeKind != "mem" || *storeFaults > 0 {
+	if *storeKind != "mem" || *storeFaults > 0 || *tierHot > 0 || *tierWarm > 0 {
 		if serr := in.SetStore(storeCfg); serr != nil {
 			fmt.Fprintln(os.Stderr, "vmtrace:", serr)
 			os.Exit(1)

@@ -428,13 +428,15 @@ func FormatFramePool(pts []FramePoolPoint) string {
 func FormatParallelStats(rs []ParallelResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "per-run PVM counters (Stats delta over the measured interval)\n")
-	fmt.Fprintf(&b, "%8s %8s %9s %9s %8s %9s %8s %7s %9s\n",
-		"workers", "faults", "softflts", "zerofills", "pullins", "evictions", "faround", "promos", "2ndchance")
+	fmt.Fprintf(&b, "%8s %8s %9s %9s %8s %9s %8s %7s %9s %10s %9s %8s\n",
+		"workers", "faults", "softflts", "zerofills", "pullins", "evictions", "faround", "promos", "2ndchance",
+		"tierpromos", "tierdemos", "rretries")
 	for _, r := range rs {
-		fmt.Fprintf(&b, "%8d %8d %9d %9d %8d %9d %8d %7d %9d\n",
+		fmt.Fprintf(&b, "%8d %8d %9d %9d %8d %9d %8d %7d %9d %10d %9d %8d\n",
 			r.Workers, r.Stats.Faults, r.Stats.SoftFaults, r.Stats.ZeroFills,
 			r.Stats.PullIns, r.Stats.Evictions, r.Stats.FaultAroundMapped, r.Stats.Promotions,
-			r.Stats.PolicySecondChances)
+			r.Stats.PolicySecondChances,
+			r.Stats.TierPromotions, r.Stats.TierDemotions, r.Stats.RemoteRetries)
 	}
 	return b.String()
 }

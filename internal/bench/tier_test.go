@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallTier keeps the unit tests fast; the full DefaultTierConfig grid
+// is CI/benchmark territory.
+var smallTier = TierConfig{Frames: 64, RegionPages: 256, Accesses: 4000, Seed: 1}
+
+// TestTierAblationShape checks the ablation's structure and the claims
+// EXPERIMENTS.md makes of it: the tiered rows actually migrate, and
+// policy-driven placement serves fewer reads from the cold tier than the
+// static by-offset split at the same capacities.
+func TestTierAblationShape(t *testing.T) {
+	pts := TierAblation([][2]int{{16, 32}}, smallTier)
+	if len(pts) != 3 {
+		t.Fatalf("got %d rows, want flat + tiered + static", len(pts))
+	}
+	flat, tiered, static := pts[0], pts[1], pts[2]
+
+	if flat.Promotions != 0 || flat.ColdReads != 0 {
+		t.Fatalf("flat row reports tier activity: %+v", flat)
+	}
+	if flat.HardFaults == 0 || tiered.HardFaults == 0 {
+		t.Fatal("workload produced no hard faults — nothing was measured")
+	}
+	if tiered.Promotions == 0 || tiered.Demotions == 0 {
+		t.Fatalf("policy-driven row never migrated: %+v", tiered)
+	}
+	if static.Promotions != 0 || static.Demotions != 0 {
+		t.Fatalf("static row migrated: %+v", static)
+	}
+	// The acceptance claim: promotion keeps the scattered Zipf hot set
+	// out of the cold tier, the fixed split cannot.
+	if tiered.ColdReads >= static.ColdReads {
+		t.Fatalf("policy-driven placement did not reduce cold reads: tiered %d vs static %d",
+			tiered.ColdReads, static.ColdReads)
+	}
+
+	out := FormatTier(pts)
+	for _, col := range []string{"mode", "coldrds", "faults/sec", "tiered", "static", "flat"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("FormatTier output missing %q:\n%s", col, out)
+		}
+	}
+}
+
+// TestTierAblationDeterministic pins reproducibility: the simulated-time
+// and counter columns of two identical runs must agree exactly (wall
+// columns are measurements, not simulation).
+func TestTierAblationDeterministic(t *testing.T) {
+	a := tierRun("tiered", 16, 32, smallTier)
+	b := tierRun("tiered", 16, 32, smallTier)
+	if a.HardFaults != b.HardFaults || a.Promotions != b.Promotions ||
+		a.Demotions != b.Demotions || a.ColdReads != b.ColdReads {
+		t.Fatalf("two identical runs diverged: %+v vs %+v", a, b)
+	}
+}

@@ -40,13 +40,14 @@ type CacheInfo struct {
 // String renders every counter, for tools and logs.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"faults=%d softfaults=%d segv=%d prot=%d zerofills=%d cowbreaks=%d historypushes=%d stubbreaks=%d pullins=%d pushouts=%d evictions=%d collapses=%d zombies=%d zeropoolhits=%d zeropoolmisses=%d magazinerefills=%d batchfrees=%d faultaround=%d promotions=%d demotions=%d speccancels=%d harvests=%d secondchances=%d polpromotions=%d wssuspend=%d wsresume=%d",
+		"faults=%d softfaults=%d segv=%d prot=%d zerofills=%d cowbreaks=%d historypushes=%d stubbreaks=%d pullins=%d pushouts=%d evictions=%d collapses=%d zombies=%d zeropoolhits=%d zeropoolmisses=%d magazinerefills=%d batchfrees=%d faultaround=%d promotions=%d demotions=%d speccancels=%d harvests=%d secondchances=%d polpromotions=%d wssuspend=%d wsresume=%d tierpromos=%d tierdemos=%d rretries=%d",
 		s.Faults, s.SoftFaults, s.SegvFaults, s.ProtFaults, s.ZeroFills, s.CowBreaks, s.HistoryPushes,
 		s.StubBreaks, s.PullIns, s.PushOuts, s.Evictions, s.Collapses, s.Zombies,
 		s.ZeroPoolHits, s.ZeroPoolMisses, s.MagazineRefills, s.BatchFrees,
 		s.FaultAroundMapped, s.Promotions, s.Demotions, s.SpeculationsCancelled,
 		s.PolicyHarvests, s.PolicySecondChances, s.PolicyPromotions,
-		s.WSSuspensions, s.WSResumes)
+		s.WSSuspensions, s.WSResumes,
+		s.TierPromotions, s.TierDemotions, s.RemoteRetries)
 }
 
 // Describe reports the structure behind a cache; ok is false for foreign

@@ -20,6 +20,16 @@ import (
 // declared to the upper layer with segmentCreate when they first need
 // backing store (section 5.1.2).
 
+// noteEvict forwards an eviction to the victim's segment manager when
+// its backing store can act on usage signals (a tiered store demotes
+// the page). Advisory and enqueue-only per the gmi.UsageAdviser
+// contract, so calling it under p.mu is safe.
+func noteEvict(c *cache, off, size int64) {
+	if ua, ok := c.seg.(gmi.UsageAdviser); ok {
+		ua.NoteEvict(off, size)
+	}
+}
+
 // reserveFrames guarantees that k subsequent Alloc calls will succeed,
 // evicting pages as needed. It may release and reacquire p.mu; the caller
 // must re-validate earlier lookups. The returned release function gives
@@ -94,6 +104,7 @@ func (p *PVM) evictOne() (bool, error) {
 		pg := sel[0].Owner.(*page)
 		c := pg.cache
 		if !pg.dirty {
+			noteEvict(c, pg.off, p.pageSize)
 			p.moveStubsToRemote(pg)
 			p.dropPage(pg)
 			atomic.AddUint64(&p.stats.Evictions, 1)
@@ -133,6 +144,7 @@ func (p *PVM) evictOne() (bool, error) {
 			// us — the next SelectVictims restarts the scan.
 			continue
 		}
+		noteEvict(c, pg.off, p.pageSize)
 		if pg.frame != nil {
 			p.moveStubsToRemote(pg)
 			p.dropPage(pg)
@@ -168,6 +180,7 @@ func (p *PVM) evictBatchAsync(max int) (int, error) {
 		pg := n.Owner.(*page)
 		c := pg.cache
 		if !pg.dirty {
+			noteEvict(c, pg.off, p.pageSize)
 			p.moveStubsToRemote(pg)
 			p.dropPageInto(pg, &frames)
 			atomic.AddUint64(&p.stats.Evictions, 1)
@@ -229,6 +242,7 @@ func (p *PVM) evictBatchAsync(max int) (int, error) {
 			pg.dirty = false
 		}
 		p.supersedeParent(v.c, v.off)
+		noteEvict(v.c, v.off, p.pageSize)
 		if pg.frame != nil {
 			p.moveStubsToRemote(pg)
 			p.dropPageInto(pg, &frames)

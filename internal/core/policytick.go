@@ -39,9 +39,22 @@ func (p *PVM) PolicyTick(low int) {
 
 func (p *PVM) policyTickLocked(low int) {
 	atomic.AddUint64(&p.stats.PolicyHarvests, 1)
+	// Caches whose segment manager consumes usage advice (a tiered
+	// backing store): their referenced pages are collected during the
+	// harvest, and the unreferenced remainder is reported idle below —
+	// the downward half of the policy feedback loop.
+	var advisable map[*cache]gmi.UsageAdviser
+	var referenced map[*page]struct{}
 	for ctx := range p.contexts {
 		refs := 0
 		for _, r := range ctx.regions {
+			if ua, ok := r.cache.seg.(gmi.UsageAdviser); ok {
+				if advisable == nil {
+					advisable = make(map[*cache]gmi.UsageAdviser)
+					referenced = make(map[*page]struct{})
+				}
+				advisable[r.cache] = ua
+			}
 			npages := int(r.size / p.pageSize)
 			for o := 0; o < npages; o += harvestChunk {
 				n := min(harvestChunk, npages-o)
@@ -59,6 +72,9 @@ func (p *PVM) policyTickLocked(low int) {
 					// the ones a write would re-materialize anyway.
 					if pg := p.ownPage(r.cache, base+int64(i)*p.pageSize); pg != nil && pg.pnode.Linked() {
 						p.pol.OnHarvest(&pg.pnode, true, dirty)
+						if referenced != nil {
+							referenced[pg] = struct{}{}
+						}
 					}
 				})
 				ctx.spaceMu.Unlock()
@@ -75,6 +91,21 @@ func (p *PVM) policyTickLocked(low int) {
 		// lets the system thrash).
 		faulted := int(ctx.tickFaults.Swap(0))
 		ctx.ws.Observe(refs + faulted)
+	}
+	// Report pages that stayed resident but went unreferenced this tick
+	// to their segment manager, which can sink them a storage tier.
+	// Pinned and in-flight pages are skipped; NoteIdle only enqueues
+	// (the gmi.UsageAdviser contract), so calling under p.mu is safe.
+	for c, ua := range advisable {
+		for pg := c.pageHead; pg != nil; pg = pg.nextInCache {
+			if pg.busy || pg.pin > 0 {
+				continue
+			}
+			if _, ok := referenced[pg]; ok {
+				continue
+			}
+			ua.NoteIdle(pg.off, p.pageSize)
+		}
 	}
 	if p.admission {
 		p.admissionLocked(low)

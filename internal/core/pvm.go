@@ -38,6 +38,7 @@ import (
 	"chorusvm/internal/obs"
 	"chorusvm/internal/phys"
 	"chorusvm/internal/policy"
+	"chorusvm/internal/tier"
 )
 
 // Options configures a PVM instance.
@@ -210,6 +211,14 @@ type Stats struct {
 	PolicyPromotions    uint64 // 2q admission-queue pages promoted on reuse
 	WSSuspensions       uint64 // contexts parked by admission control
 	WSResumes           uint64 // parked contexts resumed
+
+	// Tiered-backing-store counters, mirrored from internal/tier's
+	// process-wide totals (like the MMU and policy mirrors above):
+	// migration activity between storage tiers and retry-eligible remote
+	// failures, summed across every tiered/remote backend in the process.
+	TierPromotions uint64 // pages promoted toward the hot tier
+	TierDemotions  uint64 // pages demoted toward the cold tier
+	RemoteRetries  uint64 // remote store ops that failed transiently (timeout or injected)
 }
 
 // PVM is a Paged Virtual memory Manager. It implements
@@ -467,6 +476,10 @@ func (s Stats) Delta(prev Stats) Stats {
 		PolicyPromotions:    s.PolicyPromotions - prev.PolicyPromotions,
 		WSSuspensions:       s.WSSuspensions - prev.WSSuspensions,
 		WSResumes:           s.WSResumes - prev.WSResumes,
+
+		TierPromotions: s.TierPromotions - prev.TierPromotions,
+		TierDemotions:  s.TierDemotions - prev.TierDemotions,
+		RemoteRetries:  s.RemoteRetries - prev.RemoteRetries,
 	}
 }
 
@@ -477,6 +490,7 @@ func (p *PVM) Stats() Stats {
 	s := &p.stats
 	as := p.mem.AllocStats()
 	ls := p.hw.LargeStats()
+	ts := tier.GlobalCounters()
 	// The replacer pointer is swapped under exclusive mu (SetPolicy), so
 	// it is the one field the snapshot reads under the shared lock.
 	p.mu.RLock()
@@ -515,6 +529,10 @@ func (p *PVM) Stats() Stats {
 		PolicyPromotions:    ps.Promotions,
 		WSSuspensions:       atomic.LoadUint64(&s.WSSuspensions),
 		WSResumes:           atomic.LoadUint64(&s.WSResumes),
+
+		TierPromotions: ts.Promotions,
+		TierDemotions:  ts.Demotions,
+		RemoteRetries:  ts.RemoteRetries,
 	}
 }
 

@@ -24,12 +24,14 @@ package dsm
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 
 	"chorusvm/internal/cost"
 	"chorusvm/internal/gmi"
 	"chorusvm/internal/obs"
 	"chorusvm/internal/seg"
+	"chorusvm/internal/store"
 )
 
 // ErrDetached is returned by coherence operations on a detached site.
@@ -44,6 +46,11 @@ type Manager struct {
 	mu    sync.Mutex
 	pages map[int64]*pageDir
 	sites []*Site
+
+	// retry absorbs transient home-store failures (a remote or faulty
+	// backend); exhaustion surfaces as gmi.ErrIO to the faulting site.
+	retryMu sync.Mutex
+	retry   store.Policy
 
 	// tr observes coherence-transaction latency (set before use; nil-safe).
 	tr *obs.Tracer
@@ -77,18 +84,51 @@ type Site struct {
 	Invalidates int // times this site's copy was discarded
 }
 
-// NewManager creates a coherence manager for one shared segment.
+// NewManager creates a coherence manager for one shared segment, holding
+// the home copy in local memory.
 func NewManager(pageSize int, clock *cost.Clock) *Manager {
+	return NewManagerOn(pageSize, clock, store.NewMem(pageSize))
+}
+
+// NewManagerOn creates a coherence manager whose home copy lives on an
+// arbitrary backend — a tiered store, or a tier.Client reaching a remote
+// store server, which makes the DSM page against distributed swap. The
+// manager owns the backend from here on (Close closes it). Panics if the
+// backend's page size differs from pageSize: the directory is keyed by
+// page-aligned offsets and a mismatch would corrupt it silently.
+func NewManagerOn(pageSize int, clock *cost.Clock, b store.Backend) *Manager {
+	if b.PageSize() != pageSize {
+		panic(fmt.Sprintf("dsm: backend page size %d != manager page size %d",
+			b.PageSize(), pageSize))
+	}
 	return &Manager{
 		pageSize: int64(pageSize),
 		clock:    clock,
-		home:     seg.NewStore(pageSize, clock),
+		home:     seg.NewStoreOn(b, clock),
+		retry:    store.DefaultPolicy(),
 		pages:    make(map[int64]*pageDir),
 	}
 }
 
 // Home exposes the home store (tests preload initial contents).
 func (m *Manager) Home() *seg.Store { return m.home }
+
+// SetRetry replaces the home-store retry schedule (tests shrink it).
+func (m *Manager) SetRetry(p store.Policy) {
+	m.retryMu.Lock()
+	m.retry = p
+	m.retryMu.Unlock()
+}
+
+func (m *Manager) retryPolicy() store.Policy {
+	m.retryMu.Lock()
+	defer m.retryMu.Unlock()
+	return m.retry
+}
+
+// Close drains writeback and closes the home store (and with it the
+// backend the manager owns). Call after detaching every site.
+func (m *Manager) Close() error { return m.home.Close() }
 
 // SetTracer attaches an observability tracer. Call before sites start
 // faulting; a nil tracer (the default) disables the probes.
@@ -158,7 +198,12 @@ func (ss *siteSegment) PullIn(c gmi.Cache, off, size int64, mode gmi.Prot) error
 			return err
 		}
 		buf := make([]byte, m.pageSize)
-		m.home.ReadAt(o, buf)
+		// The home store may sit behind a wire (tier.Client): transient
+		// failures are retried here, and only exhaustion travels up the
+		// GMI error path, marked gmi.ErrIO like any segment I/O failure.
+		if err := m.retryPolicy().Do(func() error { return m.home.ReadAt(o, buf) }); err != nil {
+			return fmt.Errorf("%w: dsm pullIn at %#x: %w", gmi.ErrIO, o, err)
+		}
 		// Grant read-only: writes must come back through getWriteAccess
 		// so the manager can invalidate the other copies.
 		if err := c.FillUp(o, buf, gmi.ProtRead|gmi.ProtExec); err != nil {
@@ -271,7 +316,9 @@ func (ss *siteSegment) PushOut(c gmi.Cache, off, size int64) error {
 	if err := c.CopyBack(off, buf); err != nil {
 		return err
 	}
-	m.home.WriteAt(off, buf)
+	if err := m.retryPolicy().Do(func() error { return m.home.WriteAt(off, buf) }); err != nil {
+		return fmt.Errorf("%w: dsm pushOut at %#x: %w", gmi.ErrIO, off, err)
+	}
 	return nil
 }
 

@@ -1,0 +1,141 @@
+package dsm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"chorusvm/internal/cost"
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/leakcheck"
+	"chorusvm/internal/store"
+	"chorusvm/internal/tier"
+)
+
+// These tests run the DSM against a remote home store — a tiered backend
+// behind tier.Loopback, the distributed-swap configuration — with
+// deterministic fault injection on the server side of the wire. The
+// transient test must ride out injected failures through the manager's
+// retry policy; the permanent test must surface gmi.ErrIO to the
+// faulting site and leave no goroutines behind.
+
+// remoteHome builds a manager paged against a remote tiered store with
+// the given fault configuration on the server side of the wire.
+func remoteHome(t *testing.T, fc store.FaultConfig) *Manager {
+	t.Helper()
+	inner := tier.NewDefault(pg, tier.Options{HotPages: 2, WarmPages: 4})
+	var b store.Backend = inner
+	if fc.Prob > 0 {
+		b = store.NewFaulty(inner, fc)
+	}
+	client, err := tier.Loopback(b, tier.ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewManagerOn(pg, cost.New(), client)
+}
+
+func TestRemoteHomeTransientFaults(t *testing.T) {
+	leakcheck.Check(t)
+	before := tier.GlobalCounters()
+
+	mgr := remoteHome(t, store.FaultConfig{Seed: 42, Prob: 0.3, MaxConsecutive: 2})
+	want := []byte("paged against distributed swap")
+	if err := mgr.Home().WriteAt(0, want); err != nil {
+		t.Fatal(err)
+	}
+
+	sites := newCluster(t, mgr, 2, 4)
+	a, b := sites[0], sites[1]
+
+	// Both sites read the preloaded page through the faulty wire.
+	for i, s := range sites {
+		got := make([]byte, len(want))
+		if err := s.ctx.Read(base, got); err != nil {
+			t.Fatalf("site %d read: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("site %d sees %q", i, got)
+		}
+	}
+	// Ping-pong a page: every coherence transaction (sync, invalidate,
+	// push-out, pull-in) crosses the faulty wire and must ride out the
+	// injected transients.
+	for i := byte(1); i <= 10; i++ {
+		w, r := a, b
+		if i%2 == 0 {
+			w, r = b, a
+		}
+		if err := w.ctx.Write(base+pg, []byte{i}); err != nil {
+			t.Fatalf("round %d write: %v", i, err)
+		}
+		got := make([]byte, 1)
+		if err := r.ctx.Read(base+pg, got); err != nil {
+			t.Fatalf("round %d read: %v", i, err)
+		}
+		if got[0] != i {
+			t.Fatalf("round %d: reader sees %d", i, got[0])
+		}
+	}
+
+	if err := mgr.Invariant(); err != nil {
+		t.Fatal(err)
+	}
+	// Exact frame accounting at rest on every site.
+	for i, s := range sites {
+		if err := s.mm.CheckInvariants(); err != nil {
+			t.Fatalf("site %d invariants: %v", i, err)
+		}
+	}
+	for _, s := range sites {
+		if err := s.Detach(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The injected transients were absorbed below the GMI; the retry
+	// counter is the only trace they leave.
+	if after := tier.GlobalCounters(); after.RemoteRetries <= before.RemoteRetries {
+		t.Fatal("no remote retries recorded despite injected faults")
+	}
+}
+
+func TestRemoteHomePermanentFault(t *testing.T) {
+	leakcheck.Check(t)
+
+	// Every operation fails and the consecutive cap never relents: with a
+	// shrunken retry budget the fault is effectively permanent.
+	mgr := remoteHome(t, store.FaultConfig{Seed: 7, Prob: 1, MaxConsecutive: 1 << 30})
+	mgr.SetRetry(store.Policy{
+		Attempts: 2,
+		Base:     time.Microsecond,
+		Max:      time.Microsecond,
+		Sleep:    func(time.Duration) {},
+	})
+
+	sites := newCluster(t, mgr, 1, 2)
+	s := sites[0]
+	got := make([]byte, 8)
+	err := s.ctx.Read(base, got)
+	if err == nil {
+		t.Fatal("read through a dead home store succeeded")
+	}
+	if !errors.Is(err, gmi.ErrIO) {
+		t.Fatalf("fault surfaced as %v, want gmi.ErrIO", err)
+	}
+	// The failed pull-in must leave the site consistent: no page was
+	// granted, no frame leaked.
+	if err := s.mm.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	// Close flushes through the still-failing wire; the error is
+	// expected — what matters is that the client, server and backend shut
+	// down without stranding a goroutine (leakcheck above).
+	_ = mgr.Close()
+}

@@ -78,6 +78,22 @@ type SegmentAllocator interface {
 	SegmentCreate(c Cache) (Segment, error)
 }
 
+// UsageAdviser is an optional extension of Segment: the memory manager's
+// downward usage signal. A segment manager whose backing store can act
+// on heat information (a tiered store demoting cold pages) implements
+// it; the memory manager calls it with what the replacement policy
+// learned. Both calls are advisory and must not block — the manager may
+// hold VM locks — so implementations only enqueue.
+type UsageAdviser interface {
+	// NoteEvict reports that [off, off+size) was just evicted from real
+	// memory: the strongest cold signal the policy produces.
+	NoteEvict(off, size int64)
+
+	// NoteIdle reports that [off, off+size) stayed resident but went
+	// unreferenced across a policy tick: cooling, not yet evicted.
+	NoteIdle(off, size int64)
+}
+
 // Cache manages the real memory currently in use for one segment on this
 // site. A segment is always accessed through its cache, whether the access
 // is mapped (via regions) or explicit (via Copy/Move); that single cache is

@@ -6,11 +6,15 @@
 //
 // Language (one statement per line, '#' comments):
 //
-//	store KIND [dir=PATH] [faults=P] [seed=N]
-//	                                    select the backing store (mem, file
-//	                                    or flate) for segments created from
-//	                                    now on; faults= injects transient
-//	                                    I/O failures with probability P
+//	store KIND [dir=PATH] [faults=P] [seed=N] [hot=N] [warm=N] [addr=A]
+//	                                    select the backing store (mem, file,
+//	                                    flate, tiered or remote) for segments
+//	                                    created from now on; faults= injects
+//	                                    transient I/O failures with
+//	                                    probability P; hot=/warm= size the
+//	                                    tiered store's upper tiers in pages;
+//	                                    addr= picks the remote transport
+//	                                    (pipe or tcp)
 //	cache NAME [pages=N preload=TAG]    create a cache; with preload=, a
 //	                                    segment-backed one holding a
 //	                                    pattern; otherwise a temporary
@@ -142,14 +146,8 @@ func (in *Interp) Close() {
 // allocator hands out. It is the programmatic form of the `store`
 // statement; caches created earlier keep their old backends.
 func (in *Interp) SetStore(cfg store.Config) error {
-	switch cfg.Kind {
-	case "", "mem", "flate":
-	case "file":
-		if cfg.Dir == "" {
-			return fmt.Errorf("store file: need dir=PATH")
-		}
-	default:
-		return fmt.Errorf("unknown store kind %q (want mem, file or flate)", cfg.Kind)
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 	in.storeCfg = cfg
 	ps := in.pvm.PageSize()
@@ -211,13 +209,14 @@ func (in *Interp) exec(raw string) error {
 		return nil
 	case "stats":
 		st := in.pvm.Stats()
-		fmt.Fprintf(in.out, "faults=%d softfaults=%d protfaults=%d zerofills=%d cowbreaks=%d stubbreaks=%d historypushes=%d pullins=%d pushouts=%d evictions=%d collapses=%d zeropoolhits=%d zeropoolmisses=%d faultaround=%d promotions=%d demotions=%d speccancels=%d harvests=%d secondchances=%d polpromotions=%d wssuspend=%d wsresume=%d\n",
+		fmt.Fprintf(in.out, "faults=%d softfaults=%d protfaults=%d zerofills=%d cowbreaks=%d stubbreaks=%d historypushes=%d pullins=%d pushouts=%d evictions=%d collapses=%d zeropoolhits=%d zeropoolmisses=%d faultaround=%d promotions=%d demotions=%d speccancels=%d harvests=%d secondchances=%d polpromotions=%d wssuspend=%d wsresume=%d tierpromos=%d tierdemos=%d rretries=%d\n",
 			st.Faults, st.SoftFaults, st.ProtFaults, st.ZeroFills, st.CowBreaks, st.StubBreaks,
 			st.HistoryPushes, st.PullIns, st.PushOuts, st.Evictions, st.Collapses,
 			st.ZeroPoolHits, st.ZeroPoolMisses,
 			st.FaultAroundMapped, st.Promotions, st.Demotions, st.SpeculationsCancelled,
 			st.PolicyHarvests, st.PolicySecondChances, st.PolicyPromotions,
-			st.WSSuspensions, st.WSResumes)
+			st.WSSuspensions, st.WSResumes,
+			st.TierPromotions, st.TierDemotions, st.RemoteRetries)
 		return nil
 	case "policy":
 		return in.cmdPolicy(args)
@@ -283,7 +282,7 @@ func (in *Interp) cmdPolicy(args []string) error {
 
 func (in *Interp) cmdStore(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("store: need KIND [dir=PATH] [faults=P] [seed=N]")
+		return fmt.Errorf("store: need KIND [dir=PATH] [faults=P] [seed=N] [hot=N] [warm=N] [addr=A]")
 	}
 	cfg := store.Config{Kind: args[0]}
 	for _, a := range args[1:] {
@@ -302,6 +301,20 @@ func (in *Interp) cmdStore(args []string) error {
 				return err
 			}
 			cfg.Seed = v
+		case strings.HasPrefix(a, "hot="):
+			v, err := parseNum(strings.TrimPrefix(a, "hot="))
+			if err != nil {
+				return err
+			}
+			cfg.TierHot = int(v)
+		case strings.HasPrefix(a, "warm="):
+			v, err := parseNum(strings.TrimPrefix(a, "warm="))
+			if err != nil {
+				return err
+			}
+			cfg.TierWarm = int(v)
+		case strings.HasPrefix(a, "addr="):
+			cfg.Addr = strings.TrimPrefix(a, "addr=")
 		default:
 			return fmt.Errorf("store: unknown option %q", a)
 		}
@@ -349,6 +362,13 @@ func (in *Interp) cmdCache(args []string) error {
 			pages = 4
 		}
 		if err := sg.Store().WriteAt(0, patternBytes(tag, int(pages)*in.pvm.PageSize())); err != nil {
+			return err
+		}
+		// Preload is setup, not workload: flush it through the engine so
+		// the content is in the backend — not the writeback queue — when
+		// the script starts faulting. Tier/retry counters in a later
+		// `stats` must not depend on writeback scheduling.
+		if err := sg.Store().Sync(); err != nil {
 			return err
 		}
 		in.caches[name] = in.pvm.CacheCreate(sg)

@@ -143,8 +143,9 @@ type Segment struct {
 }
 
 var (
-	_ gmi.Segment = (*Segment)(nil)
-	_ gmi.Pager   = (*Segment)(nil)
+	_ gmi.Segment      = (*Segment)(nil)
+	_ gmi.Pager        = (*Segment)(nil)
+	_ gmi.UsageAdviser = (*Segment)(nil)
 )
 
 // NewSegment creates a mapper over its own fresh in-memory store.
@@ -260,6 +261,23 @@ func (s *Segment) PushOut(c gmi.Cache, off, size int64) error {
 	}
 	s.tr.Span(obs.KindSegPush, obs.OpSegPush, off, size, start)
 	return nil
+}
+
+// NoteEvict implements gmi.UsageAdviser: forward the eviction signal to
+// the backing store when it can act on it (a tiered backend demotes the
+// page). The Adviser contract is enqueue-only, so this never blocks.
+func (s *Segment) NoteEvict(off, size int64) {
+	if ad, ok := s.store.Backend().(store.Adviser); ok {
+		ad.Advise(off, size, store.AdviseCold)
+	}
+}
+
+// NoteIdle implements gmi.UsageAdviser: the softer unreferenced-across-
+// a-tick signal.
+func (s *Segment) NoteIdle(off, size int64) {
+	if ad, ok := s.store.Backend().(store.Adviser); ok {
+		ad.Advise(off, size, store.AdviseIdle)
+	}
 }
 
 // PullIns returns how many pullIn upcalls the segment served.

@@ -1,252 +1,50 @@
-package store
+package store_test
 
 import (
-	"bytes"
-	"errors"
-	"fmt"
 	"path/filepath"
 	"testing"
+
+	"chorusvm/internal/store"
+	"chorusvm/internal/store/storetest"
 )
 
-// backendCase builds one backend flavour for the shared conformance
-// table. Every Backend implementation must pass every case below —
-// including the partial-page and page-straddling boundary paths — so a
-// new backend starts by adding itself here.
-type backendCase struct {
-	name string
-	mk   func(t *testing.T, pageSize int) Backend
-}
-
-func backendCases() []backendCase {
-	return []backendCase{
-		{"mem", func(t *testing.T, ps int) Backend { return NewMem(ps) }},
-		{"file", func(t *testing.T, ps int) Backend {
-			f, err := NewFile(filepath.Join(t.TempDir(), "seg"), ps)
+// TestConformance runs the shared battery (storetest.Run) over every
+// built-in backend flavour. New backends elsewhere in the tree (the
+// tiered composition, the remote client) run the same battery from
+// their own packages.
+func TestConformance(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   storetest.Maker
+	}{
+		{"mem", func(t *testing.T, ps int) store.Backend { return store.NewMem(ps) }},
+		{"file", func(t *testing.T, ps int) store.Backend {
+			f, err := store.NewFile(filepath.Join(t.TempDir(), "seg"), ps)
 			if err != nil {
 				t.Fatalf("NewFile: %v", err)
 			}
 			return f
 		}},
-		{"flate", func(t *testing.T, ps int) Backend { return NewFlate(ps) }},
+		{"flate", func(t *testing.T, ps int) store.Backend { return store.NewFlate(ps) }},
 		// Faulty with Prob 0 must be a transparent wrapper.
-		{"faulty(mem)", func(t *testing.T, ps int) Backend {
-			return NewFaulty(NewMem(ps), FaultConfig{Seed: 7})
+		{"faulty(mem)", func(t *testing.T, ps int) store.Backend {
+			return store.NewFaulty(store.NewMem(ps), store.FaultConfig{Seed: 7})
 		}},
 	}
-}
-
-func pattern(tag byte, n int) []byte {
-	b := make([]byte, n)
-	for i := range b {
-		b[i] = tag ^ byte(i*7)
-	}
-	return b
-}
-
-const psTest = 256
-
-func forAllBackends(t *testing.T, fn func(t *testing.T, b Backend)) {
-	for _, bc := range backendCases() {
-		t.Run(bc.name, func(t *testing.T) {
-			b := bc.mk(t, psTest)
-			defer b.Close()
-			fn(t, b)
-		})
+	for _, bc := range cases {
+		t.Run(bc.name, func(t *testing.T) { storetest.Run(t, bc.mk) })
 	}
 }
 
-func TestConformanceZeroFill(t *testing.T) {
-	forAllBackends(t, func(t *testing.T, b Backend) {
-		buf := pattern(0xFF, 3*psTest)
-		if err := b.ReadAt(100, buf); err != nil {
-			t.Fatalf("ReadAt: %v", err)
+// TestConformanceFileReopen proves the file backend's persistence
+// through the shared reopen battery.
+func TestConformanceFileReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seg")
+	storetest.RunReopen(t, func(t *testing.T) store.Backend {
+		f, err := store.NewFile(path, storetest.PageSize)
+		if err != nil {
+			t.Fatalf("NewFile: %v", err)
 		}
-		for i, v := range buf {
-			if v != 0 {
-				t.Fatalf("byte %d: got %#x, want 0 (never-written range)", i, v)
-			}
-		}
-		if b.Pages() != 0 {
-			t.Fatalf("Pages() = %d after pure reads, want 0", b.Pages())
-		}
+		return f
 	})
-}
-
-func TestConformanceRoundTrip(t *testing.T) {
-	forAllBackends(t, func(t *testing.T, b Backend) {
-		want := pattern(0x11, 4*psTest)
-		if err := b.WriteAt(0, want); err != nil {
-			t.Fatalf("WriteAt: %v", err)
-		}
-		got := make([]byte, len(want))
-		if err := b.ReadAt(0, got); err != nil {
-			t.Fatalf("ReadAt: %v", err)
-		}
-		if !bytes.Equal(got, want) {
-			t.Fatalf("round trip mismatch")
-		}
-		if b.Pages() != 4 {
-			t.Fatalf("Pages() = %d, want 4", b.Pages())
-		}
-	})
-}
-
-// TestConformanceBoundaries drives the partial-page and page-straddling
-// paths: sub-page writes at both edges of a page, a write covering a
-// page tail plus the next page's head, and reads at the same odd
-// offsets, interleaved with full-page content to detect neighbour
-// clobbering.
-func TestConformanceBoundaries(t *testing.T) {
-	forAllBackends(t, func(t *testing.T, b Backend) {
-		// Model of the backend's logical content.
-		model := make([]byte, 6*psTest)
-		write := func(off int64, data []byte) {
-			t.Helper()
-			if err := b.WriteAt(off, data); err != nil {
-				t.Fatalf("WriteAt(%d, %d bytes): %v", off, len(data), err)
-			}
-			copy(model[off:], data)
-		}
-		check := func(off int64, n int) {
-			t.Helper()
-			got := make([]byte, n)
-			if err := b.ReadAt(off, got); err != nil {
-				t.Fatalf("ReadAt(%d, %d): %v", off, n, err)
-			}
-			if !bytes.Equal(got, model[off:off+int64(n)]) {
-				t.Fatalf("ReadAt(%d, %d): content mismatch", off, n)
-			}
-		}
-
-		write(0, pattern(0x21, 2*psTest))                      // two full pages as a baseline
-		write(10, pattern(0x42, 17))                           // interior partial write
-		write(psTest-5, pattern(0x33, 10))                     // straddles pages 0/1
-		write(2*psTest-3, pattern(0x44, psTest+6))             // tail + full page 2 + head of 3
-		write(int64(4*psTest+psTest/2), pattern(0x55, psTest)) // straddle into a hole
-
-		check(0, 6*psTest)        // everything
-		check(3, 40)              // interior partial read
-		check(psTest-8, 16)       // straddling read
-		check(2*psTest-1, 2)      // 1 byte each side of a boundary
-		check(5*psTest-1, psTest) // read ending in the hole's zero region
-
-		// A one-byte write must not disturb its neighbours.
-		write(3*psTest+7, []byte{0xAB})
-		check(3*psTest, psTest)
-	})
-}
-
-func TestConformanceTruncate(t *testing.T) {
-	forAllBackends(t, func(t *testing.T, b Backend) {
-		if err := b.WriteAt(0, pattern(0x61, 4*psTest)); err != nil {
-			t.Fatalf("WriteAt: %v", err)
-		}
-		if err := b.Truncate(2 * psTest); err != nil {
-			t.Fatalf("Truncate: %v", err)
-		}
-		if b.Pages() != 2 {
-			t.Fatalf("Pages() = %d after Truncate(2p), want 2", b.Pages())
-		}
-		got := make([]byte, 4*psTest)
-		if err := b.ReadAt(0, got); err != nil {
-			t.Fatalf("ReadAt: %v", err)
-		}
-		want := pattern(0x61, 4*psTest)
-		clear(want[2*psTest:])
-		if !bytes.Equal(got, want) {
-			t.Fatalf("post-truncate content mismatch")
-		}
-		if err := b.Truncate(0); err != nil {
-			t.Fatalf("Truncate(0): %v", err)
-		}
-		if b.Pages() != 0 {
-			t.Fatalf("Pages() = %d after Truncate(0), want 0", b.Pages())
-		}
-	})
-}
-
-func TestConformanceSyncAndClose(t *testing.T) {
-	forAllBackends(t, func(t *testing.T, b Backend) {
-		if err := b.WriteAt(0, pattern(1, psTest)); err != nil {
-			t.Fatalf("WriteAt: %v", err)
-		}
-		if err := b.Sync(); err != nil {
-			t.Fatalf("Sync: %v", err)
-		}
-		if err := b.Close(); err != nil {
-			t.Fatalf("Close: %v", err)
-		}
-		if err := b.ReadAt(0, make([]byte, 1)); !errors.Is(err, ErrClosed) {
-			t.Fatalf("ReadAt after Close = %v, want ErrClosed", err)
-		}
-	})
-}
-
-// TestConformanceSparse writes pages far apart, checking sparse segments
-// stay cheap (Pages counts materialized pages, not the address range).
-func TestConformanceSparse(t *testing.T) {
-	forAllBackends(t, func(t *testing.T, b Backend) {
-		offs := []int64{0, 1 << 20, 1 << 30, 1<<40 + psTest}
-		for i, off := range offs {
-			if err := b.WriteAt(off, pattern(byte(i+1), psTest)); err != nil {
-				t.Fatalf("WriteAt(%#x): %v", off, err)
-			}
-		}
-		if b.Pages() != len(offs) {
-			t.Fatalf("Pages() = %d, want %d", b.Pages(), len(offs))
-		}
-		for i, off := range offs {
-			got := make([]byte, psTest)
-			if err := b.ReadAt(off, got); err != nil {
-				t.Fatalf("ReadAt(%#x): %v", off, err)
-			}
-			if !bytes.Equal(got, pattern(byte(i+1), psTest)) {
-				t.Fatalf("content mismatch at %#x", off)
-			}
-		}
-	})
-}
-
-// TestConformanceEngine runs the same boundary table through an Engine
-// wrapped around each backend, so the async path proves coherence
-// (pending writeback must be visible to reads) on every backend.
-func TestConformanceEngine(t *testing.T) {
-	for _, bc := range backendCases() {
-		t.Run(fmt.Sprintf("engine(%s)", bc.name), func(t *testing.T) {
-			b := bc.mk(t, psTest)
-			e := NewEngine(b, Options{})
-			defer e.Close()
-			model := make([]byte, 6*psTest)
-			write := func(off int64, data []byte) {
-				t.Helper()
-				if err := e.Write(off, data); err != nil {
-					t.Fatalf("Write(%d): %v", off, err)
-				}
-				copy(model[off:], data)
-			}
-			check := func(off int64, n int) {
-				t.Helper()
-				got := make([]byte, n)
-				if err := e.Read(off, got); err != nil {
-					t.Fatalf("Read(%d, %d): %v", off, n, err)
-				}
-				if !bytes.Equal(got, model[off:off+int64(n)]) {
-					t.Fatalf("Read(%d, %d): content mismatch", off, n)
-				}
-			}
-			write(0, pattern(0x21, 2*psTest))
-			check(0, 2*psTest) // read races writeback: queue must serve it
-			write(10, pattern(0x42, 17))
-			write(psTest-5, pattern(0x33, 10))
-			write(2*psTest-3, pattern(0x44, psTest+6))
-			check(0, 4*psTest)
-			if err := e.Flush(); err != nil {
-				t.Fatalf("Flush: %v", err)
-			}
-			check(0, 4*psTest) // and the backend must hold it after drain
-			if got := b.Pages(); got != 4 {
-				t.Fatalf("backend Pages() = %d after Flush, want 4", got)
-			}
-		})
-	}
 }

@@ -101,6 +101,32 @@ func (f *Faulty) Sync() error {
 	return f.Backend.Sync()
 }
 
+// DiscardPage forwards to the wrapped backend when it supports single-
+// page discard (no injection: discard is tier bookkeeping, not device
+// I/O). A wrapped backend without the extension reports it cleanly.
+func (f *Faulty) DiscardPage(off int64) error {
+	if d, ok := f.Backend.(Discarder); ok {
+		return d.DiscardPage(off)
+	}
+	return fmt.Errorf("store: faulty: wrapped backend cannot discard pages")
+}
+
+// PageOffsets forwards to the wrapped backend (nil when unsupported).
+func (f *Faulty) PageOffsets() []int64 {
+	if l, ok := f.Backend.(PageLister); ok {
+		return l.PageOffsets()
+	}
+	return nil
+}
+
+// Advise forwards usage hints to the wrapped backend; hints are never
+// injected against — they are not device I/O.
+func (f *Faulty) Advise(off, size int64, a Advice) {
+	if ad, ok := f.Backend.(Adviser); ok {
+		ad.Advise(off, size, a)
+	}
+}
+
 // Injected returns how many transient failures have been injected.
 func (f *Faulty) Injected() uint64 { return f.injected.Load() }
 

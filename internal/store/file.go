@@ -288,6 +288,35 @@ func (f *File) Sync() error {
 	return f.writeIndex()
 }
 
+// DiscardPage implements Discarder: the page's slot goes back to the
+// free-extent allocator.
+func (f *File) DiscardPage(off int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	po := off &^ (f.ps - 1)
+	if slot, ok := f.slots[po]; ok {
+		delete(f.slots, po)
+		delete(f.crcs, po)
+		f.freeSlot(slot)
+	}
+	return nil
+}
+
+// PageOffsets implements PageLister.
+func (f *File) PageOffsets() []int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	offs := make([]int64, 0, len(f.slots))
+	for po := range f.slots {
+		offs = append(offs, po)
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	return offs
+}
+
 // Pages implements Backend.
 func (f *File) Pages() int {
 	f.mu.Lock()

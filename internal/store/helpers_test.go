@@ -1,0 +1,17 @@
+package store
+
+// Shared helpers for the in-package test files (engine, faulty, file,
+// readasync). The cross-backend conformance battery itself lives in
+// storetest and runs from conformance_test.go (package store_test).
+
+// pattern fills n bytes with a tag-derived deterministic pattern.
+func pattern(tag byte, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = tag ^ byte(i*7)
+	}
+	return b
+}
+
+// psTest is the page size the in-package tests run at.
+const psTest = 256

@@ -60,6 +60,46 @@ type Backend interface {
 	Close() error
 }
 
+// Discarder is an optional Backend extension: dropping a single
+// materialized page (Truncate can only drop suffixes). A tiered store
+// uses it to remove a page from the tier it is migrating out of. The
+// in-package backends (Mem, File, Flate) all implement it.
+type Discarder interface {
+	// DiscardPage releases the page at the page-aligned offset off; a
+	// hole there is a no-op. Subsequent reads see zeroes.
+	DiscardPage(off int64) error
+}
+
+// PageLister is an optional Backend extension: enumerating the
+// materialized page offsets. A tiered store uses it on reopen to learn
+// which pages its persistent cold tier still holds.
+type PageLister interface {
+	// PageOffsets returns the page-aligned offsets of every materialized
+	// page, in ascending order.
+	PageOffsets() []int64
+}
+
+// Advice classifies a usage hint flowing down from the VM's replacement
+// policy to an advising backend (see Adviser).
+type Advice int
+
+const (
+	// AdviseCold marks pages the replacement policy just evicted: the VM
+	// gave their frames away, so their backing copies should sink a tier.
+	AdviseCold Advice = iota
+	// AdviseIdle marks resident pages that went unreferenced across a
+	// whole policy tick — not evicted yet, but cooling.
+	AdviseIdle
+)
+
+// Adviser is an optional Backend extension: receiving usage hints from
+// the layers above. Advise is a hint, never a command — implementations
+// MUST NOT block (callers may hold VM-internal locks); they enqueue the
+// hint and act on it later (see tier.Backend's migrator).
+type Adviser interface {
+	Advise(off, size int64, a Advice)
+}
+
 // Errors of the storage tier. ErrTransient classifies failures worth
 // retrying (see Policy); anything else is permanent and propagates up
 // the upcall chain as a gmi.ErrIO.

@@ -1,0 +1,83 @@
+package tier
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"chorusvm/internal/store"
+)
+
+// The "tiered" and "remote" store kinds, registered into the shared
+// store.Config registry so every tool's -store flag (and the script
+// language's store statement) can select them. internal/core imports
+// this package for stats mirroring, so the kinds are available wherever
+// the VM is.
+
+func init() {
+	store.RegisterKind("tiered", store.KindSpec{
+		Validate: validateTiered,
+		New:      newTiered,
+	})
+	store.RegisterKind("remote", store.KindSpec{
+		Validate: validateRemote,
+		New:      newRemote,
+		// The remote kind consumes FaultProb itself, injecting on the
+		// wire path server-side, so retries genuinely cross the wire.
+		WrapsFaults: true,
+	})
+}
+
+func validateTiered(c store.Config) error {
+	if c.TierHot < 0 || c.TierWarm < 0 {
+		return fmt.Errorf("store: negative tier watermark (hot %d, warm %d)", c.TierHot, c.TierWarm)
+	}
+	return nil
+}
+
+func validateRemote(c store.Config) error {
+	if err := validateTiered(c); err != nil {
+		return err
+	}
+	switch c.Addr {
+	case "", "pipe", "tcp":
+		return nil
+	default:
+		return fmt.Errorf("store: unknown remote transport %q (want pipe or tcp)", c.Addr)
+	}
+}
+
+// buildTiered makes the tiered composition a Config describes: volatile
+// by default, journaled cold tier when a directory is given.
+func buildTiered(c store.Config, name string, pageSize int) (*Backend, error) {
+	opt := Options{HotPages: c.TierHot, WarmPages: c.TierWarm}
+	if c.Dir == "" {
+		return NewDefault(pageSize, opt), nil
+	}
+	if err := os.MkdirAll(c.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	return NewPersistent(filepath.Join(c.Dir, name), pageSize, opt)
+}
+
+func newTiered(c store.Config, name string, pageSize int) (store.Backend, error) {
+	return buildTiered(c, name, pageSize)
+}
+
+// newRemote serves a tiered composition behind the wire: the full
+// distributed-swap stack. FaultProb wraps the server-side backend, so
+// injected failures travel back as wire-status transients.
+func newRemote(c store.Config, name string, pageSize int) (store.Backend, error) {
+	inner, err := buildTiered(c, name, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	var served store.Backend = inner
+	if c.FaultProb > 0 {
+		served = store.NewFaulty(inner, store.FaultConfig{Seed: c.FaultSeed(name), Prob: c.FaultProb})
+	}
+	if c.Addr == "tcp" {
+		return LoopbackTCP(served, ClientOptions{})
+	}
+	return Loopback(served, ClientOptions{})
+}

@@ -1,0 +1,538 @@
+package tier
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"chorusvm/internal/store"
+)
+
+// The remote tier: a store.Backend served over a byte stream, so DSM
+// sites (or anything else) can page against one shared store. The
+// protocol is a simple asynchronous request/response exchange — every
+// request carries an id, responses can arrive out of order, and the
+// client muxes them back to waiters — so slow operations do not
+// head-of-line-block fast ones. Error classes survive the wire: a
+// transient injected server-side (store.Faulty on the wire path) comes
+// back as a transient, so the caller's retry policy works unchanged
+// across the network.
+//
+// Request frame, little-endian:
+//
+//	[u64 id][u8 op][u64 off][u32 n][n bytes payload (writes only)]
+//
+// Response frame:
+//
+//	[u64 id][u8 status][u32 n][n bytes payload]
+//
+// Read responses carry the page bytes; error responses carry the
+// message; Pages/PageSize responses carry a u64.
+
+// Wire ops.
+const (
+	opRead = iota + 1
+	opWrite
+	opTruncate
+	opSync
+	opPages
+	opPageSize
+	opDiscard
+)
+
+// Wire status codes: the error classes that must survive the wire.
+const (
+	stOK = iota
+	stTransient
+	stCorrupt
+	stClosed
+	stErr
+)
+
+// Server serves a store.Backend to remote clients. It owns nothing but
+// the connections handed to it: Close tears those down and waits for
+// every in-flight handler, but the backend belongs to the caller.
+type Server struct {
+	b  store.Backend
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	ln     net.Listener
+	closed bool
+}
+
+// NewServer wraps b for serving. Callers then hand it connections
+// (ServeConn) or a listener (Serve).
+func NewServer(b store.Backend) *Server {
+	return &Server{b: b, conns: make(map[net.Conn]struct{})}
+}
+
+// ServeConn serves one connection in the background until the peer
+// hangs up or the server closes.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.readLoop(conn)
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+}
+
+// Serve accepts connections from ln until it closes. It runs in the
+// background; Close closes the listener.
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.ServeConn(conn)
+		}
+	}()
+}
+
+// readLoop decodes requests and dispatches each to its own handler
+// goroutine; responses serialize through a per-connection write lock.
+func (s *Server) readLoop(conn net.Conn) {
+	var wmu sync.Mutex
+	hdr := make([]byte, 21)
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return
+		}
+		id := binary.LittleEndian.Uint64(hdr[0:8])
+		op := hdr[8]
+		off := int64(binary.LittleEndian.Uint64(hdr[9:17]))
+		n := binary.LittleEndian.Uint32(hdr[17:21])
+		var payload []byte
+		if op == opWrite {
+			payload = make([]byte, n)
+			if _, err := io.ReadFull(conn, payload); err != nil {
+				return
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			status, out := s.handle(op, off, n, payload)
+			resp := make([]byte, 0, 13+len(out))
+			resp = binary.LittleEndian.AppendUint64(resp, id)
+			resp = append(resp, status)
+			resp = binary.LittleEndian.AppendUint32(resp, uint32(len(out)))
+			resp = append(resp, out...)
+			wmu.Lock()
+			conn.Write(resp)
+			wmu.Unlock()
+		}()
+	}
+}
+
+// handle executes one request against the backend.
+func (s *Server) handle(op byte, off int64, n uint32, payload []byte) (byte, []byte) {
+	switch op {
+	case opRead:
+		buf := make([]byte, n)
+		if err := s.b.ReadAt(off, buf); err != nil {
+			return encodeErr(err)
+		}
+		return stOK, buf
+	case opWrite:
+		if err := s.b.WriteAt(off, payload); err != nil {
+			return encodeErr(err)
+		}
+		return stOK, nil
+	case opTruncate:
+		if err := s.b.Truncate(off); err != nil {
+			return encodeErr(err)
+		}
+		return stOK, nil
+	case opSync:
+		if err := s.b.Sync(); err != nil {
+			return encodeErr(err)
+		}
+		return stOK, nil
+	case opPages:
+		return stOK, binary.LittleEndian.AppendUint64(nil, uint64(s.b.Pages()))
+	case opPageSize:
+		return stOK, binary.LittleEndian.AppendUint64(nil, uint64(s.b.PageSize()))
+	case opDiscard:
+		d, ok := s.b.(store.Discarder)
+		if !ok {
+			return stErr, []byte("backend cannot discard pages")
+		}
+		if err := d.DiscardPage(off); err != nil {
+			return encodeErr(err)
+		}
+		return stOK, nil
+	default:
+		return stErr, fmt.Appendf(nil, "unknown op %d", op)
+	}
+}
+
+// encodeErr maps an error to its wire status, preserving the class.
+func encodeErr(err error) (byte, []byte) {
+	switch {
+	case errors.Is(err, store.ErrTransient):
+		return stTransient, []byte(err.Error())
+	case errors.Is(err, store.ErrCorrupt):
+		return stCorrupt, []byte(err.Error())
+	case errors.Is(err, store.ErrClosed):
+		return stClosed, []byte(err.Error())
+	default:
+		return stErr, []byte(err.Error())
+	}
+}
+
+// Close closes the listener and every connection, then waits for all
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// ClientOptions parameterizes a remote client.
+type ClientOptions struct {
+	// Timeout bounds each operation's wait for its response; an expiry
+	// surfaces as a transient error (the response may still be in
+	// flight — retrying is correct). 0 means 2s.
+	Timeout time.Duration
+}
+
+// Client is a store.Backend over a connection to a Server. Operations
+// are issued asynchronously and muxed by id, so concurrent callers
+// share the connection without head-of-line blocking. A timed-out or
+// server-injected transient failure counts toward the global
+// RemoteRetries counter (the caller's retry policy will re-issue it); a
+// broken connection is permanent and fails all waiters.
+type Client struct {
+	conn    net.Conn
+	ps      int
+	timeout time.Duration
+
+	wmu sync.Mutex // frame writes
+
+	mu      sync.Mutex
+	pending map[uint64]chan wireResp
+	nextID  uint64
+	broken  error // permanent transport failure, set by the reader
+	closed  bool
+
+	readerDone chan struct{}
+	// teardown runs after the connection closes: Loopback hands the
+	// client ownership of the server and inner backend.
+	teardown func()
+}
+
+type wireResp struct {
+	status  byte
+	payload []byte
+}
+
+var _ store.Backend = (*Client)(nil)
+
+// NewClient attaches to a served connection and learns the remote page
+// size with a first round trip.
+func NewClient(conn net.Conn, opt ClientOptions) (*Client, error) {
+	if opt.Timeout <= 0 {
+		opt.Timeout = 2 * time.Second
+	}
+	c := &Client{
+		conn:       conn,
+		timeout:    opt.Timeout,
+		pending:    make(map[uint64]chan wireResp),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	resp, err := c.call(opPageSize, 0, 0, nil)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("tier: remote handshake: %w", err)
+	}
+	if len(resp) != 8 {
+		c.Close()
+		return nil, fmt.Errorf("tier: remote handshake: short page-size response")
+	}
+	c.ps = int(binary.LittleEndian.Uint64(resp))
+	if c.ps <= 0 {
+		c.Close()
+		return nil, fmt.Errorf("tier: remote handshake: page size %d", c.ps)
+	}
+	return c, nil
+}
+
+// readLoop muxes responses to waiters; on transport failure it fails
+// every pending and future call permanently.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	hdr := make([]byte, 13)
+	for {
+		if _, err := io.ReadFull(c.conn, hdr); err != nil {
+			c.mu.Lock()
+			if c.broken == nil {
+				c.broken = fmt.Errorf("tier: remote connection lost: %v", err)
+			}
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		id := binary.LittleEndian.Uint64(hdr[0:8])
+		status := hdr[8]
+		n := binary.LittleEndian.Uint32(hdr[9:13])
+		var payload []byte
+		if n > 0 {
+			payload = make([]byte, n)
+			if _, err := io.ReadFull(c.conn, payload); err != nil {
+				continue // header loop will hit the same error
+			}
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		if ok {
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- wireResp{status, payload}
+		}
+		// An abandoned id (the waiter timed out) is dropped here.
+	}
+}
+
+// call issues one request and waits for its response or the timeout.
+func (c *Client) call(op byte, off int64, n uint32, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, store.ErrClosed
+	}
+	if c.broken != nil {
+		err := c.broken
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan wireResp, 1)
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	req := make([]byte, 0, 21+len(payload))
+	req = binary.LittleEndian.AppendUint64(req, id)
+	req = append(req, op)
+	req = binary.LittleEndian.AppendUint64(req, uint64(off))
+	req = binary.LittleEndian.AppendUint32(req, n)
+	req = append(req, payload...)
+	c.wmu.Lock()
+	_, werr := c.conn.Write(req)
+	c.wmu.Unlock()
+	if werr != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		gRemoteRetries.Add(1)
+		return nil, fmt.Errorf("tier: remote send failed (%v): %w", werr, store.ErrTransient)
+	}
+
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.broken
+			c.mu.Unlock()
+			if err == nil {
+				err = fmt.Errorf("tier: remote connection lost")
+			}
+			return nil, err
+		}
+		return decodeResp(resp)
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		gRemoteRetries.Add(1)
+		return nil, fmt.Errorf("tier: remote op %d timed out after %v: %w", op, c.timeout, store.ErrTransient)
+	}
+}
+
+// decodeResp maps a wire status back to the matching error class.
+func decodeResp(r wireResp) ([]byte, error) {
+	switch r.status {
+	case stOK:
+		return r.payload, nil
+	case stTransient:
+		gRemoteRetries.Add(1)
+		return nil, fmt.Errorf("tier: remote: %s: %w", r.payload, store.ErrTransient)
+	case stCorrupt:
+		return nil, fmt.Errorf("tier: remote: %s: %w", r.payload, store.ErrCorrupt)
+	case stClosed:
+		return nil, fmt.Errorf("tier: remote: %s: %w", r.payload, store.ErrClosed)
+	default:
+		return nil, fmt.Errorf("tier: remote: %s", r.payload)
+	}
+}
+
+// PageSize implements store.Backend (learned at handshake).
+func (c *Client) PageSize() int { return c.ps }
+
+// ReadAt implements store.Backend.
+func (c *Client) ReadAt(off int64, buf []byte) error {
+	resp, err := c.call(opRead, off, uint32(len(buf)), nil)
+	if err != nil {
+		return err
+	}
+	if len(resp) != len(buf) {
+		return fmt.Errorf("tier: remote read returned %d bytes, want %d", len(resp), len(buf))
+	}
+	copy(buf, resp)
+	return nil
+}
+
+// WriteAt implements store.Backend.
+func (c *Client) WriteAt(off int64, data []byte) error {
+	_, err := c.call(opWrite, off, uint32(len(data)), data)
+	return err
+}
+
+// Truncate implements store.Backend.
+func (c *Client) Truncate(size int64) error {
+	_, err := c.call(opTruncate, size, 0, nil)
+	return err
+}
+
+// Sync implements store.Backend.
+func (c *Client) Sync() error {
+	_, err := c.call(opSync, 0, 0, nil)
+	return err
+}
+
+// Pages implements store.Backend (0 when the wire is down — the count
+// is advisory).
+func (c *Client) Pages() int {
+	resp, err := c.call(opPages, 0, 0, nil)
+	if err != nil || len(resp) != 8 {
+		return 0
+	}
+	return int(binary.LittleEndian.Uint64(resp))
+}
+
+// DiscardPage implements store.Discarder.
+func (c *Client) DiscardPage(off int64) error {
+	_, err := c.call(opDiscard, off, 0, nil)
+	return err
+}
+
+// Close implements store.Backend: close the connection, wait out the
+// reader, run the teardown (for Loopback: server and inner backend).
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.conn.Close()
+	<-c.readerDone
+	if c.teardown != nil {
+		c.teardown()
+	}
+	return nil
+}
+
+// Loopback serves b over an in-process pipe and returns the client.
+// The client owns everything: its Close tears down the server and b.
+func Loopback(b store.Backend, opt ClientOptions) (*Client, error) {
+	srv := NewServer(b)
+	cliEnd, srvEnd := net.Pipe()
+	srv.ServeConn(srvEnd)
+	c, err := NewClient(cliEnd, opt)
+	if err != nil {
+		srv.Close()
+		b.Close()
+		return nil, err
+	}
+	c.teardown = func() {
+		srv.Close()
+		b.Close()
+	}
+	return c, nil
+}
+
+// LoopbackTCP serves b on a loopback TCP listener and returns a client
+// dialed over real sockets. Ownership matches Loopback.
+func LoopbackTCP(b store.Backend, opt ClientOptions) (*Client, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := NewServer(b)
+	srv.Serve(ln)
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		srv.Close()
+		b.Close()
+		return nil, err
+	}
+	c, err := NewClient(conn, opt)
+	if err != nil {
+		srv.Close()
+		b.Close()
+		return nil, err
+	}
+	c.teardown = func() {
+		srv.Close()
+		b.Close()
+	}
+	return c, nil
+}
