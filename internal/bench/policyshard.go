@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"chorusvm/internal/core"
+	"chorusvm/internal/cost"
+	"chorusvm/internal/gmi"
+	"chorusvm/internal/obs"
+	"chorusvm/internal/seg"
+	"chorusvm/internal/store"
+)
+
+// This file measures what policy sharding buys: the replacement policy's
+// leaf mutex under reclaim pressure. The workload overcommits physical
+// memory 2:1 and runs the pageout daemon, so three kinds of traffic hit
+// the policy concurrently — faulting workers inserting and touching
+// pages, the daemon's victim sweeps (clock's scan is up to two full laps
+// per call), and the harvest tick. With a single policy instance every
+// sweep convoys the fault path behind one mutex; striped per map shard,
+// a sweep holds one shard at a time and faults on the other shards pass
+// untouched. The KindPolicyWait probe makes the effect directly visible:
+// the p99 policy-op latency is the convoy, and it collapses with shards.
+// On a single CPU the win is fewer futex sleeps and context switches,
+// not parallel CPU time — the convoy is a scheduling cost either way.
+
+// PolicyShardPoint is one cell of the policy-sharding ablation.
+type PolicyShardPoint struct {
+	Policy  string
+	Workers int
+	Shards  int
+
+	Touches    int           // page accesses completed across all workers
+	Elapsed    time.Duration // wall-clock measured interval
+	TouchesSec float64       // accesses per second
+
+	HardFaults uint64 // faults that materialized or pulled a page
+	SoftFaults uint64
+	Evictions  uint64
+
+	// WaitP50/WaitP99 are percentiles of the KindPolicyWait probe: the
+	// wall-clock cost of one policy call (mutex wait + queue op) as seen
+	// by the fault path and the daemon.
+	WaitP50, WaitP99 time.Duration
+}
+
+// PolicyShardAblation measures every (policy, workers, shards) cell of
+// the grid with the same overcommitted demand-zero workload. Each cell
+// runs three times and keeps the median-throughput rep: single cells are
+// tens of milliseconds, short enough that one scheduler hiccup would
+// otherwise dominate the speedup column.
+func PolicyShardAblation(policies []string, workerCounts, shardCounts []int, pagesPerWorker, passes int) []PolicyShardPoint {
+	const reps = 3
+	var pts []PolicyShardPoint
+	for _, pol := range policies {
+		for _, w := range workerCounts {
+			for _, sh := range shardCounts {
+				var runs [reps]PolicyShardPoint
+				for r := range runs {
+					runs[r] = policyShardRun(pol, w, sh, pagesPerWorker, passes)
+				}
+				sort.Slice(runs[:], func(i, j int) bool { return runs[i].TouchesSec < runs[j].TouchesSec })
+				pts = append(pts, runs[reps/2])
+			}
+		}
+	}
+	return pts
+}
+
+func policyShardRun(policyName string, workers, shards, pagesPerWorker, passes int) PolicyShardPoint {
+	clock := cost.New()
+	const pageSize = 8192
+	// 2:1 overcommit: every pass re-faults roughly half its pages, so the
+	// daemon reclaims for the whole measured interval.
+	frames := workers * pagesPerWorker / 2
+	if frames < 16 {
+		frames = 16
+	}
+	tr := obs.New(obs.Options{})
+	p := core.New(core.Options{
+		Frames:       frames,
+		PageSize:     pageSize,
+		Clock:        clock,
+		SegAlloc:     seg.NewSwapAllocatorOn(pageSize, clock, store.Config{}.Factory(pageSize)),
+		Tracer:       tr,
+		Policy:       policyName,
+		PolicyShards: shards,
+	})
+	// Watermarks scale with the budget; the batch stays well under the
+	// frame count so the daemon's in-flight pushes (busy pages) can never
+	// starve a faulter's synchronous reclaim of usable victims. The tick
+	// is deliberately hot: every sweep is a long victim scan under policy
+	// mutexes, which is exactly the convoy under measurement.
+	low, batch := frames/8, frames/4
+	if low < 2 {
+		low = 2
+	}
+	if batch < 4 {
+		batch = 4
+	}
+	stopDaemon := p.StartPageoutDaemon(low, batch, 50*time.Microsecond)
+
+	type worker struct {
+		ctx   gmi.Context
+		base  gmi.VA
+		cache gmi.Cache
+		reg   gmi.Region
+	}
+	ws := make([]worker, workers)
+	size := int64(pagesPerWorker) * pageSize
+	for i := range ws {
+		ctx, err := p.ContextCreate()
+		if err != nil {
+			panic(err)
+		}
+		c := p.TempCacheCreate()
+		base := benchBase + gmi.VA(int64(i)*size*2)
+		reg, err := ctx.RegionCreate(base, size, gmi.ProtRW, c, 0)
+		if err != nil {
+			panic(err)
+		}
+		ws[i] = worker{ctx: ctx, base: base, cache: c, reg: reg}
+	}
+
+	before := p.Stats()
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := range ws {
+		wg.Add(1)
+		go func(i int, w worker) {
+			defer wg.Done()
+			<-start
+			buf := []byte{byte(i + 1)}
+			for pass := 0; pass < passes; pass++ {
+				if pass > 0 {
+					// Shed the translations but keep the pages: the next
+					// sweep's touches are soft faults (fast path, OnTouch)
+					// for whatever survived reclaim and hard refaults for
+					// the rest — every touch crosses the policy, instead
+					// of disappearing into an already-mapped PTE.
+					if err := w.reg.Destroy(); err != nil {
+						panic(err)
+					}
+					reg, err := w.ctx.RegionCreate(w.base, size, gmi.ProtRW, w.cache, 0)
+					if err != nil {
+						panic(err)
+					}
+					w.reg = reg
+				}
+				for pg := 0; pg < pagesPerWorker; pg++ {
+					if err := w.ctx.Write(w.base+gmi.VA(int64(pg)*pageSize), buf); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}(i, ws[i])
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	stopDaemon()
+
+	d := p.Stats().Delta(before)
+	waits := tr.Snapshot().Ops[obs.OpPolicyWait]
+	touches := workers * pagesPerWorker * passes
+	return PolicyShardPoint{
+		Policy:     policyName,
+		Workers:    workers,
+		Shards:     shards,
+		Touches:    touches,
+		Elapsed:    elapsed,
+		TouchesSec: float64(touches) / elapsed.Seconds(),
+		HardFaults: d.Faults - d.SoftFaults,
+		SoftFaults: d.SoftFaults,
+		Evictions:  d.Evictions,
+		WaitP50:    waits.Quantile(0.50),
+		WaitP99:    waits.Quantile(0.99),
+	}
+}
+
+// FormatPolicyShard renders the ablation grouped by policy. The speedup
+// column compares each row against the shards=1 cell of the same
+// (policy, workers) pair.
+func FormatPolicyShard(pts []PolicyShardPoint) string {
+	base := make(map[string]float64)
+	for _, pt := range pts {
+		if pt.Shards == 1 {
+			base[pt.Policy+"/"+fmt.Sprint(pt.Workers)] = pt.TouchesSec
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy-shard ablation (2:1 overcommit, pageout daemon, demand-zero refaults)\n")
+	fmt.Fprintf(&b, "%7s %8s %7s %12s %10s %10s %11s %11s %9s\n",
+		"policy", "workers", "shards", "touches/s", "hardflts", "evictions", "p50 polwait", "p99 polwait", "speedup")
+	last := ""
+	for _, pt := range pts {
+		if pt.Policy != last {
+			if last != "" {
+				b.WriteByte('\n')
+			}
+			last = pt.Policy
+		}
+		speedup := 1.0
+		if bs := base[pt.Policy+"/"+fmt.Sprint(pt.Workers)]; bs > 0 {
+			speedup = pt.TouchesSec / bs
+		}
+		fmt.Fprintf(&b, "%7s %8d %7d %12.0f %10d %10d %11s %11s %8.2fx\n",
+			pt.Policy, pt.Workers, pt.Shards, pt.TouchesSec,
+			pt.HardFaults, pt.Evictions,
+			pt.WaitP50.Round(10*time.Nanosecond), pt.WaitP99.Round(10*time.Nanosecond), speedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package bench
+
+import "testing"
+
+// TestPolicyShardAblationShape runs a miniature grid and checks every
+// cell is live: the workload actually overcommits (evictions happen),
+// the KindPolicyWait probe observed traffic, and the formatter renders
+// each cell.
+func TestPolicyShardAblationShape(t *testing.T) {
+	pts := PolicyShardAblation([]string{"lru", "2q"}, []int{1, 2}, []int{1, 4}, 24, 3)
+	if len(pts) != 8 {
+		t.Fatalf("grid has %d cells, want 8", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.TouchesSec <= 0 {
+			t.Errorf("%s/w%d/s%d: no throughput measured", pt.Policy, pt.Workers, pt.Shards)
+		}
+		if pt.Evictions == 0 {
+			t.Errorf("%s/w%d/s%d: no evictions — the cell ran without reclaim pressure", pt.Policy, pt.Workers, pt.Shards)
+		}
+		if pt.WaitP99 == 0 {
+			t.Errorf("%s/w%d/s%d: policy-wait probe observed nothing", pt.Policy, pt.Workers, pt.Shards)
+		}
+	}
+	out := FormatPolicyShard(pts)
+	for _, want := range []string{"policy-shard ablation", "p99 polwait", "speedup"} {
+		if !contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPressureShardDeterminism pins the determinism contract across the
+// sharding layer: at one policy shard the wrapper is a direct call into
+// the single instance, so the -pressure hard-fault counts must be
+// bit-for-bit those of the unsharded engine. At N shards the victim
+// sweep interleaves shards round-robin, so the counts may drift — but
+// the workload's miss behaviour must stay in the same regime (bounded
+// drift), or the sharded policy has changed replacement semantics, not
+// just locking.
+func TestPressureShardDeterminism(t *testing.T) {
+	base := pressureRun("2q", 2, smallPressure)
+
+	one := smallPressure
+	one.PolicyShards = 1
+	if got := pressureRun("2q", 2, one); got.Faults != base.Faults || got.Evictions != base.Evictions {
+		t.Fatalf("shards=1 diverged from baseline: faults %d vs %d, evictions %d vs %d",
+			got.Faults, base.Faults, got.Evictions, base.Evictions)
+	}
+
+	eight := smallPressure
+	eight.PolicyShards = 8
+	got := pressureRun("2q", 2, eight)
+	if got.Evictions == 0 {
+		t.Fatal("shards=8 run evicted nothing")
+	}
+	lo, hi := base.Faults*85/100, base.Faults*115/100
+	if got.Faults < lo || got.Faults > hi {
+		t.Fatalf("shards=8 hard faults %d outside ±15%% of baseline %d", got.Faults, base.Faults)
+	}
+}

@@ -111,6 +111,16 @@ func tierRun(mode string, hot, warm int, cfg TierConfig) TierPoint {
 	reclaim := func() {
 		if free := p.Memory().FreeFrames(); free < low {
 			p.PageOut(high - free)
+			// Deterministic barrier: drain the queued push-outs before the
+			// next access. A refault racing its own still-queued writeback
+			// is served from the engine queue on some runs and from a tier
+			// on others — VM-level counts stay identical either way, but
+			// the per-tier read and migration counters would wobble by a
+			// few ops run to run, and this ablation's artifact is exactly
+			// those counters.
+			if err := sg.Store().Sync(); err != nil {
+				panic(err)
+			}
 		}
 	}
 

@@ -35,12 +35,16 @@ func (p *PVM) checkInvariantsLocked() error {
 	}
 
 	totalPages := 0
+	linkedPages := 0
 	for c := range p.caches {
 		// Page list vs global map.
 		n := 0
 		seen := make(map[int64]bool)
 		for pg := c.pageHead; pg != nil; pg = pg.nextInCache {
 			n++
+			if pg.pnode.Linked() {
+				linkedPages++
+			}
 			if pg.cache != c {
 				return fmt.Errorf("page %#x in cache %p has cache pointer %p", pg.off, c, pg.cache)
 			}
@@ -182,6 +186,14 @@ func (p *PVM) checkInvariantsLocked() error {
 	}
 	if stubCount != indexCount {
 		return fmt.Errorf("global map holds %d stubs but indexes hold %d", stubCount, indexCount)
+	}
+
+	// Policy accounting: the replacement policy threads exactly the
+	// linked resident pages — a ghost node (page freed or migrated but
+	// still threaded in some policy shard) or a lost one (page claims
+	// linkage its shard does not hold) shows up as a count mismatch.
+	if polLen := p.pol.Len(); polLen != linkedPages {
+		return fmt.Errorf("policy threads %d nodes but %d resident pages are linked", polLen, linkedPages)
 	}
 
 	// Frame accounting: every allocated frame is owned by exactly one

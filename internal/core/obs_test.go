@@ -85,8 +85,8 @@ func TestStatsDelta(t *testing.T) {
 // a resident, already-mapped page must not allocate — neither with no
 // tracer at all nor with a constructed-but-disabled one.
 func TestHandleFaultDisabledTracerAllocs(t *testing.T) {
-	run := func(t *testing.T, tracer *obs.Tracer) {
-		p, _ := newTestPVM(t, 64, func(o *Options) { o.Tracer = tracer })
+	run := func(t *testing.T, tracer *obs.Tracer, opts ...func(*Options)) {
+		p, _ := newTestPVM(t, 64, append([]func(*Options){func(o *Options) { o.Tracer = tracer }}, opts...)...)
 		gctx, err := p.ContextCreate()
 		if err != nil {
 			t.Fatal(err)
@@ -112,6 +112,17 @@ func TestHandleFaultDisabledTracerAllocs(t *testing.T) {
 		tr := obs.New(obs.Options{})
 		tr.SetEnabled(false)
 		run(t, tr)
+	})
+	// The refault fast path crosses the KindPolicyWait probe in lruTouch;
+	// with tracing off the probe must cost one branch and no allocations,
+	// and the sharded policy's home-masked routing must not add any.
+	t.Run("disabled-sharded", func(t *testing.T) {
+		tr := obs.New(obs.Options{})
+		tr.SetEnabled(false)
+		run(t, tr, func(o *Options) {
+			o.Policy = "2q"
+			o.PolicyShards = 8
+		})
 	})
 }
 

@@ -97,7 +97,9 @@ func (p *PVM) evictOne() (bool, error) {
 	fails, limit := 0, p.pol.Len()+1
 	for fails <= limit {
 		var buf [1]*policy.Node
+		start := p.obs.Clock()
 		sel := p.pol.SelectVictims(buf[:0], 1, p.usableSync)
+		p.obs.Span(obs.KindPolicyWait, obs.OpPolicyWait, 0, int64(len(sel)), start)
 		if len(sel) == 0 {
 			break
 		}
@@ -176,7 +178,10 @@ func (p *PVM) evictBatchAsync(max int) (int, error) {
 	evicted := 0
 	var victims []victim
 	var frames []*phys.Frame // freed in whole-batch depot transactions
-	for _, n := range p.pol.SelectVictims(nil, max, p.usableBatch) {
+	selStart := p.obs.Clock()
+	sel := p.pol.SelectVictims(nil, max, p.usableBatch)
+	p.obs.Span(obs.KindPolicyWait, obs.OpPolicyWait, 0, int64(len(sel)), selStart)
+	for _, n := range sel {
 		pg := n.Owner.(*page)
 		c := pg.cache
 		if !pg.dirty {

@@ -338,6 +338,87 @@ func TestDestroyResumesParked(t *testing.T) {
 	}
 }
 
+// TestSetPolicyMigrationRace races live policy migration against fault
+// traffic on a sharded policy. SetPolicy migrates shard by shard,
+// dropping the structural lock between shards, so faults land on a mixed
+// population — some shards on the old policy, some on the new. The
+// invariant checker's policy-census (linked pages == policy Len) catches
+// both failure modes the per-shard swap could introduce: a lost page
+// (drained from the old shard but never inserted into the new) and a
+// double insert (a fault's OnInsert racing the drain). Run with -race;
+// leakcheck verifies the daemon and workers wind down.
+func TestSetPolicyMigrationRace(t *testing.T) {
+	defer leakcheck.Check(t)
+	p, _ := newTestPVM(t, 64, func(o *Options) { o.PolicyShards = 8 })
+	if got := p.PolicyShards(); got != 8 {
+		t.Fatalf("PolicyShards() = %d, want 8", got)
+	}
+	stop := p.StartPageoutDaemon(8, 16, 200*time.Microsecond)
+
+	const workers = 4
+	const pagesPerWorker = 32 // 128 pages over 64 frames: constant reclaim
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		gctx, err := p.ContextCreate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := p.TempCacheCreate()
+		mustRegion(t, gctx, base, pagesPerWorker*pg, gmi.ProtRW, c, 0)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := pattern(byte(w+1), 64)
+			for i := 0; i < 1500; i++ {
+				va := base + gmi.VA((i%pagesPerWorker)*pg)
+				if err := gctx.Write(va, buf); err != nil {
+					t.Errorf("worker %d write: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	migrated := make(chan struct{})
+	go func() {
+		defer close(migrated)
+		names := []string{"clock", "2q", "lru"}
+		for i := 0; i < 12; i++ {
+			if err := p.SetPolicy(names[i%len(names)]); err != nil {
+				t.Errorf("SetPolicy: %v", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	<-migrated
+	stop()
+	check(t, p) // policy census: no page lost, none double-inserted
+	if got := p.Policy(); got != "lru" {
+		t.Fatalf("Policy() = %q after migration loop, want lru", got)
+	}
+
+	// Re-striping: SetPolicyShards drains every shard and re-homes the
+	// population under the new mask in one critical section.
+	before := p.Stats().PolicySecondChances
+	for _, n := range []int{1, 16, 8} {
+		if err := p.SetPolicyShards(n); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.PolicyShards(); got != n {
+			t.Fatalf("PolicyShards() = %d, want %d", got, n)
+		}
+		check(t, p)
+	}
+	if err := p.SetPolicyShards(3); err == nil {
+		t.Fatal("SetPolicyShards(3) succeeded; want error")
+	}
+	if p.Stats().PolicySecondChances < before {
+		t.Fatal("PolicySecondChances went backwards across re-striping")
+	}
+}
+
 // TestPolicyUnselectKeepsPosition pins the Unselect contract the
 // segmentCreate path in evictOne depends on: the abandoned candidate is
 // selectable again immediately, from the same queue position.

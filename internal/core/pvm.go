@@ -102,6 +102,15 @@ type Options struct {
 	// global queue, default), "clock" (second-chance, lock-free touch) or
 	// "2q" (scan-resistant two-queue). See internal/policy.
 	Policy string
+	// PolicyShards stripes the replacement policy across this many
+	// independent instances (a power of two in [1, 64]; default 1, the
+	// single-instance behaviour). Pages route to policy shards by their
+	// global-map shard index, so the fault fast path's policy bookkeeping
+	// contends only on the shard the fault already owns; victim selection
+	// sweeps the shards proportionally with bounded work-stealing. Out of
+	// range values are normalized like FaultAroundPages (rounded down to
+	// a power of two, clamped to the map's shard count).
+	PolicyShards int
 	// AdmissionControl enables per-context thrashing control: the harvest
 	// tick (PolicyTick, driven by the pageout daemon) estimates each
 	// context's working set from referenced bits and, under sustained
@@ -155,6 +164,15 @@ func (o *Options) fill() {
 	}
 	if o.Policy == "" {
 		o.Policy = "lru"
+	}
+	if o.PolicyShards < 1 {
+		o.PolicyShards = 1
+	}
+	if o.PolicyShards > gmapShards {
+		o.PolicyShards = gmapShards
+	}
+	for o.PolicyShards&(o.PolicyShards-1) != 0 {
+		o.PolicyShards &= o.PolicyShards - 1 // round down to a power of two
 	}
 }
 
@@ -259,13 +277,18 @@ type PVM struct {
 	mu     sync.RWMutex
 	shards [gmapShards]gmapShard // the lock-striped global map
 
-	// pol is the page-replacement policy; it guards its queues with its
-	// own internal mutex (or a lock-free reference bit for touches),
-	// ordered strictly after mu/shard locks like the other leaves.
-	// Replaced only by SetPolicy, under exclusive mu; polBase accumulates
-	// the counters of replaced policies so Stats stays monotonic.
-	pol     policy.Replacer
-	polBase policy.Stats
+	// pol is the page-replacement policy, striped across
+	// Options.PolicyShards independent instances routed by global-map
+	// shard index (policy.Sharded); each instance guards its queues with
+	// its own internal mutex (or a lock-free reference bit for touches),
+	// ordered strictly after mu/shard locks like the other leaves. The
+	// pol pointer and its inner instances are swapped only under
+	// exclusive mu (SetPolicy/SetPolicyShards, serialized by setPolMu);
+	// polBase accumulates the counters of replaced instances so Stats
+	// stays monotonic.
+	pol      *policy.Sharded
+	polBase  policy.Stats
+	setPolMu sync.Mutex // serializes whole policy migrations
 
 	// Leaf mutexes, ordered strictly after mu/shard locks: reserveMu
 	// guards the frame-reservation count. Per-cache (listMu) and
@@ -327,7 +350,7 @@ func New(o Options) *PVM {
 		contexts:    make(map[*context]struct{}),
 		obs:         o.Tracer,
 	}
-	pol, err := policy.New(o.Policy)
+	pol, err := policy.NewSharded(o.Policy, o.PolicyShards)
 	if err != nil {
 		panic(fmt.Sprintf("core: %v", err))
 	}
@@ -387,31 +410,86 @@ func (p *PVM) Policy() string {
 	return p.pol.Name()
 }
 
+// PolicyShards returns the number of policy shards in use.
+func (p *PVM) PolicyShards() int { return p.pol.NumShards() }
+
 // SetPolicy replaces the page-replacement policy at run time, migrating
-// every resident page: the old policy's victim order is drained
-// coldest-first and replayed into the new one, so relative page age
-// survives the switch (an LRU tail stays near the new policy's eviction
-// hand). Counters accumulate across the switch.
+// every resident page shard by shard: each shard's victim order is
+// drained coldest-first and replayed into a fresh instance of the new
+// policy, so relative page age survives the switch (an LRU tail stays
+// near the new policy's eviction hand). The structural lock is dropped
+// between shards, so faults proceed against the not-yet-migrated shards
+// while earlier ones already run the new policy — node-homed routing
+// makes the mixed state safe, and each shard's swap happens under the
+// exclusive lock. Counters accumulate across the switch; concurrent
+// migrations are serialized.
 func (p *PVM) SetPolicy(name string) error {
-	next, err := policy.New(name)
+	if _, err := policy.New(name); err != nil {
+		return err
+	}
+	p.setPolMu.Lock()
+	defer p.setPolMu.Unlock()
+	p.mu.Lock()
+	if p.pol.Name() == name {
+		p.mu.Unlock()
+		return nil
+	}
+	shards := p.pol.NumShards()
+	p.mu.Unlock()
+	for i := 0; i < shards; i++ {
+		next, err := policy.New(name)
+		if err != nil {
+			return err
+		}
+		p.mu.Lock()
+		p.migrateShardLocked(i, next)
+		p.mu.Unlock()
+	}
+	return nil
+}
+
+// migrateShardLocked drains policy shard i coldest-first into next and
+// swaps it in; p.mu held exclusively. A full-length sweep returns every
+// linked node: reference bits only spare a page within one scan, and
+// nothing concurrent can re-set them under the exclusive lock.
+func (p *PVM) migrateShardLocked(i int, next policy.Replacer) {
+	old := p.pol.Shard(i)
+	nodes := old.SelectVictims(nil, old.Len(), func(*policy.Node) bool { return true })
+	p.polBase = p.polBase.Add(old.Stats())
+	for _, n := range nodes {
+		n.Reset()
+		next.OnInsert(n)
+	}
+	p.pol.SetShard(i, next)
+}
+
+// SetPolicyShards re-stripes the active policy across n shards at run
+// time, migrating every resident page: each old shard is drained
+// coldest-first and its nodes re-routed by their home hint under the new
+// mask. One exclusive-lock critical section — unlike SetPolicy, the
+// routing mask changes, so no mixed state is safe to expose.
+func (p *PVM) SetPolicyShards(n int) error {
+	p.setPolMu.Lock()
+	defer p.setPolMu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	next, err := policy.NewSharded(p.pol.Name(), n)
 	if err != nil {
 		return err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.pol.Name() == name {
+	if n == p.pol.NumShards() {
 		return nil
 	}
-	// Drain in eviction order. A full-length sweep returns every linked
-	// node: reference bits only spare a page within one scan, and nothing
-	// concurrent can re-set them under the exclusive lock.
-	nodes := p.pol.SelectVictims(nil, p.pol.Len(), func(*policy.Node) bool { return true })
-	p.polBase = p.polBase.Add(p.pol.Stats())
-	p.pol = next
-	for _, n := range nodes {
-		n.Reset()
-		p.pol.OnInsert(n)
+	for i := 0; i < p.pol.NumShards(); i++ {
+		old := p.pol.Shard(i)
+		nodes := old.SelectVictims(nil, old.Len(), func(*policy.Node) bool { return true })
+		p.polBase = p.polBase.Add(old.Stats())
+		for _, nd := range nodes {
+			nd.Reset()
+			next.OnInsert(nd)
+		}
 	}
+	p.pol = next
 	return nil
 }
 

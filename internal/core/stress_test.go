@@ -204,6 +204,12 @@ func TestConcurrentOracleStress(t *testing.T) {
 	t.Run("baseline", func(t *testing.T) { runOracleStress(t, false) })
 	t.Run("framepool", func(t *testing.T) { runOracleStress(t, true) })
 	t.Run("extent", func(t *testing.T) { runOracleStress(t, false, withExtent) })
+	t.Run("shardedpolicy", func(t *testing.T) {
+		runOracleStress(t, true, func(o *Options) {
+			o.Policy = "2q"
+			o.PolicyShards = 8
+		})
+	})
 }
 
 func runOracleStress(t *testing.T, framepool bool, opts ...func(*Options)) {

@@ -70,6 +70,7 @@ const (
 	KindPromote                     // mmu: run promoted to a large translation (arg1 = va, arg2 = pages)
 	KindDemote                      // mmu: large translation splintered to base pages (arg1 = va, arg2 = pages)
 	KindSpecCancel                  // core: speculative fill dropped under frame pressure (arg2 = offset)
+	KindPolicyWait                  // core: one replacement-policy call (insert/touch/remove/select); dur ≈ policy-shard mutex wait
 	NumKinds
 )
 
@@ -80,7 +81,7 @@ var kindNames = [NumKinds]string{
 	"copy", "move", "dsminvalidate", "dsmsync", "storeread", "storewrite",
 	"storecompress", "storeretry", "framezero", "framepoolhit",
 	"framepoolmiss", "fillsubmit", "fillcomplete", "faultaround",
-	"promote", "demote", "speccancel",
+	"promote", "demote", "speccancel", "policywait",
 }
 
 func (k Kind) String() string {
@@ -119,6 +120,7 @@ const (
 	OpStoreRetry              // backoff taken per retried transient failure
 	OpFrameZero               // phys: background zeroer per-frame bzero latency
 	OpFaultAround             // core: fault-around neighbour scan + batched map latency
+	OpPolicyWait              // core: replacement-policy call latency (mutex wait + bookkeeping)
 	NumOps
 )
 
@@ -128,6 +130,7 @@ var opNames = [NumOps]string{
 	"seg.push", "ipc.send", "ipc.recv", "copy", "move",
 	"dsm.invalidate", "dsm.sync", "store.read", "store.write",
 	"store.compress", "store.retry", "frame.zero", "fault.around",
+	"policy.wait",
 }
 
 func (o Op) String() string {

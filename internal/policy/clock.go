@@ -10,10 +10,9 @@ import "sync"
 // where LRU takes the global queue mutex and splices the list — under
 // many concurrent faulters the queue mutex is the contended line.
 type Clock struct {
-	mu    sync.Mutex
-	hand  *Node // next node the sweep examines; nil iff the ring is empty
-	n     int
-	stats Stats
+	mu   sync.Mutex
+	hand *Node // next node the sweep examines; nil iff the ring is empty
+	ctr  counters
 }
 
 const clockQueue int8 = 1
@@ -42,13 +41,13 @@ func (c *Clock) OnInsert(n *Node) {
 		at.prev = n
 	}
 	n.q = clockQueue
-	c.n++
+	c.ctr.n.Add(1)
 	c.mu.Unlock()
 }
 
 // unlink removes n from the ring; c.mu held, n linked.
 func (c *Clock) unlink(n *Node) {
-	if c.n == 1 {
+	if c.ctr.n.Load() == 1 {
 		c.hand = nil
 	} else {
 		if c.hand == n {
@@ -60,7 +59,7 @@ func (c *Clock) unlink(n *Node) {
 	n.prev, n.next = nil, nil
 	n.q = 0
 	n.sel = false
-	c.n--
+	c.ctr.n.Add(-1)
 }
 
 // OnRemove implements Replacer.
@@ -96,7 +95,7 @@ func (c *Clock) OnHarvest(n *Node, referenced, dirty bool) {
 func (c *Clock) SelectVictims(dst []*Node, max int, usable func(*Node) bool) []*Node {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	steps := 2*c.n + 1
+	steps := 2*int(c.ctr.n.Load()) + 1
 	for len(dst) < max && c.hand != nil && steps > 0 {
 		steps--
 		n := c.hand
@@ -105,13 +104,13 @@ func (c *Clock) SelectVictims(dst []*Node, max int, usable func(*Node) bool) []*
 			continue
 		}
 		if n.ref.CompareAndSwap(true, false) {
-			c.stats.SecondChances++
+			c.ctr.secondChances.Add(1)
 			continue
 		}
 		if usable(n) {
 			n.sel = true
 			dst = append(dst, n)
-			c.stats.Selected++
+			c.ctr.selected.Add(1)
 		}
 	}
 	return dst
@@ -135,16 +134,8 @@ func (c *Clock) Unselect(n *Node) {
 	c.mu.Unlock()
 }
 
-// Len implements Replacer.
-func (c *Clock) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
-}
+// Len implements Replacer: a lock-free load (see counters).
+func (c *Clock) Len() int { return int(c.ctr.n.Load()) }
 
-// Stats implements Replacer.
-func (c *Clock) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
-}
+// Stats implements Replacer: lock-free loads (see counters).
+func (c *Clock) Stats() Stats { return c.ctr.snapshot() }

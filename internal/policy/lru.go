@@ -12,8 +12,7 @@ import "sync"
 type LRU struct {
 	mu         sync.Mutex
 	head, tail *Node
-	n          int
-	stats      Stats
+	ctr        counters
 }
 
 const lruQueue int8 = 1
@@ -39,7 +38,7 @@ func (l *LRU) push(n *Node) {
 		l.tail = n
 	}
 	n.q = lruQueue
-	l.n++
+	l.ctr.n.Add(1)
 }
 
 // remove unthreads n; l.mu held.
@@ -59,7 +58,7 @@ func (l *LRU) remove(n *Node) {
 	}
 	n.prev, n.next = nil, nil
 	n.q = 0
-	l.n--
+	l.ctr.n.Add(-1)
 }
 
 // OnInsert implements Replacer.
@@ -104,7 +103,7 @@ func (l *LRU) SelectVictims(dst []*Node, max int, usable func(*Node) bool) []*No
 	for n := l.tail; n != nil && len(dst) < max; n = n.prev {
 		if usable(n) {
 			dst = append(dst, n)
-			l.stats.Selected++
+			l.ctr.selected.Add(1)
 		}
 	}
 	return dst
@@ -118,16 +117,8 @@ func (l *LRU) Requeue(n *Node) { l.OnTouch(n) }
 // abandoned victim already sits where the original scan left it.
 func (l *LRU) Unselect(n *Node) {}
 
-// Len implements Replacer.
-func (l *LRU) Len() int {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.n
-}
+// Len implements Replacer: a lock-free load (see counters).
+func (l *LRU) Len() int { return int(l.ctr.n.Load()) }
 
-// Stats implements Replacer.
-func (l *LRU) Stats() Stats {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.stats
-}
+// Stats implements Replacer: lock-free loads (see counters).
+func (l *LRU) Stats() Stats { return l.ctr.snapshot() }

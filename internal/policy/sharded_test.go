@@ -1,0 +1,331 @@
+package policy
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// mkh makes a linked test node with an int owner id and a home shard.
+func mkh(id int, home uint32) *Node {
+	n := mk(id)
+	n.SetHome(home)
+	return n
+}
+
+func TestValidShards(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		if !ValidShards(n) {
+			t.Fatalf("ValidShards(%d) = false", n)
+		}
+	}
+	for _, n := range []int{-1, 0, 3, 5, 6, 12, 63, 65, 128} {
+		if ValidShards(n) {
+			t.Fatalf("ValidShards(%d) = true", n)
+		}
+		if _, err := NewSharded("lru", n); err == nil {
+			t.Fatalf("NewSharded(lru, %d) succeeded; want error", n)
+		}
+	}
+	if _, err := NewSharded("fifo", 4); err == nil {
+		t.Fatal("NewSharded(fifo, 4) succeeded; want error")
+	}
+	s, err := NewSharded("2q", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "2q" || s.NumShards() != 8 {
+		t.Fatalf("Name=%q NumShards=%d, want 2q/8", s.Name(), s.NumShards())
+	}
+}
+
+// TestShardedOneExactConformance pins the shards=1 degenerate case: for
+// every policy, a Sharded wrapper around a single instance must produce
+// bit-for-bit the victim sequences, lengths and statistics of the bare
+// policy under an identical random op trace. This is what makes the
+// -pressure determinism contract survive the sharding layer.
+func TestShardedOneExactConformance(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			bare, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh, err := NewSharded(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(7))
+			bnodes := map[int]*Node{}
+			snodes := map[int]*Node{}
+			var resident []int
+			next := 0
+			for step := 0; step < 3000; step++ {
+				switch op := rng.Intn(5); {
+				case op == 0 || len(resident) == 0: // insert
+					home := rng.Uint32()
+					bnodes[next] = mkh(next, home)
+					snodes[next] = mkh(next, home)
+					bare.OnInsert(bnodes[next])
+					sh.OnInsert(snodes[next])
+					resident = append(resident, next)
+					next++
+				case op == 1: // touch
+					id := resident[rng.Intn(len(resident))]
+					bare.OnTouch(bnodes[id])
+					sh.OnTouch(snodes[id])
+				case op == 2: // harvest
+					id := resident[rng.Intn(len(resident))]
+					ref, dirty := rng.Intn(2) == 0, rng.Intn(2) == 0
+					bare.OnHarvest(bnodes[id], ref, dirty)
+					sh.OnHarvest(snodes[id], ref, dirty)
+				case op == 3: // remove
+					i := rng.Intn(len(resident))
+					id := resident[i]
+					bare.OnRemove(bnodes[id])
+					sh.OnRemove(snodes[id])
+					resident = append(resident[:i], resident[i+1:]...)
+					delete(bnodes, id)
+					delete(snodes, id)
+				default: // select a batch, then requeue it (failed-push path)
+					k := 1 + rng.Intn(4)
+					bv := bare.SelectVictims(nil, k, all)
+					sv := sh.SelectVictims(nil, k, all)
+					if !equal(ids(bv), ids(sv)) {
+						t.Fatalf("step %d: bare victims %v, sharded %v", step, ids(bv), ids(sv))
+					}
+					for i := range bv {
+						bare.Requeue(bv[i])
+						sh.Requeue(sv[i])
+					}
+				}
+				if bare.Len() != sh.Len() {
+					t.Fatalf("step %d: bare Len=%d sharded Len=%d", step, bare.Len(), sh.Len())
+				}
+				if bs, ss := bare.Stats(), sh.Stats(); bs != ss {
+					t.Fatalf("step %d: bare Stats=%+v sharded Stats=%+v", step, bs, ss)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedMirrorsPerShard proves routing isolation at shards=N: the
+// sharded policy driven by a mixed trace must leave every shard in
+// exactly the state of a bare mirror instance that received only that
+// shard's nodes. Cross-shard interference of any kind — a touch bleeding
+// into a neighbour, a harvest mis-routed — breaks the per-shard victim
+// order here.
+func TestShardedMirrorsPerShard(t *testing.T) {
+	const shards = 4
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			sh, err := NewSharded(name, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mirrors := make([]Replacer, shards)
+			for i := range mirrors {
+				mirrors[i], _ = New(name)
+			}
+			rng := rand.New(rand.NewSource(11))
+			shnodes := map[int]*Node{}
+			minodes := map[int]*Node{}
+			var resident []int
+			next := 0
+			for step := 0; step < 2000; step++ {
+				switch op := rng.Intn(4); {
+				case op == 0 || len(resident) == 0:
+					home := rng.Uint32()
+					sn, mn := mkh(next, home), mkh(next, home)
+					shnodes[next], minodes[next] = sn, mn
+					sh.OnInsert(sn)
+					mirrors[home%shards].OnInsert(mn)
+					resident = append(resident, next)
+					next++
+				case op == 1:
+					id := resident[rng.Intn(len(resident))]
+					sh.OnTouch(shnodes[id])
+					mirrors[shnodes[id].Home()%shards].OnTouch(minodes[id])
+				case op == 2:
+					id := resident[rng.Intn(len(resident))]
+					ref, dirty := rng.Intn(2) == 0, rng.Intn(2) == 0
+					sh.OnHarvest(shnodes[id], ref, dirty)
+					mirrors[shnodes[id].Home()%shards].OnHarvest(minodes[id], ref, dirty)
+				default:
+					i := rng.Intn(len(resident))
+					id := resident[i]
+					sh.OnRemove(shnodes[id])
+					mirrors[shnodes[id].Home()%shards].OnRemove(minodes[id])
+					resident = append(resident[:i], resident[i+1:]...)
+					delete(shnodes, id)
+					delete(minodes, id)
+				}
+			}
+			wantLen, wantStats := 0, Stats{}
+			for i := 0; i < shards; i++ {
+				got := ids(sh.Shard(i).SelectVictims(nil, mirrors[i].Len(), all))
+				want := ids(mirrors[i].SelectVictims(nil, mirrors[i].Len(), all))
+				if !equal(got, want) {
+					t.Fatalf("shard %d victim order %v, mirror %v", i, got, want)
+				}
+				wantLen += mirrors[i].Len()
+				wantStats = wantStats.Add(mirrors[i].Stats())
+			}
+			if sh.Len() != wantLen {
+				t.Fatalf("aggregate Len=%d, mirrors sum %d", sh.Len(), wantLen)
+			}
+			if sh.Stats() != wantStats {
+				t.Fatalf("aggregate Stats=%+v, mirrors sum %+v", sh.Stats(), wantStats)
+			}
+		})
+	}
+}
+
+// TestShardedNoDuplicatesUnderStealing forces the work-stealing pass to
+// re-scan shards that already contributed: one shard holds only unusable
+// candidates, so its proportional quota goes unfilled and the stealing
+// lap must make up the deficit elsewhere. LRU is the policy under test
+// because it carries no selection mark — dedup rests entirely on the
+// wrapper's taken-filter.
+func TestShardedNoDuplicatesUnderStealing(t *testing.T) {
+	const shards = 8
+	sh, err := NewSharded("lru", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := map[*Node]bool{}
+	var nodes []*Node
+	next := 0
+	for home := uint32(0); home < shards; home++ {
+		for i := 0; i < 6; i++ {
+			n := mkh(next, home)
+			next++
+			if home == 3 {
+				pinned[n] = true // shard 3 runs dry: every candidate unusable
+			}
+			sh.OnInsert(n)
+			nodes = append(nodes, n)
+		}
+	}
+	usable := func(n *Node) bool { return !pinned[n] }
+	got := sh.SelectVictims(nil, len(nodes), usable)
+	if want := len(nodes) - len(pinned); len(got) != want {
+		t.Fatalf("selected %d victims, want %d", len(got), want)
+	}
+	seen := map[*Node]bool{}
+	for _, n := range got {
+		if pinned[n] {
+			t.Fatalf("selected unusable node %v", n.Owner)
+		}
+		if seen[n] {
+			t.Fatalf("node %v selected twice", n.Owner)
+		}
+		seen[n] = true
+	}
+}
+
+// TestShardedProportionalSpread checks the fairness schedule: victim
+// demand splits across shards in proportion to their populations, with a
+// floor of one per populated shard.
+func TestShardedProportionalSpread(t *testing.T) {
+	sh, err := NewSharded("lru", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pops := []int{40, 20, 10, 10}
+	next := 0
+	for home, pop := range pops {
+		for i := 0; i < pop; i++ {
+			sh.OnInsert(mkh(next, uint32(home)))
+			next++
+		}
+	}
+	got := sh.SelectVictims(nil, 8, all)
+	if len(got) != 8 {
+		t.Fatalf("selected %d victims, want 8", len(got))
+	}
+	counts := map[uint32]int{}
+	for _, n := range got {
+		counts[n.Home()]++
+	}
+	// quota_i = 8 * pop_i / 80: exactly 4/2/1/1 regardless of cursor start.
+	want := map[uint32]int{0: 4, 1: 2, 2: 1, 3: 1}
+	for home, w := range want {
+		if counts[home] != w {
+			t.Fatalf("shard %d contributed %d victims, want %d (all: %v)", home, counts[home], w, counts)
+		}
+	}
+}
+
+// TestShardedCursorRotates checks that consecutive sweeps start at
+// rotating shards, so no shard is structurally first in eviction order.
+func TestShardedCursorRotates(t *testing.T) {
+	const shards = 4
+	sh, err := NewSharded("lru", shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for home := uint32(0); home < shards; home++ {
+		sh.OnInsert(mkh(int(home), home))
+	}
+	seen := map[uint32]bool{}
+	for i := 0; i < shards; i++ {
+		v := sh.SelectVictims(nil, 1, all)
+		if len(v) != 1 {
+			t.Fatalf("sweep %d selected %d victims, want 1", i, len(v))
+		}
+		seen[v[0].Home()] = true
+		sh.Requeue(v[0])
+	}
+	if len(seen) != shards {
+		t.Fatalf("%d sweeps hit %d distinct shards, want %d", shards, len(seen), shards)
+	}
+}
+
+// TestShardedConcurrent hammers a sharded instance from concurrent
+// inserters/touchers plus a victim-scan goroutine, for the race
+// detector. Workers own disjoint node sets (the PVM's page lifecycle
+// guarantees per-node serialization); selection and requeue run against
+// the whole population concurrently.
+func TestShardedConcurrent(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			sh, err := NewSharded(name, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const workers, perWorker = 4, 200
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)))
+					nodes := make([]*Node, perWorker)
+					for i := range nodes {
+						nodes[i] = mkh(w*perWorker+i, rng.Uint32())
+						sh.OnInsert(nodes[i])
+					}
+					for i := 0; i < 2000; i++ {
+						sh.OnTouch(nodes[rng.Intn(perWorker)])
+					}
+				}(w)
+			}
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; i < 200; i++ {
+					for _, n := range sh.SelectVictims(nil, 16, all) {
+						sh.Requeue(n)
+					}
+				}
+			}()
+			wg.Wait()
+			<-done
+			if got := sh.Len(); got != workers*perWorker {
+				t.Fatalf("Len=%d after quiesce, want %d", got, workers*perWorker)
+			}
+		})
+	}
+}

@@ -15,10 +15,10 @@ import "sync"
 // when A1 is exhausted does the scan fall back to the Am tail, where a
 // set bit buys one second chance.
 type TwoQ struct {
-	mu    sync.Mutex
-	a1    nodeList // admission FIFO: head newest, victims from the tail
-	am    nodeList // main queue: head most recently promoted/spared
-	stats Stats
+	mu  sync.Mutex
+	a1  nodeList // admission FIFO: head newest, victims from the tail
+	am  nodeList // main queue: head most recently promoted/spared
+	ctr counters
 }
 
 const (
@@ -85,6 +85,8 @@ func (t *TwoQ) OnInsert(n *Node) {
 	t.mu.Lock()
 	if l := t.queueOf(n); l != nil {
 		l.remove(n)
+	} else {
+		t.ctr.n.Add(1)
 	}
 	n.sel = false
 	t.a1.pushHead(n, twoQAdmit)
@@ -96,6 +98,7 @@ func (t *TwoQ) OnRemove(n *Node) {
 	t.mu.Lock()
 	if l := t.queueOf(n); l != nil {
 		l.remove(n)
+		t.ctr.n.Add(-1)
 	}
 	n.sel = false
 	t.mu.Unlock()
@@ -129,11 +132,11 @@ func (t *TwoQ) SelectVictims(dst []*Node, max int, usable func(*Node) bool) []*N
 		if n.ref.CompareAndSwap(true, false) {
 			t.a1.remove(n)
 			t.am.pushHead(n, twoQMain)
-			t.stats.Promotions++
+			t.ctr.promotions.Add(1)
 		} else if !n.sel && usable(n) {
 			n.sel = true
 			dst = append(dst, n)
-			t.stats.Selected++
+			t.ctr.selected.Add(1)
 		}
 		n = prev
 	}
@@ -142,11 +145,11 @@ func (t *TwoQ) SelectVictims(dst []*Node, max int, usable func(*Node) bool) []*N
 		if n.ref.CompareAndSwap(true, false) {
 			t.am.remove(n)
 			t.am.pushHead(n, twoQMain)
-			t.stats.SecondChances++
+			t.ctr.secondChances.Add(1)
 		} else if !n.sel && usable(n) {
 			n.sel = true
 			dst = append(dst, n)
-			t.stats.Selected++
+			t.ctr.selected.Add(1)
 		}
 		n = prev
 	}
@@ -173,19 +176,11 @@ func (t *TwoQ) Unselect(n *Node) {
 	t.mu.Unlock()
 }
 
-// Len implements Replacer.
-func (t *TwoQ) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.a1.n + t.am.n
-}
+// Len implements Replacer: a lock-free load (see counters).
+func (t *TwoQ) Len() int { return int(t.ctr.n.Load()) }
 
-// Stats implements Replacer.
-func (t *TwoQ) Stats() Stats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
-}
+// Stats implements Replacer: lock-free loads (see counters).
+func (t *TwoQ) Stats() Stats { return t.ctr.snapshot() }
 
 // InMain reports whether n currently sits in the protected main queue;
 // for tests.
